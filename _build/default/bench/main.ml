@@ -1,0 +1,294 @@
+(* Benchmark harness: regenerates every table of the paper and registers
+   one Bechamel micro-benchmark per table.
+
+     dune exec bench/main.exe -- table1          ERUF/EPUF delay sweep
+     dune exec bench/main.exe -- table2          CRUSADE with/without reconfiguration
+     dune exec bench/main.exe -- table3          CRUSADE-FT with/without reconfiguration
+     dune exec bench/main.exe -- figures         Fig. 2 / Fig. 4 walkthroughs
+     dune exec bench/main.exe -- bench           Bechamel micro-benchmarks
+     dune exec bench/main.exe -- all [--scale N] everything (default)
+
+   --scale N divides the task counts of the eight big examples by N
+   (default 8; use --scale 1 to reproduce the full paper sizes, which
+   takes over an hour of single-core time). *)
+
+module C = Crusade.Crusade_core
+module F = Crusade_fault.Ft
+module W = Crusade_workloads.Comm_system
+module Ex = Crusade_workloads.Examples
+module T = Crusade_util.Text_table
+
+let erufs = [ 0.70; 0.75; 0.80; 0.85; 0.90; 0.95; 1.00 ]
+
+(* Paper values for side-by-side comparison. *)
+let paper_table1 =
+  [
+    ("cvs1", [ "0.0"; "0.0"; "4.6"; "7.1"; "18.2"; "42.1"; "121.6" ]);
+    ("cvs2", [ "0.0"; "2.5"; "6.1"; "8.3"; "22.6"; "68.7"; "138.9" ]);
+    ("xtrs1", [ "0.0"; "8.9"; "9.3"; "9.8"; "28.1"; "46.2"; "88.6" ]);
+    ("xtrs2", [ "0.0"; "10.4"; "12.6"; "18.6"; "24.8"; "53.6"; "72.1" ]);
+    ("rnvk", [ "0.0"; "9.1"; "9.3"; "11.9"; "18.9"; "39.6"; "88.7" ]);
+    ("fcsdp", [ "0.0"; "7.4"; "7.8"; "10.6"; "29.6"; "121.8"; "156.1" ]);
+    ("r2d2p", [ "0.0"; "11.1"; "11.1"; "12.8"; "24.2"; "78.6"; "NR" ]);
+    ("cv46", [ "0.0"; "9.2"; "10.4"; "11.9"; "22.8"; "62.1"; "NR" ]);
+    ("wamxp", [ "0.0"; "12.1"; "14.6"; "18.1"; "28.6"; "54.7"; "NR" ]);
+    ("pewxfm", [ "0.0"; "8.6"; "10.2"; "16.8"; "21.7"; "39.2"; "144.5" ]);
+  ]
+
+(* (name, without: pes, links, cpu, cost; with: pes, links, cpu, cost, savings%) *)
+let paper_table2 =
+  [
+    ("A1TR", ((74, 19, 19322.6, 26245), (61, 16, 20473.4, 16225, 38.2)));
+    ("VDRTX", ((118, 33, 30118.0, 20160), (98, 21, 34665.8, 12890, 36.1)));
+    ("HROST", ((244, 48, 68771.6, 34898), (219, 36, 77125.4, 24100, 30.9)));
+    ("EST189A", ((334, 87, 82664.7, 48445), (312, 68, 91705.3, 33815, 30.2)));
+    ("HRXC", ((388, 93, 89183.4, 51170), (348, 74, 104045.6, 37900, 25.9)));
+    ("ADMR", ((406, 102, 112629.1, 64885), (375, 93, 124118.1, 40005, 38.3)));
+    ("B192G", ((448, 132, 120336.2, 69745), (405, 128, 129810.6, 34030, 51.2)));
+    ("NGXM", ((522, 142, 129876.1, 83885), (417, 138, 140018.2, 36325, 56.7)));
+  ]
+
+let paper_table3 =
+  [
+    ("A1TR", ((98, 28, 22800.6, 30815), (74, 21, 24487.8, 21355, 30.7)));
+    ("VDRTX", ((144, 51, 39079.2, 27900), (130, 34, 45890.1, 18885, 32.3)));
+    ("HROST", ((361, 88, 85690.6, 52830), (275, 59, 97550.4, 33075, 37.4)));
+    ("EST189A", ((470, 116, 105943.1, 64965), (398, 85, 123540.2, 43115, 33.6)));
+    ("HRXC", ((512, 131, 110968.9, 60688), (446, 108, 131627.7, 41930, 30.9)));
+    ("ADMR", ((526, 136, 134559.8, 79025), (474, 136, 158864.7, 50810, 35.7)));
+    ("B192G", ((579, 164, 146183.2, 88430), (518, 154, 161754.9, 41385, 53.2)));
+    ("NGXM", ((628, 182, 168449.1, 99886), (531, 168, 183946.4, 48744, 51.2)));
+  ]
+
+let table1 () =
+  print_endline "== Table 1: delay management through FPGAs/CPLDs ==";
+  print_endline "   (% increase in post-route delay at EPUF = 0.80; NR = not routable)";
+  let header =
+    "circuit" :: "PFUs" :: "src"
+    :: List.map (fun e -> Printf.sprintf "ERUF=%.2f" e) erufs
+  in
+  let rows =
+    List.concat_map
+      (fun (c : Ex.table1_circuit) ->
+        let netlist = Ex.table1_netlist c in
+        let measured =
+          List.map
+            (fun eruf ->
+              match Crusade_pnr.Delay.measure netlist ~eruf ~epuf:0.80 ~seed:7 with
+              | Crusade_pnr.Delay.Increase_pct p -> T.fmt_float p
+              | Crusade_pnr.Delay.Unroutable -> "NR")
+            erufs
+        in
+        let paper = List.assoc c.circuit_name paper_table1 in
+        [
+          (c.circuit_name :: string_of_int c.pfus :: "paper" :: paper);
+          ("" :: "" :: "ours" :: measured);
+        ])
+      Ex.table1_circuits
+  in
+  print_string (T.render ~header rows);
+  print_newline ()
+
+let synth_row spec lib reconfig =
+  let options = { C.default_options with dynamic_reconfiguration = reconfig } in
+  match C.synthesize ~options spec lib with
+  | Ok r -> (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
+  | Error msg -> failwith msg
+
+let ft_row spec lib reconfig =
+  let options = { C.default_options with dynamic_reconfiguration = reconfig } in
+  match F.synthesize ~options spec lib with
+  | Ok r ->
+      ( r.F.n_pes_with_spares,
+        r.F.core.C.n_links,
+        r.F.core.C.cpu_seconds,
+        r.F.total_cost,
+        r.F.core.C.deadlines_met )
+  | Error msg -> failwith msg
+
+let comparison_table ~title ~paper ~scale ~row_of =
+  Printf.printf "== %s (examples scaled 1/%d) ==\n%!" title scale;
+  let header =
+    [
+      "example"; "tasks"; "src"; "PEs-"; "links-"; "cpu- (s)"; "cost- ($)"; "PEs+";
+      "links+"; "cpu+ (s)"; "cost+ ($)"; "savings %"; "deadlines";
+    ]
+  in
+  let lib = Crusade_resource.Library.stock () in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let params = W.scaled (W.preset name) (float_of_int scale) in
+        let spec = W.generate lib params in
+        let p0, l0, t0, c0, ok0 = row_of spec lib false in
+        let p1, l1, t1, c1, ok1 = row_of spec lib true in
+        let savings = (c0 -. c1) /. c0 *. 100.0 in
+        let (pp0, pl0, pt0, pc0), (pp1, pl1, pt1, pc1, psav) =
+          List.assoc name paper
+        in
+        [
+          [
+            name; "(paper)"; "paper"; string_of_int pp0; string_of_int pl0;
+            T.fmt_float pt0; T.fmt_dollars (float_of_int pc0); string_of_int pp1;
+            string_of_int pl1; T.fmt_float pt1; T.fmt_dollars (float_of_int pc1);
+            T.fmt_float psav; "met";
+          ];
+          [
+            ""; string_of_int (Crusade_taskgraph.Spec.n_tasks spec); "ours";
+            string_of_int p0; string_of_int l0; T.fmt_float t0; T.fmt_dollars c0;
+            string_of_int p1; string_of_int l1; T.fmt_float t1; T.fmt_dollars c1;
+            T.fmt_float savings;
+            (if ok0 && ok1 then "met" else "MISSED");
+          ];
+        ])
+      W.preset_names
+  in
+  print_string
+    (T.render
+       ~align:
+         [ Left; Right; Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+       ~header rows);
+  print_newline ()
+
+let table2 ~scale () =
+  comparison_table
+    ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
+    ~paper:paper_table2 ~scale ~row_of:synth_row
+
+let table3 ~scale () =
+  comparison_table
+    ~title:
+      "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
+    ~paper:paper_table3 ~scale ~row_of:ft_row
+
+let figures () =
+  print_endline "== Fig. 2 motivation example (small library) ==";
+  let lib = Crusade_resource.Library.small () in
+  let spec = Ex.figure2 lib in
+  let p0, l0, _, c0, _ = synth_row spec lib false in
+  let p1, l1, _, c1, _ = synth_row spec lib true in
+  Printf.printf
+    "  without reconfiguration: %d FPGAs, %d links, $%.0f\n\
+    \  with    reconfiguration: %d FPGA,  %d links, $%.0f (one device, multiple modes)\n\
+    \  saving: %.1f%%\n\n"
+    p0 l0 c0 p1 l1 c1
+    ((c0 -. c1) /. c0 *. 100.0);
+  print_endline "== Fig. 4 allocation walk-through (small library) ==";
+  let spec4 = Ex.figure4 lib in
+  let options = { C.default_options with dynamic_reconfiguration = true } in
+  (match C.synthesize ~options spec4 lib with
+  | Ok r -> Format.printf "%a@.@." C.pp_report r
+  | Error msg -> Printf.printf "  FAILED: %s\n" msg)
+
+(* One Bechamel micro-benchmark per table: the Table 1 place-and-route
+   kernel, a Table 2 co-synthesis run, a Table 3 CRUSADE-FT run (both on a
+   1/16-scale A1TR so a sample stays sub-second). *)
+let bechamel_benches () =
+  let open Bechamel in
+  print_endline "== Bechamel micro-benchmarks (ns per run, OLS estimate) ==";
+  let lib = Crusade_resource.Library.stock () in
+  let small_spec = W.generate lib (W.scaled (W.preset "A1TR") 16.0) in
+  let circuit = Ex.table1_netlist (List.nth Ex.table1_circuits 0) in
+  let tests =
+    Test.make_grouped ~name:"crusade"
+      [
+        Test.make ~name:"table1-route-cvs1"
+          (Staged.stage (fun () ->
+               ignore
+                 (Crusade_pnr.Delay.measure ~samples:3 circuit ~eruf:0.9 ~epuf:0.8
+                    ~seed:7)));
+        Test.make ~name:"table2-synthesize-A1TR/16"
+          (Staged.stage (fun () ->
+               ignore (C.synthesize ~options:C.default_options small_spec lib)));
+        Test.make ~name:"table3-ft-synthesize-A1TR/16"
+          (Staged.stage (fun () ->
+               ignore (F.synthesize ~options:C.default_options small_spec lib)));
+      ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 3.0) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (t :: _) -> Printf.sprintf "%.0f" t
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; estimate ] :: !rows)
+    analyzed;
+  print_string
+    (T.render ~align:[ Left; Right ] ~header:[ "benchmark"; "ns/run" ]
+       (List.sort compare !rows));
+  print_newline ()
+
+(* Ablations of the design choices DESIGN.md calls out: critical-path
+   clustering, the association-array copy cap, the evaluation window and
+   the merge phase.  One row per variant on the 1/8-scale A1TR example. *)
+let ablation () =
+  print_endline "== Ablations (A1TR at 1/8 scale, dynamic reconfiguration on) ==";
+  let lib = Crusade_resource.Library.stock () in
+  let spec = W.generate lib (W.scaled (W.preset "A1TR") 8.0) in
+  let row name options =
+    match C.synthesize ~options spec lib with
+    | Ok r ->
+        [
+          name; string_of_int r.C.n_pes; string_of_int r.C.n_links;
+          string_of_int r.C.n_modes; T.fmt_dollars r.C.cost;
+          (if r.C.deadlines_met then "met" else "MISSED");
+          T.fmt_float ~decimals:2 r.C.cpu_seconds;
+        ]
+    | Error msg -> [ name; "error: " ^ msg ]
+  in
+  let d = C.default_options in
+  let rows =
+    [
+      row "default" d;
+      row "no clustering (singletons)" { d with C.use_clustering = false };
+      row "cluster size 16" { d with C.max_cluster_size = 16 };
+      row "copy cap 8" { d with C.copy_cap = 8 };
+      row "copy cap 16" { d with C.copy_cap = 16 };
+      row "eval window 4" { d with C.eval_window = 4 };
+      row "no merge phase" { d with C.merge_trials_per_pass = 0 };
+      row "no reconfiguration" { d with C.dynamic_reconfiguration = false };
+    ]
+  in
+  print_string
+    (T.render
+       ~align:[ Left; Right; Right; Right; Right; Left; Right ]
+       ~header:[ "variant"; "PEs"; "links"; "images"; "cost ($)"; "deadlines"; "cpu (s)" ]
+       rows);
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    let rec find = function
+      | "--scale" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> 8
+    in
+    find args
+  in
+  let wants what =
+    List.exists (fun a -> a = what) args
+    || not
+         (List.exists
+            (fun a ->
+              List.mem a
+                [ "table1"; "table2"; "table3"; "figures"; "bench"; "ablation" ])
+            args)
+  in
+  if wants "figures" then figures ();
+  if wants "table1" then table1 ();
+  if wants "table2" then table2 ~scale ();
+  if wants "table3" then table3 ~scale ();
+  if wants "ablation" then ablation ();
+  if wants "bench" then bechamel_benches ()

@@ -1,0 +1,203 @@
+(* crusade — command-line front end for the co-synthesis library.
+
+     crusade synth A1TR --scale 8 --no-reconfig
+     crusade ft NGXM --scale 16
+     crusade delay cvs1
+     crusade list *)
+
+module C = Crusade.Crusade_core
+module F = Crusade_fault.Ft
+module W = Crusade_workloads.Comm_system
+module Ex = Crusade_workloads.Examples
+
+open Cmdliner
+
+let spec_of_name name scale =
+  let lib = Crusade_resource.Library.stock () in
+  let small = Crusade_resource.Library.small () in
+  match name with
+  | "figure2" -> Ok (Ex.figure2 small, small)
+  | "figure4" -> Ok (Ex.figure4 small, small)
+  | "multirate" -> Ok (Ex.multirate lib, lib)
+  | _ -> (
+      match W.preset name with
+      | params -> Ok (W.generate lib (W.scaled params scale), lib)
+      | exception Not_found ->
+          Error
+            (Printf.sprintf
+               "unknown workload %s (try `crusade list`)" name))
+
+let name_arg =
+  let doc = "Workload: one of the Table 2 examples (A1TR ... NGXM), figure2, figure4, multirate." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let scale_arg =
+  let doc = "Divide the example's task count by $(docv) (generated examples only)." in
+  Arg.(value & opt float 8.0 & info [ "scale" ] ~docv:"N" ~doc)
+
+let reconfig_arg =
+  let doc = "Disable dynamic reconfiguration (single configuration per device)." in
+  Arg.(value & flag & info [ "no-reconfig" ] ~doc)
+
+let synth_run name scale no_reconfig =
+  match spec_of_name name scale with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (spec, lib) -> (
+      let options =
+        { C.default_options with dynamic_reconfiguration = not no_reconfig }
+      in
+      match C.synthesize ~options spec lib with
+      | Ok r ->
+          Format.printf "%a@." C.pp_report r;
+          if r.C.deadlines_met then 0 else 2
+      | Error msg ->
+          prerr_endline msg;
+          1)
+
+let ft_run name scale no_reconfig =
+  match spec_of_name name scale with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (spec, lib) -> (
+      let options =
+        { C.default_options with dynamic_reconfiguration = not no_reconfig }
+      in
+      match F.synthesize ~options spec lib with
+      | Ok r ->
+          Format.printf "%a@." C.pp_report r.F.core;
+          Format.printf "spares cost $%s; total $%s@."
+            (Crusade_util.Text_table.fmt_dollars
+               r.F.provisioning.Crusade_fault.Dependability.spare_cost)
+            (Crusade_util.Text_table.fmt_dollars r.F.total_cost);
+          if r.F.core.C.deadlines_met then 0 else 2
+      | Error msg ->
+          prerr_endline msg;
+          1)
+
+let delay_run circuit =
+  match
+    List.find_opt
+      (fun (c : Ex.table1_circuit) -> c.circuit_name = circuit)
+      Ex.table1_circuits
+  with
+  | None ->
+      Printf.eprintf "unknown circuit %s (cvs1 ... pewxfm)\n" circuit;
+      1
+  | Some c ->
+      let netlist = Ex.table1_netlist c in
+      Printf.printf "%s (%d PFUs, %d pins): delay increase vs ERUF at EPUF=0.80\n"
+        c.circuit_name c.pfus c.pins;
+      List.iter
+        (fun eruf ->
+          match Crusade_pnr.Delay.measure netlist ~eruf ~epuf:0.80 ~seed:7 with
+          | Crusade_pnr.Delay.Increase_pct p ->
+              Printf.printf "  ERUF %.2f: %6.1f %%\n" eruf p
+          | Crusade_pnr.Delay.Unroutable ->
+              Printf.printf "  ERUF %.2f: not routable\n" eruf)
+        [ 0.70; 0.75; 0.80; 0.85; 0.90; 0.95; 1.00 ];
+      0
+
+let list_run () =
+  print_endline "Generated examples (Table 2/3; use --scale to shrink):";
+  List.iter
+    (fun name ->
+      let p = W.preset name in
+      Printf.printf "  %-8s %5d tasks\n" name p.W.n_tasks)
+    W.preset_names;
+  print_endline "Hand-built examples: figure2, figure4, multirate";
+  print_endline "Table 1 circuits:";
+  List.iter
+    (fun (c : Ex.table1_circuit) -> Printf.printf "  %-8s %3d PFUs\n" c.circuit_name c.pfus)
+    Ex.table1_circuits;
+  0
+
+let synth_cmd =
+  let doc = "co-synthesize an architecture for a workload" in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const synth_run $ name_arg $ scale_arg $ reconfig_arg)
+
+let ft_cmd =
+  let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
+  Cmd.v (Cmd.info "ft" ~doc)
+    Term.(const ft_run $ name_arg $ scale_arg $ reconfig_arg)
+
+let delay_cmd =
+  let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in
+  let circuit =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc:"Circuit name.")
+  in
+  Cmd.v (Cmd.info "delay" ~doc) Term.(const delay_run $ circuit)
+
+let report_run name scale fmt_kind =
+  match spec_of_name name scale with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (spec, lib) -> (
+      match C.synthesize spec lib with
+      | Error msg ->
+          prerr_endline msg;
+          1
+      | Ok r ->
+          (match fmt_kind with
+          | "dot" ->
+              print_string
+                (Crusade_alloc.Export.to_dot ~title:name r.C.clustering
+                   ~t_arch:r.C.arch)
+          | "gantt" ->
+              print_string
+                (Crusade_sched.Gantt.render spec r.C.clustering r.C.arch r.C.schedule)
+          | "program" ->
+              List.iter
+                (Format.printf "%a@." Crusade_reconfig.Program.pp)
+                (Crusade_reconfig.Program.extract spec r.C.clustering r.C.arch
+                   r.C.schedule)
+          | "inventory" -> print_string (Crusade_alloc.Export.inventory r.C.arch)
+          | other -> Printf.eprintf "unknown format %s\n" other);
+          0)
+
+let upgrade_run () =
+  let lib = Crusade_resource.Library.small () in
+  let spec, upgrade_graphs = Ex.upgrade_scenario lib in
+  match Crusade.Upgrade.analyze spec lib ~upgrade_graphs with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok { Crusade.Upgrade.base; verdict } -> (
+      Format.printf "deployed: %a@." C.pp_report base;
+      match verdict with
+      | Crusade.Upgrade.Reprogramming_only { added_images; _ } ->
+          Format.printf "upgrade ships as %d configuration image(s)@." added_images;
+          0
+      | Crusade.Upgrade.Needs_hardware { added_pes; added_cost; _ } ->
+          Format.printf "upgrade needs %d new PE(s), +$%.0f@." added_pes added_cost;
+          0
+      | Crusade.Upgrade.Infeasible msg ->
+          Format.printf "upgrade infeasible: %s@." msg;
+          2)
+
+let report_cmd =
+  let doc = "synthesize and export (dot | gantt | program | inventory)" in
+  let fmt_arg =
+    Arg.(value & opt string "inventory" & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output format.")
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const report_run $ name_arg $ scale_arg $ fmt_arg)
+
+let upgrade_cmd =
+  let doc = "run the field-upgrade analysis on the built-in scenario" in
+  Cmd.v (Cmd.info "upgrade" ~doc) Term.(const upgrade_run $ const ())
+
+let list_cmd =
+  let doc = "list available workloads and circuits" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_run $ const ())
+
+let main =
+  let doc = "hardware/software co-synthesis of dynamically reconfigurable systems" in
+  Cmd.group (Cmd.info "crusade" ~version:"1.0.0" ~doc)
+    [ synth_cmd; ft_cmd; delay_cmd; report_cmd; upgrade_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/field_upgrade.ml: Array Crusade Crusade_resource Crusade_taskgraph Crusade_workloads Format List String

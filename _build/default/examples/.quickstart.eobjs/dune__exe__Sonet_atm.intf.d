@@ -1,0 +1,1 @@
+examples/sonet_atm.mli:

@@ -1,0 +1,1 @@
+examples/video_router.ml: Array Crusade Crusade_resource Crusade_taskgraph Crusade_workloads Format Sys

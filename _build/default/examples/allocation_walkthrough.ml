@@ -1,0 +1,40 @@
+(* The Section 4.2 / Fig. 4 allocation walk-through.
+
+   Four clusters: a software pipeline C0 and hardware blocks C1, C2, C3.
+   C1 and C2 occupy disjoint time slots (compatible); C3 overlaps C1.
+   CRUSADE should place C0 on a CPU, C1 on an FPGA, C2 in a *new mode* of
+   the same FPGA (they time-share), and C3 in C1's mode (they must be
+   resident together).  Expected architecture: one CPU, one FPGA with two
+   configuration images — the paper's Fig. 4(e).
+
+     dune exec examples/allocation_walkthrough.exe *)
+
+module C = Crusade.Crusade_core
+module Arch = Crusade_alloc.Arch
+module Pe = Crusade_resource.Pe
+
+let () =
+  let lib = Crusade_resource.Library.small () in
+  let spec = Crusade_workloads.Examples.figure4 lib in
+  match C.synthesize spec lib with
+  | Error msg ->
+      Format.printf "synthesis failed: %s@." msg;
+      exit 1
+  | Ok r ->
+      Format.printf "%a@.@." C.pp_report r;
+      Format.printf "Cluster placements:@.";
+      Crusade_util.Vec.iter
+        (fun (pe : Arch.pe_inst) ->
+          List.iter
+            (fun (m : Arch.mode) ->
+              if m.Arch.m_clusters <> [] then
+                Format.printf "  %s (PE %d) mode %d: clusters %s@."
+                  pe.Arch.ptype.Pe.name pe.Arch.p_id m.Arch.m_id
+                  (String.concat ", "
+                     (List.map string_of_int m.Arch.m_clusters)))
+            pe.Arch.modes)
+        r.C.arch.Arch.pes;
+      let switches =
+        Array.fold_left ( + ) 0 r.C.schedule.Crusade_sched.Schedule.mode_switches
+      in
+      Format.printf "Reconfigurations per hyperperiod: %d@." switches

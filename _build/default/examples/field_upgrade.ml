@@ -1,0 +1,43 @@
+(* Field-upgrade analysis (Section 3, motivation 2).
+
+   A deployed line card (framer + policer on FPGAs, a software monitor)
+   receives a feature release: an encryption offload and an extra traffic
+   class.  Because the new functions occupy time slots the deployed
+   devices leave idle, CRUSADE can deliver the upgrade as configuration
+   images alone — no hardware change, no product recall.
+
+     dune exec examples/field_upgrade.exe *)
+
+module C = Crusade.Crusade_core
+module U = Crusade.Upgrade
+
+let () =
+  let lib = Crusade_resource.Library.small () in
+  let spec, upgrade_graphs = Crusade_workloads.Examples.upgrade_scenario lib in
+  Format.printf "Initial release: graphs %s; feature release: graphs %s@.@."
+    (String.concat ", "
+       (Array.to_list spec.Crusade_taskgraph.Spec.graphs
+       |> List.filter_map (fun (g : Crusade_taskgraph.Graph.t) ->
+              if List.mem g.id upgrade_graphs then None else Some g.name)))
+    (String.concat ", "
+       (List.map
+          (fun g -> spec.Crusade_taskgraph.Spec.graphs.(g).Crusade_taskgraph.Graph.name)
+          upgrade_graphs));
+  match U.analyze spec lib ~upgrade_graphs with
+  | Error msg ->
+      Format.printf "analysis failed: %s@." msg;
+      exit 1
+  | Ok { base; verdict } -> (
+      Format.printf "--- deployed architecture ---@.%a@.@." C.pp_report base;
+      match verdict with
+      | U.Reprogramming_only { result; added_images } ->
+          Format.printf "--- after the feature release ---@.%a@.@." C.pp_report result;
+          Format.printf
+            "VERDICT: upgrade ships as %d new configuration image(s) — pure@."
+            added_images;
+          Format.printf "reprogramming, no hardware change.@."
+      | U.Needs_hardware { result; added_pes; added_cost } ->
+          Format.printf "--- after the feature release ---@.%a@.@." C.pp_report result;
+          Format.printf "VERDICT: upgrade needs %d new PE(s), +$%.0f.@." added_pes
+            added_cost
+      | U.Infeasible msg -> Format.printf "VERDICT: upgrade infeasible (%s).@." msg)

@@ -1,0 +1,1 @@
+lib/alloc/arch.ml: Array Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Format Hashtbl List Option Printf

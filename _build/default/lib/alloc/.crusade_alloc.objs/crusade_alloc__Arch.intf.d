@@ -1,0 +1,1 @@
+lib/alloc/arch.mli: Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Format Hashtbl

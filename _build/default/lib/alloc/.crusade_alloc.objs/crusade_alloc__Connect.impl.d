@@ -1,0 +1,1 @@
+lib/alloc/connect.ml: Arch Array Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util List

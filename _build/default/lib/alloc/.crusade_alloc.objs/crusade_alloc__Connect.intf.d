@@ -1,0 +1,1 @@
+lib/alloc/connect.mli: Arch Crusade_cluster Crusade_taskgraph

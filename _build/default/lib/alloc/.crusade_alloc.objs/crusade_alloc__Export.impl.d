@@ -1,0 +1,1 @@
+lib/alloc/export.ml: Arch Buffer Crusade_cluster Crusade_resource Crusade_util List Printf String

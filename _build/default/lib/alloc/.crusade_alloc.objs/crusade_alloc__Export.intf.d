@@ -1,0 +1,1 @@
+lib/alloc/export.mli: Arch Crusade_cluster

@@ -1,0 +1,1 @@
+lib/alloc/options.ml: Arch Array Connect Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util List

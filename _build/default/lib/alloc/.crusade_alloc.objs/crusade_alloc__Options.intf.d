@@ -1,0 +1,1 @@
+lib/alloc/options.mli: Arch Crusade_cluster Crusade_taskgraph

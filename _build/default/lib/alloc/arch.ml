@@ -1,0 +1,264 @@
+module Pe = Crusade_resource.Pe
+module Link = Crusade_resource.Link
+module Library = Crusade_resource.Library
+module Caps = Crusade_resource.Caps
+module Clustering = Crusade_cluster.Clustering
+module Vec = Crusade_util.Vec
+
+type mode = {
+  m_id : int;
+  mutable m_clusters : int list;
+  mutable m_gates : int;
+  mutable m_pins : int;
+}
+
+type pe_inst = {
+  p_id : int;
+  ptype : Pe.t;
+  mutable modes : mode list;
+  mutable used_memory : int;
+  mutable boot_full_us : int;
+}
+
+type link_inst = {
+  l_id : int;
+  ltype : Link.t;
+  mutable attached : int list;
+}
+
+type site = { s_pe : int; s_mode : int }
+
+type t = {
+  lib : Library.t;
+  pes : pe_inst Vec.t;
+  links : link_inst Vec.t;
+  sites : (int, site) Hashtbl.t;
+  mutable interface_cost : float option;
+}
+
+let prom_dollars_per_kbyte = 0.35
+
+(* Default programming interface assumed until interface synthesis runs:
+   8-bit parallel at 10 MHz, i.e. 80 configuration bits per microsecond.
+   Starting from the fastest interface lets the merge phase find every
+   timing-feasible sharing; interface synthesis then walks down to the
+   cheapest option that keeps the schedule feasible. *)
+let default_bits_per_us = 80
+
+let create lib =
+  { lib; pes = Vec.create (); links = Vec.create (); sites = Hashtbl.create 64; interface_cost = None }
+
+let copy t =
+  let copy_mode m =
+    { m_id = m.m_id; m_clusters = m.m_clusters; m_gates = m.m_gates; m_pins = m.m_pins }
+  in
+  let copy_pe p =
+    {
+      p_id = p.p_id;
+      ptype = p.ptype;
+      modes = List.map copy_mode p.modes;
+      used_memory = p.used_memory;
+      boot_full_us = p.boot_full_us;
+    }
+  in
+  let copy_link l = { l_id = l.l_id; ltype = l.ltype; attached = l.attached } in
+  {
+    lib = t.lib;
+    pes = Vec.map_copy copy_pe t.pes;
+    links = Vec.map_copy copy_link t.links;
+    sites = Hashtbl.copy t.sites;
+    interface_cost = t.interface_cost;
+  }
+
+let add_pe t (ptype : Pe.t) =
+  let boot_full_us =
+    match ptype.pe_class with
+    | Pe.Programmable info -> info.config_bits / default_bits_per_us
+    | Pe.General_purpose _ | Pe.Asic_pe _ -> 0
+  in
+  let pe =
+    {
+      p_id = Vec.length t.pes;
+      ptype;
+      modes = [ { m_id = 0; m_clusters = []; m_gates = 0; m_pins = 0 } ];
+      used_memory = 0;
+      boot_full_us;
+    }
+  in
+  Vec.push t.pes pe;
+  pe
+
+let add_mode _t pe =
+  if not (Pe.is_programmable pe.ptype) then
+    invalid_arg "Arch.add_mode: only programmable PEs have multiple modes";
+  let m_id = List.length pe.modes in
+  let mode = { m_id; m_clusters = []; m_gates = 0; m_pins = 0 } in
+  pe.modes <- pe.modes @ [ mode ];
+  mode
+
+let add_link t (ltype : Link.t) =
+  let link = { l_id = Vec.length t.links; ltype; attached = [] } in
+  Vec.push t.links link;
+  link
+
+let attach _t link pe =
+  if List.mem pe.p_id link.attached then Ok ()
+  else if List.length link.attached >= link.ltype.Link.max_ports then
+    Error (Printf.sprintf "link %s is full" link.ltype.Link.name)
+  else begin
+    link.attached <- pe.p_id :: link.attached;
+    Ok ()
+  end
+
+let site_of_cluster t cid = Hashtbl.find_opt t.sites cid
+
+let pe_of_cluster t cid =
+  match site_of_cluster t cid with
+  | Some site -> Some (Vec.get t.pes site.s_pe)
+  | None -> None
+
+let mode_of_site t site =
+  let pe = Vec.get t.pes site.s_pe in
+  List.nth pe.modes site.s_mode
+
+let resident_clusters pe = List.concat_map (fun m -> m.m_clusters) pe.modes
+
+(* Exclusion vectors forbid two tasks from sharing a PE, whatever the
+   mode. *)
+let exclusion_conflict t (spec : Crusade_taskgraph.Spec.t) (clustering : Clustering.t)
+    (cluster : Clustering.cluster) pe =
+  let on_this_pe task_id =
+    match site_of_cluster t clustering.of_task.(task_id) with
+    | Some site -> site.s_pe = pe.p_id
+    | None -> false
+  in
+  List.exists
+    (fun member ->
+      let task = Crusade_taskgraph.Spec.task spec member in
+      List.exists on_this_pe task.Crusade_taskgraph.Task.exclusion)
+    cluster.members
+
+let place_cluster t spec (clustering : Clustering.t) (cluster : Clustering.cluster) ~pe
+    ~mode =
+  if Hashtbl.mem t.sites cluster.cid then Error "cluster already placed"
+  else if cluster.feasible_mask land (1 lsl pe.ptype.Pe.id) = 0 then
+    Error "cluster cannot execute on this PE type"
+  else if exclusion_conflict t spec clustering cluster pe then
+    Error "exclusion vector conflict"
+  else begin
+    let capacity_ok =
+      match pe.ptype.Pe.pe_class with
+      | Pe.General_purpose cpu ->
+          pe.used_memory + cluster.memory_bytes
+          <= cpu.memory_bank_bytes * cpu.max_memory_banks
+      | Pe.Asic_pe a ->
+          mode.m_gates + cluster.gates <= a.gates && mode.m_pins + cluster.pins <= a.pins
+      | Pe.Programmable _ ->
+          mode.m_gates + cluster.gates <= Caps.usable_pfus pe.ptype
+          && mode.m_pins + cluster.pins <= Caps.usable_pins pe.ptype
+    in
+    if not capacity_ok then Error "insufficient capacity"
+    else begin
+      mode.m_clusters <- cluster.cid :: mode.m_clusters;
+      mode.m_gates <- mode.m_gates + cluster.gates;
+      mode.m_pins <- mode.m_pins + cluster.pins;
+      pe.used_memory <- pe.used_memory + cluster.memory_bytes;
+      Hashtbl.replace t.sites cluster.cid { s_pe = pe.p_id; s_mode = mode.m_id };
+      Ok ()
+    end
+  end
+
+let unplace_cluster t (clustering : Clustering.t) (cluster : Clustering.cluster) =
+  match Hashtbl.find_opt t.sites cluster.cid with
+  | None -> ()
+  | Some site ->
+      let pe = Vec.get t.pes site.s_pe in
+      let mode = List.nth pe.modes site.s_mode in
+      mode.m_clusters <- List.filter (fun cid -> cid <> cluster.cid) mode.m_clusters;
+      mode.m_gates <- mode.m_gates - cluster.gates;
+      mode.m_pins <- mode.m_pins - cluster.pins;
+      pe.used_memory <- pe.used_memory - cluster.memory_bytes;
+      ignore clustering;
+      Hashtbl.remove t.sites cluster.cid
+
+let detach_unused t =
+  let hosting = Hashtbl.create 16 in
+  Vec.iter
+    (fun pe ->
+      if List.exists (fun m -> m.m_clusters <> []) pe.modes then
+        Hashtbl.replace hosting pe.p_id ())
+    t.pes;
+  Vec.iter
+    (fun (l : link_inst) ->
+      l.attached <- List.filter (fun pe_id -> Hashtbl.mem hosting pe_id) l.attached)
+    t.links
+
+let memory_banks pe =
+  match pe.ptype.Pe.pe_class with
+  | Pe.General_purpose cpu ->
+      if pe.used_memory = 0 then 1
+      else Crusade_util.Arith.ceil_div pe.used_memory cpu.memory_bank_bytes
+  | Pe.Asic_pe _ | Pe.Programmable _ -> 0
+
+let n_images pe =
+  List.length (List.filter (fun m -> m.m_clusters <> []) pe.modes)
+
+let mode_boot_us pe mode =
+  match pe.ptype.Pe.pe_class with
+  | Pe.Programmable info when info.partially_reconfigurable ->
+      let fraction =
+        max 0.1 (float_of_int mode.m_gates /. float_of_int (max 1 info.pfus))
+      in
+      int_of_float (fraction *. float_of_int pe.boot_full_us)
+  | Pe.Programmable _ -> pe.boot_full_us
+  | Pe.General_purpose _ | Pe.Asic_pe _ -> 0
+
+let cost t =
+  let pe_cost acc pe =
+    if resident_clusters pe = [] then acc
+    else begin
+      let base = pe.ptype.Pe.cost in
+      let memory =
+        match pe.ptype.Pe.pe_class with
+        | Pe.General_purpose cpu -> float_of_int (memory_banks pe) *. cpu.memory_bank_cost
+        | Pe.Asic_pe _ | Pe.Programmable _ -> 0.0
+      in
+      let prom =
+        (* Once interface synthesis has run, storage is in interface_cost. *)
+        match (t.interface_cost, pe.ptype.Pe.pe_class) with
+        | None, Pe.Programmable info ->
+            float_of_int (n_images pe * info.boot_memory_bytes)
+            /. 1024.0 *. prom_dollars_per_kbyte
+        | Some _, _ | _, (Pe.General_purpose _ | Pe.Asic_pe _) -> 0.0
+      in
+      acc +. base +. memory +. prom
+    end
+  in
+  let link_cost acc (link : link_inst) =
+    if List.length link.attached < 2 then acc
+    else
+      acc +. link.ltype.Link.cost
+      +. (float_of_int (List.length link.attached) *. link.ltype.Link.port_cost)
+  in
+  Vec.fold pe_cost 0.0 t.pes +. Vec.fold link_cost 0.0 t.links
+  +. Option.value ~default:0.0 t.interface_cost
+
+let links_between t pe_a pe_b =
+  List.filter
+    (fun (l : link_inst) -> List.mem pe_a l.attached && List.mem pe_b l.attached)
+    (Vec.to_list t.links)
+
+let n_pes t =
+  Vec.fold (fun acc pe -> if resident_clusters pe = [] then acc else acc + 1) 0 t.pes
+
+let n_links t =
+  Vec.fold
+    (fun acc (l : link_inst) -> if List.length l.attached >= 2 then acc + 1 else acc)
+    0 t.links
+
+let task_site t (clustering : Clustering.t) task_id =
+  site_of_cluster t clustering.of_task.(task_id)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "architecture: %d PEs, %d links, cost $%.0f" (n_pes t) (n_links t)
+    (cost t)

@@ -1,0 +1,121 @@
+(** The evolving hardware/software architecture: PE instances (each
+    programmable PE possibly carrying several configuration modes),
+    link instances, and the cluster placement map.
+
+    There is no fixed architectural template (Section 2.2): PEs and links
+    are instantiated on demand by the allocation step, and PPE instances
+    acquire additional modes when compatible (non-overlapping) clusters
+    time-share them through dynamic reconfiguration. *)
+
+type mode = {
+  m_id : int;
+  mutable m_clusters : int list;  (** cluster ids resident in this mode *)
+  mutable m_gates : int;  (** PFUs/gates used by the resident clusters *)
+  mutable m_pins : int;
+}
+
+type pe_inst = {
+  p_id : int;
+  ptype : Crusade_resource.Pe.t;
+  mutable modes : mode list;  (** non-programmable PEs have exactly one *)
+  mutable used_memory : int;  (** CPU: bytes of DRAM consumed *)
+  mutable boot_full_us : int;
+      (** time to reprogram the whole device with the current programming
+          interface (PPE only; see {!Interface} in [crusade_reconfig]) *)
+}
+
+type link_inst = {
+  l_id : int;
+  ltype : Crusade_resource.Link.t;
+  mutable attached : int list;  (** PE ids on this link (its ports) *)
+}
+
+type site = { s_pe : int; s_mode : int }
+(** Where a cluster lives: PE instance id and mode id on that PE. *)
+
+type t = {
+  lib : Crusade_resource.Library.t;
+  pes : pe_inst Crusade_util.Vec.t;
+  links : link_inst Crusade_util.Vec.t;
+  sites : (int, site) Hashtbl.t;  (** cluster id -> placement *)
+  mutable interface_cost : float option;
+      (** reconfiguration-controller + image-storage cost once interface
+          synthesis has run; [None] until then, in which case {!cost}
+          uses a per-image PROM estimate *)
+}
+
+val create : Crusade_resource.Library.t -> t
+
+val copy : t -> t
+(** Deep copy; the allocation inner loop copies, mutates and either
+    commits or discards. *)
+
+val add_pe : t -> Crusade_resource.Pe.t -> pe_inst
+(** Instantiates a PE with one (empty) mode. *)
+
+val add_mode : t -> pe_inst -> mode
+(** Adds a configuration mode to a programmable PE.
+    @raise Invalid_argument on non-programmable PEs. *)
+
+val add_link : t -> Crusade_resource.Link.t -> link_inst
+
+val attach : t -> link_inst -> pe_inst -> (unit, string) result
+(** Connects a PE to a link, consuming one port.  Idempotent per pair. *)
+
+val place_cluster :
+  t ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_cluster.Clustering.cluster ->
+  pe:pe_inst ->
+  mode:mode ->
+  (unit, string) result
+(** Places a cluster, enforcing execution feasibility of every member on
+    the PE type, capacity (CPU memory; ASIC gates/pins; PPE ERUF/EPUF
+    caps per mode) and the exclusion vectors against co-resident tasks. *)
+
+val unplace_cluster :
+  t -> Crusade_cluster.Clustering.t -> Crusade_cluster.Clustering.cluster -> unit
+(** Removes a placed cluster from its site (mode occupancy, CPU memory
+    and the placement map); no-op when the cluster is unplaced.  Used by
+    the merge exploration of dynamic-reconfiguration generation. *)
+
+val detach_unused : t -> unit
+(** Drops link ports of PEs that no longer host any cluster, so merged
+    architectures stop paying for dead connectivity. *)
+
+val site_of_cluster : t -> int -> site option
+
+val pe_of_cluster : t -> int -> pe_inst option
+
+val mode_of_site : t -> site -> mode
+
+val memory_banks : pe_inst -> int
+(** DRAM banks a CPU instance needs for its resident clusters. *)
+
+val n_images : pe_inst -> int
+(** Number of configuration images (modes actually holding clusters). *)
+
+val mode_boot_us : pe_inst -> mode -> int
+(** Time to switch the device to [mode]: full-device reprogramming time,
+    scaled down for partially reconfigurable devices by the fraction of
+    PFUs the mode actually uses. *)
+
+val cost : t -> float
+(** Total dollar cost: PEs + CPU DRAM banks + links and ports + boot
+    PROM storage for every configuration image + the reconfiguration
+    interface (estimate until interface synthesis runs). *)
+
+val prom_dollars_per_kbyte : float
+
+val links_between : t -> int -> int -> link_inst list
+(** Link instances to which both PEs are attached. *)
+
+val n_pes : t -> int
+val n_links : t -> int
+(** Counts of *used* PEs/links (with at least one cluster / two ports). *)
+
+val task_site : t -> Crusade_cluster.Clustering.t -> int -> site option
+(** Placement of a task via its cluster. *)
+
+val pp_summary : Format.formatter -> t -> unit

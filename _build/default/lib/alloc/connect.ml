@@ -1,0 +1,100 @@
+module Spec = Crusade_taskgraph.Spec
+module Edge = Crusade_taskgraph.Edge
+module Link = Crusade_resource.Link
+module Library = Crusade_resource.Library
+module Clustering = Crusade_cluster.Clustering
+module Vec = Crusade_util.Vec
+
+(* PEs a cluster must talk to: those hosting placed clusters joined to it
+   by an edge crossing PE boundaries. *)
+let peer_pes arch (spec : Spec.t) (clustering : Clustering.t)
+    (cluster : Clustering.cluster) my_pe =
+  let peers = ref [] in
+  let note task_id =
+    match Arch.task_site arch clustering task_id with
+    | Some site when site.Arch.s_pe <> my_pe ->
+        if not (List.mem site.Arch.s_pe !peers) then peers := site.Arch.s_pe :: !peers
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun member ->
+      List.iter (fun (e : Edge.t) -> note e.dst) spec.succs.(member);
+      List.iter (fun (e : Edge.t) -> note e.src) spec.preds.(member))
+    cluster.members;
+  !peers
+
+let connect_pair arch pe_a pe_b =
+  if Arch.links_between arch pe_a pe_b <> [] then Ok 0.0
+  else begin
+    let a = Vec.get arch.Arch.pes pe_a and b = Vec.get arch.Arch.pes pe_b in
+    (* Cheapest repair: add the missing port(s) to an existing bus/LAN
+       with free ports (this is how architectures end up with a few
+       shared buses instead of a point-to-point web); otherwise
+       instantiate a new link. *)
+    let extension =
+      Vec.fold
+        (fun best (l : Arch.link_inst) ->
+          let has_a = List.mem pe_a l.attached and has_b = List.mem pe_b l.attached in
+          let missing = (if has_a then 0 else 1) + (if has_b then 0 else 1) in
+          if List.length l.attached + missing > l.ltype.Link.max_ports then best
+          else begin
+            let cost = float_of_int missing *. l.ltype.Link.port_cost in
+            match best with
+            | Some (_, best_cost) when best_cost <= cost -> best
+            | _ -> Some (l, cost)
+          end)
+        None arch.Arch.links
+    in
+    match extension with
+    | Some (l, cost) ->
+        let attach_missing pe =
+          if List.mem pe.Arch.p_id l.Arch.attached then Ok ()
+          else Arch.attach arch l pe
+        in
+        (match (attach_missing a, attach_missing b) with
+        | Ok (), Ok () -> Ok cost
+        | Error msg, _ | _, Error msg -> Error msg)
+    | None ->
+        let cheapest =
+          (* Score amortizes the link cost over the PE pairs it can
+             eventually serve, so multi-drop buses beat point-to-point
+             links for anything that will grow. *)
+          let rec scan best i =
+            if i >= Library.n_link_types arch.Arch.lib then best
+            else begin
+              let lt = Library.link arch.Arch.lib i in
+              let cost = lt.Link.cost +. (2.0 *. lt.Link.port_cost) in
+              let score = cost /. float_of_int (max 1 (lt.Link.max_ports - 1)) in
+              let best =
+                match best with
+                | Some (_, best_score, _) when best_score <= score -> best
+                | _ -> Some (lt, score, cost)
+              in
+              scan best (i + 1)
+            end
+          in
+          match scan None 0 with Some (lt, _, cost) -> Some (lt, cost) | None -> None
+        in
+        (match cheapest with
+        | None -> Error "empty link library"
+        | Some (lt, cost) ->
+            let l = Arch.add_link arch lt in
+            (match (Arch.attach arch l a, Arch.attach arch l b) with
+            | Ok (), Ok () -> Ok cost
+            | Error msg, _ | _, Error msg -> Error msg))
+  end
+
+let ensure arch spec clustering (cluster : Clustering.cluster) =
+  match Arch.site_of_cluster arch cluster.cid with
+  | None -> Error "cluster is not placed"
+  | Some site ->
+      let peers = peer_pes arch spec clustering cluster site.Arch.s_pe in
+      List.fold_left
+        (fun acc peer ->
+          match acc with
+          | Error _ as e -> e
+          | Ok total -> (
+              match connect_pair arch site.Arch.s_pe peer with
+              | Ok cost -> Ok (total +. cost)
+              | Error _ as e -> e))
+        (Ok 0.0) peers

@@ -1,0 +1,17 @@
+(** Communication connectivity: after a cluster lands on a PE, every
+    inter-PE edge to an already-placed cluster needs a link joining the
+    two PEs.  Ports are added to existing links when possible (cheapest
+    port first); otherwise a new link instance of the cheapest type is
+    created.  Communication vectors are implicitly recomputed because the
+    scheduler reads port counts from the live architecture. *)
+
+val ensure :
+  Arch.t ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_cluster.Clustering.cluster ->
+  (float, string) result
+(** [ensure arch spec clustering cluster] connects the cluster's PE to
+    the PEs of all placed neighbouring clusters; returns the dollar cost
+    added, or an error when the link library cannot provide the
+    connectivity (all links full). *)

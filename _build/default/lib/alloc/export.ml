@@ -1,0 +1,92 @@
+module Pe = Crusade_resource.Pe
+module Link = Crusade_resource.Link
+module Caps = Crusade_resource.Caps
+module Clustering = Crusade_cluster.Clustering
+module Vec = Crusade_util.Vec
+
+let used (pe : Arch.pe_inst) =
+  List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes
+
+let to_dot ?(title = "architecture") (clustering : Clustering.t) ~t_arch:(arch : Arch.t)
+    =
+  ignore clustering;
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "graph %S {\n" title;
+  out "  graph [rankdir=LR, fontname=\"Helvetica\"];\n";
+  out "  node [shape=record, fontname=\"Helvetica\", fontsize=10];\n";
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if used pe then begin
+        let modes =
+          pe.Arch.modes
+          |> List.filter (fun (m : Arch.mode) -> m.Arch.m_clusters <> [])
+          |> List.map (fun (m : Arch.mode) ->
+                 Printf.sprintf "mode %d: C%s" m.Arch.m_id
+                   (String.concat ",C"
+                      (List.map string_of_int (List.rev m.Arch.m_clusters))))
+          |> String.concat "|"
+        in
+        let kind =
+          match pe.Arch.ptype.Pe.pe_class with
+          | Pe.General_purpose _ -> "CPU"
+          | Pe.Asic_pe _ -> "ASIC"
+          | Pe.Programmable { kind = Pe.Fpga; _ } -> "FPGA"
+          | Pe.Programmable { kind = Pe.Cpld; _ } -> "CPLD"
+        in
+        out "  pe%d [label=\"{%s %s (pe%d)|%s}\"];\n" pe.Arch.p_id kind
+          pe.Arch.ptype.Pe.name pe.Arch.p_id modes
+      end)
+    arch.Arch.pes;
+  Vec.iter
+    (fun (l : Arch.link_inst) ->
+      if List.length l.Arch.attached >= 2 then begin
+        out "  link%d [shape=ellipse, label=\"%s\"];\n" l.Arch.l_id l.ltype.Link.name;
+        List.iter
+          (fun pe_id -> out "  pe%d -- link%d;\n" pe_id l.Arch.l_id)
+          l.Arch.attached
+      end)
+    arch.Arch.links;
+  out "}\n";
+  Buffer.contents buf
+
+let inventory (arch : Arch.t) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if used pe then begin
+        match pe.Arch.ptype.Pe.pe_class with
+        | Pe.General_purpose cpu ->
+            out "pe%-3d %-14s CPU   %d DRAM bank(s), %d KB used\n" pe.Arch.p_id
+              pe.Arch.ptype.Pe.name (Arch.memory_banks pe) (pe.Arch.used_memory / 1024);
+            ignore cpu
+        | Pe.Asic_pe a ->
+            let mode = List.hd pe.Arch.modes in
+            out "pe%-3d %-14s ASIC  %d/%d area units, %d/%d pins\n" pe.Arch.p_id
+              pe.Arch.ptype.Pe.name mode.Arch.m_gates a.Pe.gates mode.Arch.m_pins
+              a.Pe.pins
+        | Pe.Programmable _ ->
+            let images = Arch.n_images pe in
+            let cap = Caps.usable_pfus pe.Arch.ptype in
+            List.iter
+              (fun (m : Arch.mode) ->
+                if m.Arch.m_clusters <> [] then
+                  out "pe%-3d %-14s %s image %d: %d/%d PFUs, %d pins (%d images total)\n"
+                    pe.Arch.p_id pe.Arch.ptype.Pe.name
+                    (match pe.Arch.ptype.Pe.pe_class with
+                    | Pe.Programmable { kind = Pe.Cpld; _ } -> "CPLD"
+                    | _ -> "FPGA")
+                    m.Arch.m_id m.Arch.m_gates cap m.Arch.m_pins images)
+              pe.Arch.modes
+      end)
+    arch.Arch.pes;
+  Vec.iter
+    (fun (l : Arch.link_inst) ->
+      if List.length l.Arch.attached >= 2 then
+        out "link%-2d %-12s %d port(s): %s\n" l.Arch.l_id l.ltype.Link.name
+          (List.length l.Arch.attached)
+          (String.concat ", "
+             (List.map (Printf.sprintf "pe%d") (List.rev l.Arch.attached))))
+    arch.Arch.links;
+  Buffer.contents buf

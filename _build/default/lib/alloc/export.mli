@@ -1,0 +1,17 @@
+(** Architecture export: Graphviz DOT and a plain-text inventory.
+
+    The DOT graph draws PEs as boxes (programmable PEs list their
+    configuration modes and resident clusters) connected through their
+    shared links, which is the usual way the co-synthesis literature
+    draws derived architectures (cf. the paper's Fig. 4). *)
+
+val to_dot :
+  ?title:string ->
+  Crusade_cluster.Clustering.t ->
+  t_arch:Arch.t ->
+  string
+(** Graphviz source for the architecture. *)
+
+val inventory : Arch.t -> string
+(** Multi-line text inventory: one line per used PE (type, modes,
+    utilization) and per link (type, ports). *)

@@ -1,0 +1,46 @@
+(** The allocation array (Sections 4.2 / 5): the candidate allocations
+    for one cluster at the current point of co-synthesis, ordered by
+    increasing incremental dollar cost.
+
+    For programmable devices the array carries multiple *versions* of
+    each device — one per configuration mode — plus a fresh-mode version
+    when dynamic reconfiguration is enabled, so that a non-overlapping
+    cluster can time-share the device instead of forcing a new one. *)
+
+type kind =
+  | Existing_site of Arch.site  (** reuse capacity on an allocated PE *)
+  | New_mode of int  (** new configuration mode on PPE instance [pe_id] *)
+  | New_pe of int  (** instantiate PE type [pe_type] *)
+
+type t = {
+  kind : kind;
+  delta_cost : float;  (** estimated incremental dollar cost *)
+  affinity : int;  (** placed neighbour clusters on the target PE *)
+}
+
+val enumerate :
+  Arch.t ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_cluster.Clustering.cluster ->
+  allow_new_modes:bool ->
+  ?max_existing:int ->
+  ?max_new_pe:int ->
+  unit ->
+  t list
+(** Candidates ordered by (delta cost, communication affinity desc).
+    Existing sites are pre-filtered for capacity and execution
+    feasibility; at most [max_existing] (default 8) existing sites and
+    [max_new_pe] (default 16) new-PE types are returned to bound the
+    inner-loop evaluations. *)
+
+val apply :
+  Arch.t ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_cluster.Clustering.cluster ->
+  t ->
+  (unit, string) result
+(** Materializes the option on (a copy of) the architecture: creates the
+    PE/mode if needed, places the cluster and ensures link connectivity
+    to its placed neighbours. *)

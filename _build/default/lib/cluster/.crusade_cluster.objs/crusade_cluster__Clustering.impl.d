@@ -1,0 +1,1 @@
+lib/cluster/clustering.ml: Array Crusade_resource Crusade_taskgraph List Priority

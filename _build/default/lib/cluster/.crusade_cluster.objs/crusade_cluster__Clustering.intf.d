@@ -1,0 +1,1 @@
+lib/cluster/clustering.mli: Crusade_resource Crusade_taskgraph

@@ -1,0 +1,1 @@
+lib/cluster/priority.ml: Array Crusade_resource Crusade_taskgraph List

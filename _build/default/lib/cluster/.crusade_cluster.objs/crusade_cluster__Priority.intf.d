@@ -1,0 +1,1 @@
+lib/cluster/priority.mli: Crusade_resource Crusade_taskgraph

@@ -1,0 +1,147 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Library = Crusade_resource.Library
+module Pe = Crusade_resource.Pe
+module Caps = Crusade_resource.Caps
+
+type cluster = {
+  cid : int;
+  graph : int;
+  members : int list;
+  feasible_mask : int;
+  gates : int;
+  pins : int;
+  memory_bytes : int;
+}
+
+type t = { clusters : cluster array; of_task : int array }
+
+let task_mask lib (task : Task.t) =
+  let mask = ref 0 in
+  for p = 0 to Library.n_pe_types lib - 1 do
+    if Task.can_run_on task p then mask := !mask lor (1 lsl p)
+  done;
+  !mask
+
+let feasibility_mask lib ~gates ~pins ~memory_bytes ~task_mask =
+  let mask = ref 0 in
+  for p = 0 to Library.n_pe_types lib - 1 do
+    if task_mask land (1 lsl p) <> 0 then begin
+      let pe = Library.pe lib p in
+      let fits =
+        match pe.Pe.pe_class with
+        | Pe.General_purpose cpu ->
+            memory_bytes <= cpu.memory_bank_bytes * cpu.max_memory_banks
+        | Pe.Asic_pe a -> gates <= a.gates && pins <= a.pins
+        | Pe.Programmable _ ->
+            gates <= Caps.usable_pfus pe && pins <= Caps.usable_pins pe
+      in
+      if fits then mask := !mask lor (1 lsl p)
+    end
+  done;
+  !mask
+
+let aggregate lib (spec : Spec.t) members =
+  let gates = List.fold_left (fun acc id -> acc + (Spec.task spec id).Task.gates) 0 members in
+  let pins = List.fold_left (fun acc id -> acc + (Spec.task spec id).Task.pins) 0 members in
+  let memory_bytes =
+    List.fold_left
+      (fun acc id -> acc + Task.total_bytes (Spec.task spec id).Task.memory)
+      0 members
+  in
+  let task_masks =
+    List.fold_left (fun acc id -> acc land task_mask lib (Spec.task spec id)) (-1) members
+  in
+  let mask = feasibility_mask lib ~gates ~pins ~memory_bytes ~task_mask:task_masks in
+  (gates, pins, memory_bytes, mask)
+
+let make_cluster lib spec ~cid ~graph members =
+  let gates, pins, memory_bytes, mask = aggregate lib spec members in
+  { cid; graph; members; feasible_mask = mask; gates; pins; memory_bytes }
+
+let singletons (spec : Spec.t) lib =
+  let n = Spec.n_tasks spec in
+  let clusters =
+    Array.init n (fun i ->
+        let task = Spec.task spec i in
+        make_cluster lib spec ~cid:i ~graph:task.Task.graph [ i ])
+  in
+  { clusters; of_task = Array.init n (fun i -> i) }
+
+(* Can [candidate] join the cluster currently holding [members]?  The
+   grown cluster must retain a feasible PE type, stay within the size cap
+   and introduce no exclusion conflict. *)
+let can_join lib (spec : Spec.t) ~max_cluster_size members candidate =
+  if List.length members >= max_cluster_size then false
+  else begin
+    let cand = Spec.task spec candidate in
+    let no_exclusion =
+      List.for_all (fun id -> not (Task.excludes (Spec.task spec id) cand)) members
+    in
+    if not no_exclusion then false
+    else begin
+      let _, _, _, mask = aggregate lib spec (candidate :: members) in
+      mask <> 0
+    end
+  end
+
+let run ?(max_cluster_size = 8) (spec : Spec.t) lib =
+  let n = Spec.n_tasks spec in
+  let of_task = Array.make n (-1) in
+  let clusters = ref [] and next_cid = ref 0 in
+  let exec_time = Priority.unallocated_exec in
+  (* Intra-cluster edges communicate in zero time once clustered. *)
+  let comm_time (e : Edge.t) =
+    if of_task.(e.src) >= 0 && of_task.(e.src) = of_task.(e.dst) then 0
+    else Priority.unallocated_comm lib e
+  in
+  let levels = ref (Priority.compute spec ~exec_time ~comm_time) in
+  let unclustered_best () =
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if of_task.(i) < 0 && (!best < 0 || !levels.(i) > !levels.(!best)) then best := i
+    done;
+    !best
+  in
+  let rec grow members head =
+    (* Extend along the highest-priority unclustered successor. *)
+    let candidates =
+      List.filter_map
+        (fun (e : Edge.t) -> if of_task.(e.dst) < 0 then Some e.dst else None)
+        spec.succs.(head)
+    in
+    let viable = List.filter (can_join lib spec ~max_cluster_size members) candidates in
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some c
+          | Some b -> if !levels.(c) > !levels.(b) then Some c else acc)
+        None viable
+    in
+    match best with
+    | None -> List.rev members
+    | Some c -> grow (c :: members) c
+  in
+  let rec loop () =
+    let seed = unclustered_best () in
+    if seed >= 0 then begin
+      let members = grow [ seed ] seed in
+      let cid = !next_cid in
+      incr next_cid;
+      List.iter (fun id -> of_task.(id) <- cid) members;
+      let graph = (Spec.task spec seed).Task.graph in
+      clusters := make_cluster lib spec ~cid ~graph members :: !clusters;
+      (* The longest path changed: recompute levels (Section 5). *)
+      levels := Priority.compute spec ~exec_time ~comm_time;
+      loop ()
+    end
+  in
+  loop ();
+  { clusters = Array.of_list (List.rev !clusters); of_task }
+
+let cluster_priority t task_levels cid =
+  List.fold_left
+    (fun acc id -> max acc task_levels.(id))
+    min_int t.clusters.(cid).members

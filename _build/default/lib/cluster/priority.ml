@@ -1,0 +1,49 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Graph = Crusade_taskgraph.Graph
+
+(* Longest path to a deadline, computed in one reverse-topological sweep
+   per graph.  pi(t) = exec(t) + max over outgoing edges of
+   (comm(e) + pi(dst)), with the deadline subtracted at every task that
+   carries one (sinks inherit the graph deadline). *)
+let compute (spec : Spec.t) ~exec_time ~comm_time =
+  let n = Spec.n_tasks spec in
+  let levels = Array.make n min_int in
+  let process (g : Graph.t) =
+    let order = List.rev (Graph.topological_order g) in
+    let compute_level (task : Task.t) =
+      let own = exec_time task in
+      let downstream =
+        List.fold_left
+          (fun acc (e : Edge.t) ->
+            max acc (comm_time e + levels.(e.dst)))
+          min_int spec.succs.(task.id)
+      in
+      let base = if downstream = min_int then own else own + downstream in
+      (* A task with a deadline contributes (own path - deadline); a task
+         that both has a deadline and successors takes the worse of the
+         two obligations. *)
+      match task.deadline with
+      | Some d -> max (own - d) base
+      | None ->
+          if spec.succs.(task.id) = [] then own - Graph.task_deadline g task else base
+    in
+    List.iter (fun task -> levels.(task.Task.id) <- compute_level task) order
+  in
+  Array.iter process spec.graphs;
+  levels
+
+let unallocated_exec (task : Task.t) = Task.max_exec task
+
+let unallocated_comm lib (e : Edge.t) =
+  let worst = ref 0 in
+  for link_type = 0 to Crusade_resource.Library.n_link_types lib - 1 do
+    let link = Crusade_resource.Library.link lib link_type in
+    let time =
+      Crusade_resource.Link.comm_time link ~ports:Crusade_resource.Link.average_ports
+        ~bytes:e.bytes
+    in
+    worst := max !worst time
+  done;
+  !worst

@@ -1,0 +1,30 @@
+(** Deadline-based priority levels (Section 5, after COSYN).
+
+    The priority level of a task is the length of the longest path from
+    the task to a task with a specified deadline, in computation and
+    communication cost, minus that deadline: tasks on tight long paths get
+    high levels and are clustered/allocated first.  Levels are recomputed
+    after each allocation and clustering step by passing time providers
+    reflecting the current architecture. *)
+
+val compute :
+  Crusade_taskgraph.Spec.t ->
+  exec_time:(Crusade_taskgraph.Task.t -> int) ->
+  comm_time:(Crusade_taskgraph.Edge.t -> int) ->
+  int array
+(** [compute spec ~exec_time ~comm_time] returns the priority level of
+    every task, indexed by global task id.
+
+    [exec_time] should give the worst execution time still possible for
+    the task (its allocated time once allocated, the maximum over feasible
+    PE types before), and [comm_time] the matching communication time
+    (zero for intra-cluster or intra-PE edges). *)
+
+val unallocated_exec : Crusade_taskgraph.Task.t -> int
+(** Time provider for the pre-allocation phase: worst feasible execution
+    time over the PE library. *)
+
+val unallocated_comm :
+  Crusade_resource.Library.t -> Crusade_taskgraph.Edge.t -> int
+(** Worst communication time over the link library at the average port
+    count. *)

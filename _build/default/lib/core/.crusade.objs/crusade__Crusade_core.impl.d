@@ -1,0 +1,1 @@
+lib/core/crusade_core.ml: Array Crusade_alloc Crusade_cluster Crusade_reconfig Crusade_resource Crusade_sched Crusade_taskgraph Crusade_util Format Hashtbl List Option Printf Sys

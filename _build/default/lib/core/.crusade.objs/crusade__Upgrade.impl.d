@@ -1,0 +1,1 @@
+lib/core/upgrade.ml: Crusade_core Crusade_sched List Printf

@@ -1,0 +1,1 @@
+lib/core/upgrade.mli: Crusade_core Crusade_resource Crusade_taskgraph

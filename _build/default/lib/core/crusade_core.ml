@@ -1,0 +1,351 @@
+module Spec = Crusade_taskgraph.Spec
+module Pe = Crusade_resource.Pe
+module Library = Crusade_resource.Library
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Options = Crusade_alloc.Options
+module Schedule = Crusade_sched.Schedule
+module Merge = Crusade_reconfig.Merge
+module Interface = Crusade_reconfig.Interface
+module Vec = Crusade_util.Vec
+
+type options = {
+  dynamic_reconfiguration : bool;
+  copy_cap : int;
+  max_cluster_size : int;
+  use_clustering : bool;
+  eval_window : int;
+  merge_trials_per_pass : int;
+  allow_new_pes : bool;
+}
+
+let default_options =
+  {
+    dynamic_reconfiguration = true;
+    copy_cap = Schedule.default_copy_cap;
+    max_cluster_size = 8;
+    use_clustering = true;
+    eval_window = 24;
+    merge_trials_per_pass = 400;
+    allow_new_pes = true;
+  }
+
+type result = {
+  spec : Spec.t;
+  arch : Arch.t;
+  clustering : Clustering.t;
+  schedule : Schedule.t;
+  cost : float;
+  n_pes : int;
+  n_links : int;
+  n_modes : int;
+  deadlines_met : bool;
+  cpu_seconds : float;
+  merge_stats : Merge.stats option;
+  chosen_interface : Interface.option_t option;
+}
+
+let n_modes arch =
+  Vec.fold
+    (fun acc (pe : Arch.pe_inst) ->
+      if Pe.is_programmable pe.Arch.ptype then acc + Arch.n_images pe else acc)
+    0 arch.Arch.pes
+
+(* Allocate one cluster: evaluate the allocation array in increasing-cost
+   order; commit the first allocation whose schedule meets all deadlines,
+   falling back to the least-tardy evaluated option. *)
+let allocate_cluster ~opts spec clustering arch cluster =
+  let candidates =
+    Options.enumerate arch spec clustering cluster
+      ~allow_new_modes:opts.dynamic_reconfiguration
+      ~max_new_pe:(if opts.allow_new_pes then 16 else 0)
+      ()
+  in
+  if candidates = [] then
+    Error
+      (Printf.sprintf "cluster %d (graph %d) fits no PE type" cluster.Clustering.cid
+         cluster.Clustering.graph)
+  else begin
+    let debug = Sys.getenv_opt "CRUSADE_DEBUG" <> None in
+    let best_fallback = ref None in
+    let rec evaluate tried = function
+      | [] -> (
+          match !best_fallback with
+          | Some (score, trial) ->
+              if debug then
+                Printf.eprintf
+                  "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
+                  cluster.Clustering.cid cluster.Clustering.graph (fst score) tried;
+              Ok trial
+          | None ->
+              Error
+                (Printf.sprintf "no applicable allocation for cluster %d"
+                   cluster.Clustering.cid))
+      | option :: rest when tried < opts.eval_window || !best_fallback = None -> (
+          let trial = Arch.copy arch in
+          match Options.apply trial spec clustering cluster option with
+          | Error _ -> evaluate tried rest
+          | Ok () -> (
+              match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
+              | Error _ -> evaluate (tried + 1) rest
+              | Ok sched ->
+                  if sched.Schedule.deadlines_met then Ok trial
+                  else begin
+                    let score = (sched.Schedule.total_tardiness, Arch.cost trial) in
+                    (match !best_fallback with
+                    | Some (best_score, _) when best_score <= score -> ()
+                    | _ -> best_fallback := Some (score, trial));
+                    evaluate (tried + 1) rest
+                  end))
+      | _ :: _ -> (
+          (* Evaluation window exhausted: settle for the least-tardy
+             option seen. *)
+          match !best_fallback with
+          | Some (_, trial) -> Ok trial
+          | None -> assert false)
+    in
+    evaluate 0 candidates
+  end
+
+(* The synthesis flow proper, shared by [synthesize] (fresh architecture)
+   and [continue_allocation] (extend a partial result): allocate every
+   cluster not yet placed and not skipped, repair residual tardiness,
+   run dynamic-reconfiguration generation, synthesize the programming
+   interface and assemble the result. *)
+let run_flow ~opts ~t0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
+  ignore lib;
+  let arch = ref arch0 in
+  let total = Array.length clustering.Clustering.clusters in
+  let allocated = Array.make total false in
+  let remaining = ref 0 in
+  Array.iter
+    (fun (c : Clustering.cluster) ->
+      if skip c || Arch.site_of_cluster !arch c.cid <> None then
+        allocated.(c.cid) <- true
+      else incr remaining)
+    clustering.Clustering.clusters;
+  let rec allocate_all remaining =
+    if remaining = 0 then Ok ()
+    else begin
+      let levels = Schedule.priorities spec clustering !arch in
+      let next = ref (-1) and next_level = ref min_int in
+      Array.iter
+        (fun (c : Clustering.cluster) ->
+          if not allocated.(c.cid) then begin
+            let level = Clustering.cluster_priority clustering levels c.cid in
+            if !next < 0 || level > !next_level then begin
+              next := c.cid;
+              next_level := level
+            end
+          end)
+        clustering.Clustering.clusters;
+      let cluster = clustering.Clustering.clusters.(!next) in
+      match allocate_cluster ~opts spec clustering !arch cluster with
+      | Error _ as e -> e
+      | Ok trial ->
+          arch := trial;
+          allocated.(cluster.cid) <- true;
+          allocate_all (remaining - 1)
+    end
+  in
+  (* Repair: when the constructive pass ends tardy (a fallback commit
+     cascaded), rip up the cluster carrying the worst tardiness and
+     re-allocate it against the now-complete architecture; the evaluation
+     loop will find it a feasible (possibly fresh) site. *)
+  let repair () =
+    let blacklist = Hashtbl.create 8 in
+    (* Tardy clusters, worst first, not yet tried. *)
+    let tardy_clusters sched =
+      let tally = Hashtbl.create 8 in
+      let note cid late =
+        if not (Hashtbl.mem blacklist cid) then begin
+          let cur = Option.value ~default:0 (Hashtbl.find_opt tally cid) in
+          Hashtbl.replace tally cid (max cur late)
+        end
+      in
+      Array.iter
+        (fun (inst : Schedule.instance) ->
+          let late = inst.Schedule.finish - inst.Schedule.abs_deadline in
+          if late > 0 then begin
+            let cid = clustering.Clustering.of_task.(inst.Schedule.i_task) in
+            note cid late;
+            (* The blockers sharing the tardy cluster's PE are candidates
+               too: moving one of them can free the needed slot. *)
+            match Arch.site_of_cluster !arch cid with
+            | None -> ()
+            | Some site ->
+                let pe = Vec.get !arch.Arch.pes site.Arch.s_pe in
+                List.iter
+                  (fun (m : Arch.mode) ->
+                    List.iter (fun other -> if other <> cid then note other (late / 2))
+                      m.Arch.m_clusters)
+                  pe.Arch.modes
+          end)
+        sched.Schedule.instances;
+      Hashtbl.fold (fun cid late acc -> (late, cid) :: acc) tally []
+      |> List.sort (fun a b -> compare (fst b) (fst a))
+      |> List.map snd
+    in
+    let rec attempt k =
+      if k > 0 then begin
+        match Schedule.run ~copy_cap:opts.copy_cap spec clustering !arch with
+        | Error _ -> ()
+        | Ok sched ->
+            if not sched.Schedule.deadlines_met then begin
+              match tardy_clusters sched with
+              | [] -> ()
+              | cid :: _ ->
+                  Hashtbl.replace blacklist cid ();
+                  let cluster = clustering.Clustering.clusters.(cid) in
+                  let saved = Arch.copy !arch in
+                  Arch.unplace_cluster !arch clustering cluster;
+                  (match allocate_cluster ~opts spec clustering !arch cluster with
+                  | Ok trial -> (
+                      match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
+                      | Ok after
+                        when after.Schedule.total_tardiness
+                             < sched.Schedule.total_tardiness ->
+                          arch := trial
+                      | Ok _ | Error _ -> arch := saved)
+                  | Error _ -> arch := saved);
+                  attempt (k - 1)
+            end
+      end
+    in
+    attempt 20
+  in
+  match allocate_all !remaining with
+  | Error msg -> Error msg
+  | Ok () -> (
+      repair ();
+      (* Dynamic-reconfiguration generation. *)
+      let merged =
+        if opts.dynamic_reconfiguration then begin
+          match
+            Merge.optimize ~copy_cap:opts.copy_cap
+              ~max_trials_per_pass:opts.merge_trials_per_pass spec clustering !arch
+          with
+          | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
+          | Error msg -> Error msg
+        end
+        else begin
+          match Schedule.run ~copy_cap:opts.copy_cap spec clustering !arch with
+          | Ok sched -> Ok (!arch, sched, None)
+          | Error msg -> Error msg
+        end
+      in
+      match merged with
+      | Error msg -> Error msg
+      | Ok (final_arch, sched, merge_stats) ->
+          (* Reconfiguration controller interface synthesis (Section 4.4):
+             cheapest interface meeting the boot-time requirement without
+             breaking deadlines. *)
+          let sched = ref sched in
+          let validate a =
+            match Schedule.run ~copy_cap:opts.copy_cap spec clustering a with
+            | Ok s when s.Schedule.deadlines_met || not !sched.Schedule.deadlines_met ->
+                sched := s;
+                true
+            | Ok _ | Error _ -> false
+          in
+          let chosen_interface =
+            match Interface.synthesize final_arch spec ~validate with
+            | Ok option -> Some option
+            | Error _ -> None
+          in
+          let cost = Arch.cost final_arch in
+          Ok
+            {
+              spec;
+              arch = final_arch;
+              clustering;
+              schedule = !sched;
+              cost;
+              n_pes = Arch.n_pes final_arch;
+              n_links = Arch.n_links final_arch;
+              n_modes = n_modes final_arch;
+              deadlines_met = !sched.Schedule.deadlines_met;
+              cpu_seconds = Sys.time () -. t0;
+              merge_stats;
+              chosen_interface;
+            })
+
+let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
+    (spec : Spec.t) lib =
+  let t0 = Sys.time () in
+  let opts = options in
+  (* Pre-processing: every task must be mappable somewhere. *)
+  let unmappable =
+    Array.fold_left
+      (fun acc (task : Crusade_taskgraph.Task.t) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Crusade_cluster.Clustering.task_mask lib task = 0 then Some task.name
+            else None)
+      None spec.Spec.tasks
+  in
+  match unmappable with
+  | Some name -> Error (Printf.sprintf "task %s can run on no PE type" name)
+  | None ->
+      (* Pre-processing: clustering (Fig. 5). *)
+      let clustering =
+        if opts.use_clustering then
+          Clustering.run ~max_cluster_size:opts.max_cluster_size spec lib
+        else Clustering.singletons spec lib
+      in
+      run_flow ~opts ~t0 spec lib clustering (Arch.create lib)
+        ~skip:(fun (c : Clustering.cluster) -> not (include_graph c.graph))
+
+let continue_allocation ?(options = default_options) (base : result) =
+  let t0 = Sys.time () in
+  let arch = Arch.copy base.arch in
+  (* The interface chosen for the partial architecture is re-synthesized
+     at the end of the extended flow. *)
+  arch.Arch.interface_cost <- None;
+  run_flow ~opts:options ~t0 base.spec base.arch.Arch.lib base.clustering arch
+    ~skip:(fun _ -> false)
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "specification: %s (%d tasks, %d graphs)@," r.spec.Spec.name
+    (Spec.n_tasks r.spec) (Spec.n_graphs r.spec);
+  Format.fprintf fmt "architecture : %d PEs, %d links, %d configuration images@,"
+    r.n_pes r.n_links r.n_modes;
+  Format.fprintf fmt "cost         : $%s@,"
+    (Crusade_util.Text_table.fmt_dollars r.cost);
+  Format.fprintf fmt "deadlines    : %s (tardiness %d us)@,"
+    (if r.deadlines_met then "met" else "MISSED")
+    r.schedule.Schedule.total_tardiness;
+  (match r.merge_stats with
+  | Some s ->
+      Format.fprintf fmt "merging      : %d device merges (%d tried), %d mode combines@,"
+        s.Merge.merges_accepted s.Merge.merges_tried s.Merge.modes_combined
+  | None -> ());
+  (match r.chosen_interface with
+  | Some option ->
+      Format.fprintf fmt "programming  : %s@," (Interface.describe option)
+  | None -> ());
+  Format.fprintf fmt "cpu time     : %.2f s@," r.cpu_seconds;
+  let pes = ref [] in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      let images = Arch.n_images pe in
+      if List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes then
+        pes := (pe.Arch.ptype.Pe.name, images) :: !pes)
+    r.arch.Arch.pes;
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (name, images) ->
+      let count, total_images =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tally name)
+      in
+      Hashtbl.replace tally name (count + 1, total_images + images))
+    !pes;
+  Format.fprintf fmt "PEs          :";
+  Hashtbl.iter
+    (fun name (count, images) ->
+      Format.fprintf fmt " %dx%s%s" count name
+        (if images > count then Printf.sprintf "(%d images)" images else ""))
+    tally;
+  Format.fprintf fmt "@]"

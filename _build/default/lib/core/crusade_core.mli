@@ -1,0 +1,65 @@
+(** CRUSADE: the heuristic constructive co-synthesis flow (Fig. 5).
+
+    Pre-processing (association array, clustering) -> synthesis (cluster
+    allocation with scheduling and finish-time estimation in the inner
+    loop) -> dynamic-reconfiguration generation (compatibility-driven
+    merging of programmable devices into multi-mode devices, and
+    reconfiguration-controller interface synthesis). *)
+
+type options = {
+  dynamic_reconfiguration : bool;
+      (** enable multi-mode PPEs (new-mode allocations and the merge
+          phase); off = every programmable device keeps one image *)
+  copy_cap : int;  (** association-array explicit-copy cap per graph *)
+  max_cluster_size : int;
+  use_clustering : bool;  (** false = singleton clusters (ablation) *)
+  eval_window : int;
+      (** allocation options evaluated per cluster before falling back
+          to the least-tardy one *)
+  merge_trials_per_pass : int;
+  allow_new_pes : bool;
+      (** false restricts allocation to the existing PEs (plus new modes
+          on programmable devices) — the field-upgrade scenario of
+          Section 3, where features are added by reprogramming alone *)
+}
+
+val default_options : options
+
+type result = {
+  spec : Crusade_taskgraph.Spec.t;
+  arch : Crusade_alloc.Arch.t;
+  clustering : Crusade_cluster.Clustering.t;
+  schedule : Crusade_sched.Schedule.t;
+  cost : float;
+  n_pes : int;
+  n_links : int;
+  n_modes : int;  (** configuration images across all PPEs *)
+  deadlines_met : bool;
+  cpu_seconds : float;
+  merge_stats : Crusade_reconfig.Merge.stats option;
+  chosen_interface : Crusade_reconfig.Interface.option_t option;
+}
+
+val synthesize :
+  ?options:options ->
+  ?include_graph:(int -> bool) ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_resource.Library.t ->
+  (result, string) Stdlib.result
+(** Runs the full co-synthesis flow.  [Error] is returned only for
+    structurally impossible inputs (a cluster no PE type can host);
+    deadline misses are reported through [deadlines_met].
+    [include_graph] restricts synthesis to a subset of the task graphs
+    (used by {!Upgrade}); excluded graphs' clusters stay unallocated. *)
+
+val continue_allocation :
+  ?options:options -> result -> (result, string) Stdlib.result
+(** Resumes a partial synthesis: allocates every still-unplaced cluster
+    against (a copy of) the result's architecture, then re-runs
+    dynamic-reconfiguration generation and interface synthesis.  With
+    [options.allow_new_pes = false] this asks: can the remaining
+    functionality be accommodated purely by reprogramming the deployed
+    hardware? *)
+
+val pp_report : Format.formatter -> result -> unit
+(** Human-readable architecture/synthesis report. *)

@@ -1,0 +1,47 @@
+type verdict =
+  | Reprogramming_only of { result : Crusade_core.result; added_images : int }
+  | Needs_hardware of {
+      result : Crusade_core.result;
+      added_pes : int;
+      added_cost : float;
+    }
+  | Infeasible of string
+
+type report = { base : Crusade_core.result; verdict : verdict }
+
+let analyze ?(options = Crusade_core.default_options) spec lib ~upgrade_graphs =
+  let is_upgrade g = List.mem g upgrade_graphs in
+  match
+    Crusade_core.synthesize ~options ~include_graph:(fun g -> not (is_upgrade g)) spec
+      lib
+  with
+  | Error msg -> Error msg
+  | Ok base ->
+      let reprogram_options = { options with Crusade_core.allow_new_pes = false } in
+      let verdict =
+        match Crusade_core.continue_allocation ~options:reprogram_options base with
+        | Ok upgraded when upgraded.Crusade_core.deadlines_met ->
+            Reprogramming_only
+              {
+                result = upgraded;
+                added_images =
+                  upgraded.Crusade_core.n_modes - base.Crusade_core.n_modes;
+              }
+        | Ok _ | Error _ -> (
+            (* The deployed hardware cannot absorb the upgrade: allow new
+               parts and price the difference. *)
+            match Crusade_core.continue_allocation ~options base with
+            | Ok upgraded when upgraded.Crusade_core.deadlines_met ->
+                Needs_hardware
+                  {
+                    result = upgraded;
+                    added_pes = upgraded.Crusade_core.n_pes - base.Crusade_core.n_pes;
+                    added_cost = upgraded.Crusade_core.cost -. base.Crusade_core.cost;
+                  }
+            | Ok r ->
+                Infeasible
+                  (Printf.sprintf "deadlines missed by %d us even with new hardware"
+                     r.Crusade_core.schedule.Crusade_sched.Schedule.total_tardiness)
+            | Error msg -> Infeasible msg)
+      in
+      Ok { base; verdict }

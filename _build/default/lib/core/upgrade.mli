@@ -1,0 +1,36 @@
+(** Field-upgrade analysis (Section 3, motivation 2).
+
+    Embedded systems ship with an initial feature set; later feature
+    releases should, ideally, be delivered by reprogramming the FPGAs and
+    CPLDs already in the field rather than by replacing hardware.  This
+    module answers the question for a concrete upgrade: synthesize the
+    base architecture from the initially released task graphs, then try
+    to accommodate the upgrade graphs
+
+    - first by reprogramming alone (new configuration modes on the
+      deployed devices, spare CPU/ASIC capacity, no new parts),
+    - and failing that, with new hardware, reporting the added cost. *)
+
+type verdict =
+  | Reprogramming_only of {
+      result : Crusade_core.result;  (** the upgraded system *)
+      added_images : int;  (** new configuration images shipped *)
+    }
+      (** the upgrade deploys as a pure software/bitstream update *)
+  | Needs_hardware of {
+      result : Crusade_core.result;
+      added_pes : int;
+      added_cost : float;  (** dollars over the base architecture *)
+    }
+  | Infeasible of string
+
+type report = { base : Crusade_core.result; verdict : verdict }
+
+val analyze :
+  ?options:Crusade_core.options ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_resource.Library.t ->
+  upgrade_graphs:int list ->
+  (report, string) result
+(** [analyze spec lib ~upgrade_graphs] treats the listed graph ids as the
+    future feature release and the rest as the initial product. *)

@@ -1,0 +1,1 @@
+lib/fault/ft.ml: Crusade Dependability List Transform

@@ -1,0 +1,1 @@
+lib/fault/ft.mli: Crusade Crusade_resource Crusade_taskgraph Dependability Stdlib Transform

@@ -1,0 +1,1 @@
+lib/fault/transform.ml: Array Crusade_taskgraph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/fault/transform.mli: Crusade_taskgraph

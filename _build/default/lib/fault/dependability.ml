@@ -1,0 +1,150 @@
+module Spec = Crusade_taskgraph.Spec
+module Graph = Crusade_taskgraph.Graph
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+
+let fit_rate (pe : Pe.t) =
+  match pe.Pe.pe_class with
+  | Pe.General_purpose _ -> 500.0
+  | Pe.Asic_pe _ -> 200.0
+  | Pe.Programmable { kind = Pe.Fpga; _ } -> 350.0
+  | Pe.Programmable { kind = Pe.Cpld; _ } -> 250.0
+
+let link_fit_rate = 100.0
+
+let default_mttr_hours = 2.0
+
+(* Machine-repairman chain: [n_active] units must be up, [spares] warm
+   standbys, one repair crew.  State = failed units; failure rate from
+   state i is (n_active + spares - i) * lambda, repair rate mu.  The pool
+   is unavailable in states with more failures than spares. *)
+let pool_unavailability ?(mttr_hours = default_mttr_hours) ~n_active ~spares ~fit () =
+  if n_active = 0 then 0.0
+  else begin
+    let lambda = fit *. 1e-9 in
+    let mu = 1.0 /. mttr_hours in
+    let total_units = n_active + spares in
+    let pi = Array.make (total_units + 1) 0.0 in
+    pi.(0) <- 1.0;
+    for i = 0 to total_units - 1 do
+      let failure = float_of_int (total_units - i) *. lambda in
+      pi.(i + 1) <- pi.(i) *. failure /. mu
+    done;
+    let sum = Array.fold_left ( +. ) 0.0 pi in
+    let down = ref 0.0 in
+    for i = spares + 1 to total_units do
+      down := !down +. pi.(i)
+    done;
+    !down /. sum
+  end
+
+let minutes_per_year u = u *. 365.25 *. 24.0 *. 60.0
+
+type provisioning = {
+  spares : (Pe.t * int) list;
+  spare_cost : float;
+  graph_unavailability : (string * float) list;
+}
+
+let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  (* Pools: one per PE type in use, plus one for the links. *)
+  let type_count = Hashtbl.create 8 in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes then begin
+        let cur = Option.value ~default:0 (Hashtbl.find_opt type_count pe.Arch.ptype.Pe.id) in
+        Hashtbl.replace type_count pe.Arch.ptype.Pe.id (cur + 1)
+      end)
+    arch.Arch.pes;
+  let n_links = Arch.n_links arch in
+  (* Graph -> PE types its clusters run on. *)
+  let graph_types = Array.make (Spec.n_graphs spec) [] in
+  Array.iter
+    (fun (c : Clustering.cluster) ->
+      match Arch.pe_of_cluster arch c.cid with
+      | Some pe ->
+          let tid = pe.Arch.ptype.Pe.id in
+          if not (List.mem tid graph_types.(c.graph)) then
+            graph_types.(c.graph) <- tid :: graph_types.(c.graph)
+      | None -> ())
+    clustering.Clustering.clusters;
+  let spares = Hashtbl.create 8 in
+  let pool_u tid =
+    let n_active = Option.value ~default:0 (Hashtbl.find_opt type_count tid) in
+    let s = Option.value ~default:0 (Hashtbl.find_opt spares tid) in
+    let fit = fit_rate (Crusade_resource.Library.pe arch.Arch.lib tid) in
+    pool_unavailability ~mttr_hours ~n_active ~spares:s ~fit ()
+  in
+  let link_spares = ref 0 in
+  let link_u () =
+    pool_unavailability ~mttr_hours ~n_active:n_links ~spares:!link_spares
+      ~fit:link_fit_rate ()
+  in
+  let graph_u (g : Graph.t) =
+    List.fold_left (fun acc tid -> acc +. pool_u tid) (link_u ()) graph_types.(g.id)
+  in
+  (* Greedy provisioning: while a budgeted graph misses its target, add a
+     spare to its largest contributor. *)
+  let budget_violated () =
+    Array.fold_left
+      (fun acc (g : Graph.t) ->
+        match g.unavailability_budget with
+        | Some budget when minutes_per_year (graph_u g) > budget -> Some g
+        | Some _ | None -> acc)
+      None spec.graphs
+  in
+  let add_spare_for (g : Graph.t) =
+    let worst =
+      List.fold_left
+        (fun best tid ->
+          match best with
+          | Some (u, _) when u >= pool_u tid -> best
+          | _ -> Some (pool_u tid, `Pe tid))
+        None graph_types.(g.id)
+    in
+    let worst =
+      match worst with
+      | Some (u, _) when link_u () > u -> Some (link_u (), `Links)
+      | None -> Some (link_u (), `Links)
+      | some -> some
+    in
+    match worst with
+    | Some (_, `Pe tid) ->
+        Hashtbl.replace spares tid (1 + Option.value ~default:0 (Hashtbl.find_opt spares tid))
+    | Some (_, `Links) -> incr link_spares
+    | None -> ()
+  in
+  let rec iterate guard =
+    if guard > 0 then begin
+      match budget_violated () with
+      | Some g ->
+          add_spare_for g;
+          iterate (guard - 1)
+      | None -> ()
+    end
+  in
+  iterate 200;
+  let spare_list =
+    Hashtbl.fold
+      (fun tid count acc ->
+        if count > 0 then (Crusade_resource.Library.pe arch.Arch.lib tid, count) :: acc
+        else acc)
+      spares []
+  in
+  let spare_cost =
+    List.fold_left (fun acc ((pe : Pe.t), count) -> acc +. (pe.Pe.cost *. float_of_int count))
+      0.0 spare_list
+    (* A spare link is a transceiver set at the cheapest link type cost. *)
+    +. (float_of_int !link_spares *. 12.0)
+  in
+  let graph_unavailability =
+    Array.to_list spec.graphs
+    |> List.filter_map (fun (g : Graph.t) ->
+           match g.unavailability_budget with
+           | Some _ -> Some (g.name, minutes_per_year (graph_u g))
+           | None -> None)
+  in
+  { spares = spare_list; spare_cost; graph_unavailability }

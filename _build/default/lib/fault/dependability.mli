@@ -1,0 +1,46 @@
+(** Dependability analysis and standby-spare provisioning (Section 6).
+
+    Every hardware module carries a failure-in-time (FIT) rate — expected
+    failures per 10^9 hours — and a mean time to repair (MTTR, two hours
+    in the paper's experiments).  Error recovery switches to standby
+    spares; spares are provisioned per PE type, shared across the
+    architecture, until every task graph's unavailability budget
+    (minutes/year) is met.  Availability of each pool is evaluated with
+    the classic machine-repairman Markov chain (warm spares, one repair
+    crew). *)
+
+val fit_rate : Crusade_resource.Pe.t -> float
+(** FIT rate by PE class: 500 (CPU), 200 (ASIC), 350 (FPGA), 250 (CPLD);
+    values in the ranges Bellcore TR-NWT-000418 implies. *)
+
+val link_fit_rate : float
+(** 100 FIT per link instance. *)
+
+val default_mttr_hours : float
+(** 2.0 *)
+
+val pool_unavailability :
+  ?mttr_hours:float -> n_active:int -> spares:int -> fit:float -> unit -> float
+(** Steady-state probability that more units are failed than there are
+    spares, i.e. an active slot is unfilled.  [fit] is per unit. *)
+
+val minutes_per_year : float -> float
+(** Converts an unavailability probability to expected minutes/year. *)
+
+type provisioning = {
+  spares : (Crusade_resource.Pe.t * int) list;  (** spare count per PE type *)
+  spare_cost : float;
+  graph_unavailability : (string * float) list;
+      (** achieved minutes/year per task graph with a budget *)
+}
+
+val provision :
+  ?mttr_hours:float ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  provisioning
+(** Adds spares greedily (largest unavailability contributor first) until
+    every graph with an [unavailability_budget] meets it.  A graph's
+    unavailability sums the pool unavailabilities of the PE types its
+    clusters use plus the shared link pool. *)

@@ -1,0 +1,29 @@
+type result = {
+  core : Crusade.Crusade_core.result;
+  transform_stats : Transform.stats;
+  provisioning : Dependability.provisioning;
+  total_cost : float;
+  n_pes_with_spares : int;
+}
+
+let synthesize ?options spec lib =
+  let augmented, transform_stats = Transform.apply spec in
+  match Crusade.Crusade_core.synthesize ?options augmented lib with
+  | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false)
+  | Ok core ->
+      let provisioning =
+        Dependability.provision augmented core.Crusade.Crusade_core.clustering
+          core.Crusade.Crusade_core.arch
+      in
+      let n_spares =
+        List.fold_left (fun acc (_, count) -> acc + count) 0
+          provisioning.Dependability.spares
+      in
+      Ok
+        {
+          core;
+          transform_stats;
+          provisioning;
+          total_cost = core.Crusade.Crusade_core.cost +. provisioning.Dependability.spare_cost;
+          n_pes_with_spares = core.Crusade.Crusade_core.n_pes + n_spares;
+        }

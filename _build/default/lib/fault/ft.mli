@@ -1,0 +1,23 @@
+(** CRUSADE-FT: co-synthesis of fault-tolerant architectures (Section 6).
+
+    The basic CRUSADE flow runs on the fault-detection-augmented
+    specification ({!Transform}); dependability analysis then provisions
+    standby spares until every task graph's availability requirement is
+    met ({!Dependability}). *)
+
+type result = {
+  core : Crusade.Crusade_core.result;  (** synthesis of the augmented spec *)
+  transform_stats : Transform.stats;
+  provisioning : Dependability.provisioning;
+  total_cost : float;  (** architecture + spares *)
+  n_pes_with_spares : int;
+}
+
+val synthesize :
+  ?options:Crusade.Crusade_core.options ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_resource.Library.t ->
+  (result, string) Stdlib.result
+(** Runs fault-detection transformation, CRUSADE co-synthesis (with or
+    without dynamic reconfiguration per [options]) and spare
+    provisioning. *)

@@ -1,0 +1,193 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Graph = Crusade_taskgraph.Graph
+
+type stats = {
+  assertion_tasks : int;
+  duplicate_tasks : int;
+  compare_tasks : int;
+  shared_by_transparency : int;
+}
+
+let combined_coverage assertions =
+  1.0
+  -. List.fold_left (fun acc (a : Task.assertion_spec) -> acc *. (1.0 -. a.coverage)) 1.0
+       assertions
+
+(* Assertions applied in order until the group reaches the requirement. *)
+let assertion_group (task : Task.t) =
+  let required = task.ft.required_coverage in
+  let rec take acc cov = function
+    | [] -> List.rev acc
+    | (a : Task.assertion_spec) :: rest ->
+        if cov >= required then List.rev acc
+        else take (a :: acc) (1.0 -. ((1.0 -. cov) *. (1.0 -. a.coverage))) rest
+  in
+  take [] 0.0 task.ft.assertions
+
+let scaled_memory (m : Task.memory) =
+  {
+    Task.program_bytes = m.program_bytes / 6;
+    data_bytes = m.data_bytes / 6;
+    stack_bytes = m.stack_bytes / 6;
+  }
+
+let apply ?(max_transparent_chain = 3) (spec : Spec.t) =
+  let builder = Spec.Builder.create () in
+  let new_id = Array.make (Spec.n_tasks spec) (-1) in
+  (* Mirror of the builder's task counter, letting us map exclusion
+     vectors (which may reference any task of the graph) before the tasks
+     are physically added. *)
+  let next = ref 0 in
+  let add_task_counted builder ~graph ~name ~exec ?preference ?exclusion ?memory ?gates
+      ?pins ?deadline ?ft () =
+    let id =
+      Spec.Builder.add_task builder ~graph ~name ~exec ?preference ?exclusion ?memory
+        ?gates ?pins ?deadline ?ft ()
+    in
+    assert (id = !next);
+    incr next;
+    id
+  in
+  let stats =
+    ref { assertion_tasks = 0; duplicate_tasks = 0; compare_tasks = 0; shared_by_transparency = 0 }
+  in
+  Array.iter
+    (fun (g : Graph.t) ->
+      let compat_with =
+        match g.compat with
+        | None -> []
+        | Some vector ->
+            let acc = ref [] in
+            Array.iteri (fun j c -> if c && j < g.id then acc := j :: !acc) vector;
+            !acc
+      in
+      let gid =
+        Spec.Builder.add_graph builder ~name:g.name ~period:g.period ~est:g.est
+          ~deadline:g.deadline ~compat_with
+          ?unavailability_budget:g.unavailability_budget ()
+      in
+      (* Original tasks and edges; exclusion vectors keep their meaning
+         through the id mapping, which is known up front. *)
+      Array.iteri (fun i (task : Task.t) -> new_id.(task.id) <- !next + i) g.tasks;
+      Array.iter
+        (fun (task : Task.t) ->
+          let exclusion = List.map (fun x -> new_id.(x)) task.exclusion in
+          let id =
+            add_task_counted builder ~graph:gid ~name:task.name ~exec:task.exec
+              ?preference:task.preference ~exclusion ~memory:task.memory
+              ~gates:task.gates ~pins:task.pins ?deadline:task.deadline ~ft:task.ft ()
+          in
+          assert (id = new_id.(task.id)))
+        g.tasks;
+      Array.iter
+        (fun (e : Edge.t) ->
+          Spec.Builder.add_edge builder ~src:new_id.(e.src) ~dst:new_id.(e.dst)
+            ~bytes:e.bytes)
+        g.edges;
+      (* Decide which protected tasks need their own check; an
+         error-transparent chain shares the check of its end. *)
+      let needs_protection (task : Task.t) = task.ft.required_coverage > 0.0 in
+      let own_check = Hashtbl.create 16 and chain_depth = Hashtbl.create 16 in
+      let reverse_topo = List.rev (Graph.topological_order g) in
+      List.iter
+        (fun (task : Task.t) ->
+          if needs_protection task then begin
+            let covering_succ =
+              List.fold_left
+                (fun best (e : Edge.t) ->
+                  (* An error born in this task is visible at the
+                     successor's checked output only if the successor
+                     itself transmits input errors. *)
+                  let transparent = (Spec.task spec e.dst).Task.ft.error_transparent in
+                  let depth =
+                    if not transparent then None
+                    else if Hashtbl.mem own_check e.dst then Some 1
+                    else begin
+                      match Hashtbl.find_opt chain_depth e.dst with
+                      | Some d when d + 1 <= max_transparent_chain -> Some (d + 1)
+                      | Some _ | None -> None
+                    end
+                  in
+                  match (best, depth) with
+                  | Some b, Some d -> Some (min b d)
+                  | None, d -> d
+                  | b, None -> b)
+                None spec.succs.(task.id)
+            in
+            match covering_succ with
+            | Some depth ->
+                Hashtbl.replace chain_depth task.id depth;
+                stats := { !stats with shared_by_transparency = !stats.shared_by_transparency + 1 }
+            | None -> Hashtbl.replace own_check task.id ()
+          end)
+        reverse_topo;
+      (* Materialize the checks. *)
+      let check_deadline = g.deadline + (g.period / 5) in
+      Array.iter
+        (fun (task : Task.t) ->
+          if Hashtbl.mem own_check task.id then begin
+            let group = assertion_group task in
+            let sufficient =
+              group <> [] && combined_coverage group >= task.ft.required_coverage
+            in
+            if sufficient then
+              List.iteri
+                (fun i (a : Task.assertion_spec) ->
+                  let chk =
+                    add_task_counted builder ~graph:gid
+                      ~name:(Printf.sprintf "%s.%s%d" task.name a.assertion_name i)
+                      ~exec:a.check_exec
+                      ~memory:(scaled_memory task.memory)
+                      ~gates:(if task.gates > 0 then max 4 (task.gates / 5) else 0)
+                      ~pins:(if task.pins > 0 then 2 else 0)
+                      ~deadline:check_deadline ()
+                  in
+                  Spec.Builder.add_edge builder ~src:new_id.(task.id) ~dst:chk
+                    ~bytes:a.check_bytes;
+                  stats := { !stats with assertion_tasks = !stats.assertion_tasks + 1 })
+                group
+            else begin
+              (* Duplicate-and-compare; the duplicate must not share a PE
+                 with the original (fault isolation). *)
+              let dup =
+                add_task_counted builder ~graph:gid ~name:(task.name ^ ".dup")
+                  ~exec:task.exec ?preference:task.preference
+                  ~exclusion:[ new_id.(task.id) ] ~memory:task.memory
+                  ~gates:task.gates ~pins:task.pins ?deadline:task.deadline ()
+              in
+              List.iter
+                (fun (e : Edge.t) ->
+                  Spec.Builder.add_edge builder ~src:new_id.(e.src) ~dst:dup
+                    ~bytes:e.bytes)
+                spec.preds.(task.id);
+              let compare_exec =
+                Array.map (fun t -> if t < 0 then -1 else max 1 (t / 8)) task.exec
+              in
+              let cmp =
+                add_task_counted builder ~graph:gid ~name:(task.name ^ ".cmp")
+                  ~exec:compare_exec
+                  ~memory:(scaled_memory task.memory)
+                  ~gates:(if task.gates > 0 then max 4 (task.gates / 6) else 0)
+                  ~pins:(if task.pins > 0 then 2 else 0)
+                  ~deadline:check_deadline ()
+              in
+              Spec.Builder.add_edge builder ~src:new_id.(task.id) ~dst:cmp ~bytes:32;
+              Spec.Builder.add_edge builder ~src:dup ~dst:cmp ~bytes:32;
+              stats :=
+                {
+                  !stats with
+                  duplicate_tasks = !stats.duplicate_tasks + 1;
+                  compare_tasks = !stats.compare_tasks + 1;
+                }
+            end
+          end)
+        g.tasks)
+    spec.graphs;
+  let name = spec.name ^ "-ft" in
+  let transformed =
+    Spec.Builder.finish_exn builder ~name
+      ~boot_time_requirement:spec.boot_time_requirement ()
+  in
+  (transformed, !stats)

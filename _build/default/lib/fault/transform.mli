@@ -1,0 +1,34 @@
+(** Fault-detection transformation (Section 6).
+
+    CRUSADE-FT protects every task that demands fault coverage by either
+    assertion tasks (checking an inherent property of the task's output)
+    or, when no assertion is available, duplicate-and-compare.  When a
+    single assertion's coverage is insufficient, a group of assertions is
+    applied.  Error-transparent tasks propagate input errors to their
+    outputs, so one assertion at the end of an error-transparent chain
+    covers the whole chain, cutting the overhead.
+
+    The transformation is purely structural: it returns a new
+    specification with the check tasks and edges added, which the
+    ordinary CRUSADE flow then synthesizes. *)
+
+type stats = {
+  assertion_tasks : int;
+  duplicate_tasks : int;
+  compare_tasks : int;
+  shared_by_transparency : int;
+      (** protected tasks that needed no own check because a downstream
+          assertion covers them through error transparency *)
+}
+
+val apply :
+  ?max_transparent_chain:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_taskgraph.Spec.t * stats
+(** [apply spec] returns the fault-detection-augmented specification.
+    Check tasks receive a detection-latency budget of a fifth of the
+    graph period beyond the protected task's deadline.  Duplicates carry
+    an exclusion vector against their originals so they never share a PE
+    (fault isolation).  [max_transparent_chain] (default 3) bounds how
+    many error-transparent predecessors one assertion may cover, keeping
+    fault-detection latency within its constraint. *)

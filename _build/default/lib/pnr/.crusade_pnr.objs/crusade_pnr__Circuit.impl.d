@@ -1,0 +1,1 @@
+lib/pnr/circuit.ml: Array Crusade_util Hashtbl List Option

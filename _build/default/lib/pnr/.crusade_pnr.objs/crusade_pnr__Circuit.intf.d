@@ -1,0 +1,1 @@
+lib/pnr/circuit.mli: Crusade_util

@@ -1,0 +1,1 @@
+lib/pnr/delay.ml: Circuit Crusade_util Device Fabric List Printf

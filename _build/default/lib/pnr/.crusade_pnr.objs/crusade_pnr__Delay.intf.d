@@ -1,0 +1,1 @@
+lib/pnr/delay.mli: Circuit Device

@@ -1,0 +1,1 @@
+lib/pnr/device.mli:

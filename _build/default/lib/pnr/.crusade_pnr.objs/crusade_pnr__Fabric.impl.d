@@ -1,0 +1,1 @@
+lib/pnr/fabric.ml: Array Circuit Crusade_util Device List

@@ -1,0 +1,1 @@
+lib/pnr/fabric.mli: Circuit Device

@@ -1,0 +1,66 @@
+type net = { driver : int; sinks : int list; level : int }
+
+type t = {
+  name : string;
+  pfu_count : int;
+  pin_count : int;
+  depth : int;
+  nets : net array;
+}
+
+(* Assign each PFU a logic level, then connect consecutive levels so that
+   the critical path really has [depth] stages. *)
+let generate ?(cross_fraction = 0.0) rng ~name ~pfus ~pins =
+  assert (pfus >= 2);
+  let depth = Crusade_util.Arith.clamp ~lo:3 ~hi:8 ((pfus + 7) / 8) in
+  let level_of = Array.init pfus (fun i -> i * depth / pfus) in
+  let members level =
+    let acc = ref [] in
+    for i = pfus - 1 downto 0 do
+      if level_of.(i) = level then acc := i :: !acc
+    done;
+    !acc
+  in
+  let nets = ref [] in
+  for level = 0 to depth - 2 do
+    let drivers = Array.of_list (members level) in
+    let next = Array.of_list (members (level + 1)) in
+    if Array.length drivers > 0 && Array.length next > 0 then begin
+      (* Every next-level PFU is a sink of exactly one net; drivers may
+         fan out to up to 3 sinks. *)
+      let by_driver = Hashtbl.create 8 in
+      Array.iter
+        (fun sink ->
+          let d = Crusade_util.Rng.pick rng drivers in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_driver d) in
+          Hashtbl.replace by_driver d (sink :: cur))
+        next;
+      Hashtbl.iter
+        (fun driver sinks ->
+          let rec chunks = function
+            | [] -> ()
+            | s ->
+                let take = min 3 (List.length s) in
+                let rec split i acc rest =
+                  if i = 0 then (List.rev acc, rest)
+                  else begin
+                    match rest with
+                    | [] -> (List.rev acc, [])
+                    | x :: xs -> split (i - 1) (x :: acc) xs
+                  end
+                in
+                let head, tail = split take [] s in
+                nets := { driver; sinks = head; level } :: !nets;
+                chunks tail
+          in
+          chunks sinks)
+        by_driver
+    end
+  done;
+  let extra = int_of_float (cross_fraction *. float_of_int pfus) in
+  for _ = 1 to extra do
+    let a = Crusade_util.Rng.int rng pfus and b = Crusade_util.Rng.int rng pfus in
+    if a <> b then
+      nets := { driver = a; sinks = [ b ]; level = level_of.(a) } :: !nets
+  done;
+  { name; pfu_count = pfus; pin_count = pins; depth; nets = Array.of_list !nets }

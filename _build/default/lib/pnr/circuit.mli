@@ -1,0 +1,35 @@
+(** Synthetic netlists for the place-and-route substrate.
+
+    A circuit is a set of PFUs organized in logic levels, a set of
+    internal nets (driver PFU plus sinks on later levels) and a number of
+    I/O pins.  Generation is deterministic given the seed, so the Table 1
+    circuits are stable artefacts. *)
+
+type net = {
+  driver : int;  (** PFU index within the circuit *)
+  sinks : int list;  (** PFU indices *)
+  level : int;  (** logic level of the driver, [0 .. depth-1] *)
+}
+
+type t = {
+  name : string;
+  pfu_count : int;
+  pin_count : int;
+  depth : int;  (** logic depth: PFU stages on the critical path *)
+  nets : net array;
+}
+
+val generate :
+  ?cross_fraction:float ->
+  Crusade_util.Rng.t ->
+  name:string ->
+  pfus:int ->
+  pins:int ->
+  t
+(** Generates a layered netlist: PFUs are spread over
+    [max 3 (ceil (pfus/8))] levels capped at 8; each non-first-level PFU
+    is driven by a net from the previous level with fanout 1-3.
+    [cross_fraction] (default 0) adds that fraction of [pfus] extra
+    long-range two-pin nets between random PFUs, modelling
+    interconnect-rich designs that are hard to route at full device
+    utilization. *)

@@ -1,0 +1,22 @@
+type t = {
+  rows : int;
+  cols : int;
+  wires_per_channel : int;
+  io_pins : int;
+  pfu_delay_ns : float;
+  segment_delay_ns : float;
+}
+
+let pfus t = t.rows * t.cols
+
+let make ~rows ~cols ?(wires_per_channel = 6) ?(io_pins = 60) () =
+  {
+    rows;
+    cols;
+    wires_per_channel;
+    io_pins;
+    pfu_delay_ns = 4.5;
+    segment_delay_ns = 1.2;
+  }
+
+let table1_device = make ~rows:10 ~cols:10 ~wires_per_channel:6 ~io_pins:60 ()

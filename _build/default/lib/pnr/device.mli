@@ -1,0 +1,27 @@
+(** Abstract FPGA device model for the place-and-route substrate: a grid
+    of programmable functional units (PFUs) with channelled routing.
+
+    Horizontal and vertical routing channels run between adjacent rows and
+    columns; each channel segment carries at most [wires_per_channel]
+    nets before congestion detours (and eventually unroutability) set
+    in.  This is the mechanism behind the paper's observation that very
+    high PFU/pin utilization breaks the delay constraints (Section 4.5 /
+    Table 1). *)
+
+type t = {
+  rows : int;
+  cols : int;
+  wires_per_channel : int;
+  io_pins : int;  (** user I/O pins on the periphery *)
+  pfu_delay_ns : float;  (** logic delay through one PFU *)
+  segment_delay_ns : float;  (** wire delay per channel segment *)
+}
+
+val pfus : t -> int
+(** Total PFU count, [rows * cols]. *)
+
+val table1_device : t
+(** The 100-PFU device used to regenerate Table 1 (the largest Table 1
+    circuit has 84 PFUs). *)
+
+val make : rows:int -> cols:int -> ?wires_per_channel:int -> ?io_pins:int -> unit -> t

@@ -1,0 +1,217 @@
+type outcome =
+  | Routed of { critical_delay_ns : float; overflow_ratio : float }
+  | Unroutable
+
+(* Channel occupancy: [h.(r).(c)] counts nets in the horizontal channel
+   segment between rows [r] and [r+1] at column [c]; [v] symmetrically. *)
+type channels = { h : int array array; v : int array array }
+
+let make_channels (d : Device.t) =
+  {
+    h = Array.make_matrix (d.rows - 1) d.cols 0;
+    v = Array.make_matrix d.rows (d.cols - 1) 0;
+  }
+
+(* Walk an L-shaped route from [(r0,c0)] to [(r1,c1)], applying [f] to
+   every channel segment crossed.  [hv] selects horizontal-then-vertical
+   or the opposite. *)
+let walk_l channels ~hv (r0, c0) (r1, c1) f =
+  let walk_horizontal r ca cb =
+    let lo = min ca cb and hi = max ca cb in
+    for c = lo to hi - 1 do
+      f channels.v.(r) c
+    done
+  in
+  let walk_vertical c ra rb =
+    let lo = min ra rb and hi = max ra rb in
+    for r = lo to hi - 1 do
+      f channels.h.(r) c
+    done
+  in
+  if hv then begin
+    walk_horizontal r0 c0 c1;
+    walk_vertical c1 r0 r1
+  end
+  else begin
+    walk_vertical c0 r0 r1;
+    walk_horizontal r1 c0 c1
+  end
+
+let segment_count (r0, c0) (r1, c1) = abs (r0 - r1) + abs (c0 - c1)
+
+(* Choose the L orientation with the smaller peak occupancy. *)
+let route_connection channels src dst =
+  let peak hv =
+    let m = ref 0 in
+    walk_l channels ~hv src dst (fun row c -> m := max !m row.(c));
+    !m
+  in
+  let hv = peak true <= peak false in
+  walk_l channels ~hv src dst (fun row c -> row.(c) <- row.(c) + 1);
+  hv
+
+(* Congestion-aware delay of a connection routed with orientation [hv]. *)
+let connection_delay (d : Device.t) channels ~hv src dst =
+  let overflow_penalty = 5.0 in
+  let total = ref 0.0 in
+  walk_l channels ~hv src dst (fun row c ->
+      let over = max 0 (row.(c) - d.wires_per_channel) in
+      total := !total +. d.segment_delay_ns *. (1.0 +. (overflow_penalty *. float_of_int over)));
+  !total
+
+let place ?center rng (d : Device.t) ~occupied ~count =
+  (* Compact placement: pick a seed cell ([center] when given, otherwise a
+     random free cell), then grab the nearest free cells (Manhattan). *)
+  let free = ref [] in
+  for r = d.rows - 1 downto 0 do
+    for c = d.cols - 1 downto 0 do
+      if not occupied.(r).(c) then free := (r, c) :: !free
+    done
+  done;
+  let free = Array.of_list !free in
+  if Array.length free < count then None
+  else begin
+    let seed_r, seed_c =
+      match center with
+      | Some cell -> cell
+      | None -> free.(Crusade_util.Rng.int rng (Array.length free))
+    in
+    let dist (r, c) = abs (r - seed_r) + abs (c - seed_c) in
+    let keyed =
+      Array.map (fun cell -> (dist cell, Crusade_util.Rng.int rng 4, cell)) free
+    in
+    Array.sort compare keyed;
+    let chosen = Array.init count (fun i -> let _, _, cell = keyed.(i) in cell) in
+    Array.iter (fun (r, c) -> occupied.(r).(c) <- true) chosen;
+    Some chosen
+  end
+
+(* Long connections need repeater cells (unused PFUs acting as
+   feed-throughs) inside their bounding box; a net that cannot find them
+   takes a slow scenic detour, and too many such nets make the design
+   unroutable.  This is what breaks designs at 100% PFU utilization while
+   95% still routes. *)
+let repeater_reach = 8
+
+let repeaters_missing ~occupied (r0, c0) (r1, c1) =
+  let length = segment_count (r0, c0) (r1, c1) in
+  let needed = (max 0 (length - 1)) / repeater_reach in
+  if needed = 0 then 0
+  else begin
+    let rows = Array.length occupied and cols = Array.length occupied.(0) in
+    (* Routers detour a little outside the bounding box: search a
+       2-cell-dilated window. *)
+    let free = ref 0 in
+    for r = max 0 (min r0 r1 - 2) to min (rows - 1) (max r0 r1 + 2) do
+      for c = max 0 (min c0 c1 - 2) to min (cols - 1) (max c0 c1 + 2) do
+        if not occupied.(r).(c) then incr free
+      done
+    done;
+    max 0 (needed - !free)
+  end
+
+type route_stats = { mutable connections : int; mutable starved : int }
+
+(* Route every net of a placed circuit; returns per-net (level, delay). *)
+let route_circuit (d : Device.t) channels ~occupied ~stats (circuit : Circuit.t) cells =
+  Array.map
+    (fun (net : Circuit.net) ->
+      let src = cells.(net.driver) in
+      let delay =
+        List.fold_left
+          (fun acc sink ->
+            let dst = cells.(sink) in
+            if segment_count src dst = 0 then acc
+            else begin
+              stats.connections <- stats.connections + 1;
+              let missing = repeaters_missing ~occupied src dst in
+              if missing > 0 then stats.starved <- stats.starved + 1;
+              let hv = route_connection channels src dst in
+              let base = connection_delay d channels ~hv src dst in
+              max acc (base *. (1.0 +. (0.8 *. float_of_int missing)))
+            end)
+          0.0 net.sinks
+      in
+      (net.level, delay))
+    circuit.nets
+
+let route_pin_nets rng (d : Device.t) channels ~count =
+  (* Periphery pads to random core cells: consumes edge-adjacent capacity. *)
+  for _ = 1 to count do
+    let side = Crusade_util.Rng.int rng 4 in
+    let pad =
+      match side with
+      | 0 -> (0, Crusade_util.Rng.int rng d.cols)
+      | 1 -> (d.rows - 1, Crusade_util.Rng.int rng d.cols)
+      | 2 -> (Crusade_util.Rng.int rng d.rows, 0)
+      | _ -> (Crusade_util.Rng.int rng d.rows, d.cols - 1)
+    in
+    let core = (Crusade_util.Rng.int rng d.rows, Crusade_util.Rng.int rng d.cols) in
+    if segment_count pad core > 0 then ignore (route_connection channels pad core)
+  done
+
+let overflow_ratio (d : Device.t) channels =
+  let over = ref 0 and capacity = ref 0 in
+  let scan rows =
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun usage ->
+            capacity := !capacity + d.wires_per_channel;
+            over := !over + max 0 (usage - d.wires_per_channel))
+          row)
+      rows
+  in
+  scan channels.h;
+  scan channels.v;
+  if !capacity = 0 then 0.0 else float_of_int !over /. float_of_int !capacity
+
+let starvation_limit = 0.20
+
+let place_and_route (d : Device.t) ~fillers ~circuit ~extra_pin_nets ~seed =
+  let rng = Crusade_util.Rng.create seed in
+  let occupied = Array.make_matrix d.rows d.cols false in
+  let channels = make_channels d in
+  (* Place everything first so repeater availability reflects the final
+     occupancy, then route. *)
+  let placements =
+    List.map
+      (fun (f : Circuit.t) -> (f, place rng d ~occupied ~count:f.pfu_count))
+      fillers
+  in
+  let fillers_ok = List.for_all (fun (_, p) -> p <> None) placements in
+  if not fillers_ok then Unroutable
+  else begin
+    match
+      place ~center:(d.rows / 2, d.cols / 2) rng d ~occupied
+        ~count:circuit.Circuit.pfu_count
+    with
+    | None -> Unroutable
+    | Some cells ->
+        let stats = { connections = 0; starved = 0 } in
+        List.iter
+          (fun ((f : Circuit.t), p) ->
+            match p with
+            | Some fcells -> ignore (route_circuit d channels ~occupied ~stats f fcells)
+            | None -> ())
+          placements;
+        route_pin_nets rng d channels ~count:extra_pin_nets;
+        let routed = route_circuit d channels ~occupied ~stats circuit cells in
+        let starved_fraction =
+          if stats.connections = 0 then 0.0
+          else float_of_int stats.starved /. float_of_int stats.connections
+        in
+        if starved_fraction > starvation_limit then Unroutable
+        else
+        let ratio = overflow_ratio d channels in
+        (* Critical path: logic depth plus, per level, the slowest net. *)
+        let level_max = Array.make circuit.depth 0.0 in
+        Array.iter
+          (fun (level, delay) ->
+            if level >= 0 && level < circuit.depth then
+              level_max.(level) <- max level_max.(level) delay)
+          routed;
+        let wire = Array.fold_left ( +. ) 0.0 level_max in
+        let logic = float_of_int circuit.depth *. d.pfu_delay_ns in
+        Routed { critical_delay_ns = logic +. wire; overflow_ratio = ratio }
+  end

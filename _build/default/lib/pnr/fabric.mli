@@ -1,0 +1,25 @@
+(** Seeded placement and channelled routing of circuits onto a device.
+
+    Placement takes the circuits in order, giving each a compact cluster
+    of the cells still free — so a fuller device forces more scattered
+    placements.  Routing uses L-shaped paths through inter-row/column
+    channels; a segment loaded beyond [wires_per_channel] slows every net
+    through it, and heavy aggregate overflow makes the design unroutable.
+    Together these reproduce the delay-vs-utilization law of Table 1. *)
+
+type outcome =
+  | Routed of { critical_delay_ns : float; overflow_ratio : float }
+  | Unroutable
+
+val place_and_route :
+  Device.t ->
+  fillers:Circuit.t list ->
+  circuit:Circuit.t ->
+  extra_pin_nets:int ->
+  seed:int ->
+  outcome
+(** Places [fillers] first (they model the other functions sharing the
+    device), then [circuit] (the function whose delay constraint is being
+    checked), routes all nets plus [extra_pin_nets] periphery-to-core pin
+    nets, and reports the critical-path delay of [circuit].
+    Returns [Unroutable] when the device cannot absorb the demand. *)

@@ -1,0 +1,1 @@
+lib/reconfig/compat.ml: Array Crusade_sched Crusade_taskgraph Crusade_util List

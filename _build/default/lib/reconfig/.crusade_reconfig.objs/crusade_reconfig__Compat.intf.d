@@ -1,0 +1,1 @@
+lib/reconfig/compat.mli: Crusade_sched Crusade_taskgraph

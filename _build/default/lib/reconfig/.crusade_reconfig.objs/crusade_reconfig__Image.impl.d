@@ -1,0 +1,1 @@
+lib/reconfig/image.ml: Array Buffer Char Crusade_alloc Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util List String

@@ -1,0 +1,1 @@
+lib/reconfig/image.mli: Crusade_alloc Crusade_cluster Crusade_taskgraph

@@ -1,0 +1,1 @@
+lib/reconfig/interface.ml: Crusade_alloc Crusade_resource Crusade_taskgraph Crusade_util List Printf

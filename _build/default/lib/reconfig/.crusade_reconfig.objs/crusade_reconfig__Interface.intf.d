@@ -1,0 +1,1 @@
+lib/reconfig/interface.mli: Crusade_alloc Crusade_resource Crusade_taskgraph

@@ -1,0 +1,1 @@
+lib/reconfig/merge.ml: Array Compat Crusade_alloc Crusade_cluster Crusade_resource Crusade_sched Crusade_taskgraph Crusade_util List Result

@@ -1,0 +1,1 @@
+lib/reconfig/merge.mli: Crusade_alloc Crusade_cluster Crusade_sched Crusade_taskgraph

@@ -1,0 +1,1 @@
+lib/reconfig/program.ml: Array Crusade_alloc Crusade_cluster Crusade_resource Crusade_sched Crusade_taskgraph Crusade_util Format Hashtbl List Option

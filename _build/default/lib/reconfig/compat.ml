@@ -1,0 +1,40 @@
+module Spec = Crusade_taskgraph.Spec
+module Graph = Crusade_taskgraph.Graph
+module Schedule = Crusade_sched.Schedule
+module Intervals = Crusade_util.Intervals
+
+let matrix (spec : Spec.t) (schedule : Schedule.t) =
+  let n = Spec.n_graphs spec in
+  let m = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let declared =
+          match spec.graphs.(i).Graph.compat with
+          | Some vector when j < Array.length vector -> Some vector.(j)
+          | Some _ | None -> None
+        in
+        m.(i).(j) <-
+          (match declared with
+          | Some c -> c
+          | None ->
+              not
+                (Intervals.overlaps schedule.Schedule.graph_windows.(i)
+                   schedule.Schedule.graph_windows.(j)))
+      end
+    done
+  done;
+  (* Enforce symmetry conservatively: both directions must agree. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let both = m.(i).(j) && m.(j).(i) in
+      m.(i).(j) <- both;
+      m.(j).(i) <- both
+    done
+  done;
+  m
+
+let graphs_compatible m set_a set_b =
+  List.for_all
+    (fun a -> List.for_all (fun b -> a = b || m.(a).(b)) set_b)
+    set_a

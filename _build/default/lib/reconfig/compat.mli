@@ -1,0 +1,19 @@
+(** Identification of non-overlapping task graphs (Section 4.1).
+
+    Two task graphs are compatible when their execution slots never
+    overlap inside the hyperperiod, so they can time-share FPGA/CPLD
+    resources through dynamic reconfiguration.  Compatibility is taken
+    from the specification's compatibility vectors when given; otherwise
+    it is discovered from the start/stop times of tasks and edges after
+    scheduling (the Fig. 3 procedure). *)
+
+val matrix :
+  Crusade_taskgraph.Spec.t -> Crusade_sched.Schedule.t -> bool array array
+(** [matrix spec schedule] gives the symmetric graph-compatibility
+    matrix: declared vectors win; otherwise activity windows from the
+    schedule decide.  A graph is never compatible with itself. *)
+
+val graphs_compatible : bool array array -> int list -> int list -> bool
+(** Whether every graph in the first set is compatible with every graph
+    in the second (used when deciding if two sets of clusters may share a
+    device in different modes). *)

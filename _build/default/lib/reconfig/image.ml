@@ -1,0 +1,95 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+
+type image = {
+  pe_id : int;
+  mode_id : int;
+  device : string;
+  bytes : string;
+  crc : int;
+}
+
+let crc16 data =
+  let crc = ref 0xFFFF in
+  String.iter
+    (fun c ->
+      crc := !crc lxor (Char.code c lsl 8);
+      for _ = 1 to 8 do
+        if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+        else crc := (!crc lsl 1) land 0xFFFF
+      done)
+    data;
+  !crc
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let build (spec : Spec.t) (clustering : Clustering.t) (pe : Arch.pe_inst)
+    (mode : Arch.mode) =
+  let info =
+    match Pe.ppe_info pe.Arch.ptype with
+    | Some info -> info
+    | None -> invalid_arg "Image.build: not a programmable PE"
+  in
+  let buf = Buffer.create info.Pe.boot_memory_bytes in
+  (* Header: magic, device name (fixed 12 bytes), mode id, PFU usage. *)
+  Buffer.add_string buf "CRSD";
+  let name = pe.Arch.ptype.Pe.name in
+  Buffer.add_string buf
+    (if String.length name >= 12 then String.sub name 0 12
+     else name ^ String.make (12 - String.length name) '\000');
+  add_u16 buf mode.Arch.m_id;
+  add_u16 buf mode.Arch.m_gates;
+  add_u16 buf mode.Arch.m_pins;
+  (* One configuration record per resident task: id, area, then that many
+     synthetic configuration words from a stream keyed by the task. *)
+  let tasks =
+    List.concat_map
+      (fun cid -> clustering.Clustering.clusters.(cid).Clustering.members)
+      (List.sort compare mode.Arch.m_clusters)
+  in
+  List.iter
+    (fun task_id ->
+      let task = Spec.task spec task_id in
+      add_u16 buf task.Task.id;
+      add_u16 buf task.Task.gates;
+      let rng = Crusade_util.Rng.create ((task.Task.id * 65_599) + mode.Arch.m_id) in
+      for _ = 1 to task.Task.gates do
+        add_u16 buf (Crusade_util.Rng.int rng 0x10000)
+      done)
+    (List.sort compare tasks);
+  (* Pad to the boot-memory size, leaving room for the CRC. *)
+  let body_limit = max (Buffer.length buf) (info.Pe.boot_memory_bytes - 2) in
+  let padding = body_limit - Buffer.length buf in
+  if padding > 0 then Buffer.add_string buf (String.make padding '\000');
+  let body = Buffer.contents buf in
+  let crc = crc16 body in
+  add_u16 buf crc;
+  {
+    pe_id = pe.Arch.p_id;
+    mode_id = mode.Arch.m_id;
+    device = pe.Arch.ptype.Pe.name;
+    bytes = Buffer.contents buf;
+    crc;
+  }
+
+let manifest (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+  let images = ref [] in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if Pe.is_programmable pe.Arch.ptype then
+        List.iter
+          (fun (mode : Arch.mode) ->
+            if mode.Arch.m_clusters <> [] then
+              images := build spec clustering pe mode :: !images)
+          pe.Arch.modes)
+    arch.Arch.pes;
+  List.sort (fun a b -> compare (a.pe_id, a.mode_id) (b.pe_id, b.mode_id)) !images
+
+let total_bytes images =
+  List.fold_left (fun acc img -> acc + String.length img.bytes) 0 images

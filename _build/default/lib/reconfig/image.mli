@@ -1,0 +1,42 @@
+(** Configuration-image (software image) construction (Section 4.3).
+
+    Every mode of a programmable device needs its own configuration
+    image stored in boot PROM (or system memory, in slave mode).  This
+    module builds deterministic images — a header naming the device and
+    mode, one configuration record per resident task, zero padding up to
+    the device's boot-memory size, and a trailing CRC-16 — and assembles
+    the PROM manifest interface synthesis prices.
+
+    The bit patterns are synthetic (a real flow would come out of the
+    vendor's bitstream generator), but their sizes, count and layout are
+    exactly what reconfiguration management must handle. *)
+
+type image = {
+  pe_id : int;
+  mode_id : int;
+  device : string;
+  bytes : string;  (** full image, header + records + padding + CRC *)
+  crc : int;
+}
+
+val build :
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.pe_inst ->
+  Crusade_alloc.Arch.mode ->
+  image
+(** Image for one occupied mode.  Deterministic: same architecture, same
+    bytes.  Image length equals the device's boot-memory size. *)
+
+val manifest :
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  image list
+(** Images for every occupied mode of every programmable device, ordered
+    by (PE id, mode id) — the PROM contents. *)
+
+val total_bytes : image list -> int
+
+val crc16 : string -> int
+(** CRC-16/CCITT over a byte string (exposed for tests). *)

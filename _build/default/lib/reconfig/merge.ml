@@ -1,0 +1,220 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Pe = Crusade_resource.Pe
+module Caps = Crusade_resource.Caps
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Connect = Crusade_alloc.Connect
+module Schedule = Crusade_sched.Schedule
+module Vec = Crusade_util.Vec
+
+type stats = {
+  merges_accepted : int;
+  merges_tried : int;
+  modes_combined : int;
+  iterations : int;
+}
+
+let merge_potential (arch : Arch.t) =
+  let ppes =
+    Vec.fold
+      (fun acc (pe : Arch.pe_inst) ->
+        if Pe.is_programmable pe.Arch.ptype && Arch.n_images pe > 0 then acc + 1 else acc)
+      0 arch.Arch.pes
+  in
+  ppes + Arch.n_links arch
+
+let occupied_modes (pe : Arch.pe_inst) =
+  List.filter (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes
+
+let graphs_of_pe (clustering : Clustering.t) (pe : Arch.pe_inst) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (m : Arch.mode) ->
+         List.map (fun cid -> clustering.clusters.(cid).Clustering.graph) m.Arch.m_clusters)
+       pe.Arch.modes)
+
+(* Can every mode of [src] move (as a whole) onto a fresh mode of
+   [dst]'s device type? *)
+let modes_fit (src : Arch.pe_inst) (dst : Arch.pe_inst) clustering =
+  List.for_all
+    (fun (m : Arch.mode) ->
+      m.Arch.m_gates <= Caps.usable_pfus dst.Arch.ptype
+      && m.Arch.m_pins <= Caps.usable_pins dst.Arch.ptype
+      && List.for_all
+           (fun cid ->
+             clustering.Clustering.clusters.(cid).Clustering.feasible_mask
+             land (1 lsl dst.Arch.ptype.Pe.id)
+             <> 0)
+           m.Arch.m_clusters)
+    (occupied_modes src)
+
+(* Move every cluster of [src] into fresh modes of [dst] on a copy of the
+   architecture; returns the copy on success. *)
+let try_merge spec clustering arch ~src_id ~dst_id =
+  let trial = Arch.copy arch in
+  let src = Vec.get trial.Arch.pes src_id and dst = Vec.get trial.Arch.pes dst_id in
+  let move_mode (m : Arch.mode) =
+    let fresh = Arch.add_mode trial dst in
+    List.fold_left
+      (fun acc cid ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+            let cluster = clustering.Clustering.clusters.(cid) in
+            Arch.unplace_cluster trial clustering cluster;
+            (match Arch.place_cluster trial spec clustering cluster ~pe:dst ~mode:fresh with
+            | Error _ as e -> e
+            | Ok () -> Connect.ensure trial spec clustering cluster |> Result.map (fun _ -> ())))
+      (Ok ()) m.Arch.m_clusters
+  in
+  let moved =
+    List.fold_left
+      (fun acc m -> match acc with Error _ as e -> e | Ok () -> move_mode m)
+      (Ok ())
+      (occupied_modes src)
+  in
+  match moved with
+  | Error _ as e -> e
+  | Ok () ->
+      Arch.detach_unused trial;
+      Ok trial
+
+(* Combine two occupied modes of the same device when the union respects
+   the ERUF/EPUF caps (Section 4.2: "we try to combine C1, C2 and C3 in
+   the same FPGA mode if there exist sufficient resources"). *)
+let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
+  let trial = Arch.copy arch in
+  let pe = Vec.get trial.Arch.pes pe_id in
+  let target = List.nth pe.Arch.modes mode_a in
+  let source = List.nth pe.Arch.modes mode_b in
+  List.fold_left
+    (fun acc cid ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+          let cluster = clustering.Clustering.clusters.(cid) in
+          Arch.unplace_cluster trial clustering cluster;
+          Arch.place_cluster trial spec clustering cluster ~pe ~mode:target)
+    (Ok ()) source.Arch.m_clusters
+  |> Result.map (fun () -> trial)
+
+let feasible schedule = schedule.Schedule.deadlines_met
+
+let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400) spec
+    clustering arch =
+  let run_schedule a = Schedule.run ~copy_cap spec clustering a in
+  match run_schedule arch with
+  | Error _ as e -> e
+  | Ok initial_sched ->
+      let current = ref (Arch.copy arch) in
+      let current_sched = ref initial_sched in
+      let merges_accepted = ref 0
+      and merges_tried = ref 0
+      and modes_combined = ref 0
+      and iterations = ref 0 in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        incr iterations;
+        let compat = Compat.matrix spec !current_sched in
+        (* Merge array: candidate (src, dst) PPE pairs, best saving first. *)
+        let ppes =
+          Vec.fold
+            (fun acc (pe : Arch.pe_inst) ->
+              if Pe.is_programmable pe.Arch.ptype && Arch.n_images pe > 0 then pe :: acc
+              else acc)
+            [] !current.Arch.pes
+        in
+        let candidates = ref [] in
+        List.iter
+          (fun (src : Arch.pe_inst) ->
+            List.iter
+              (fun (dst : Arch.pe_inst) ->
+                if src.Arch.p_id <> dst.Arch.p_id then begin
+                  let src_graphs = graphs_of_pe clustering src
+                  and dst_graphs = graphs_of_pe clustering dst in
+                  if
+                    Compat.graphs_compatible compat src_graphs dst_graphs
+                    && modes_fit src dst clustering
+                  then begin
+                    let saving = src.Arch.ptype.Pe.cost in
+                    candidates := (saving, src.Arch.p_id, dst.Arch.p_id) :: !candidates
+                  end
+                end)
+              ppes)
+          ppes;
+        let sorted =
+          List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates
+        in
+        let trials = ref 0 in
+        List.iter
+          (fun (_, src_id, dst_id) ->
+            if !trials < max_trials_per_pass then begin
+              (* The pair may be stale after an accepted merge. *)
+              let src = Vec.get !current.Arch.pes src_id
+              and dst = Vec.get !current.Arch.pes dst_id in
+              if
+                Arch.n_images src > 0 && Arch.n_images dst > 0
+                && modes_fit src dst clustering
+              then begin
+                incr trials;
+                incr merges_tried;
+                match try_merge spec clustering !current ~src_id ~dst_id with
+                | Error _ -> ()
+                | Ok trial -> (
+                    match run_schedule trial with
+                    | Error _ -> ()
+                    | Ok sched ->
+                        if feasible sched && Arch.cost trial < Arch.cost !current then begin
+                          current := trial;
+                          current_sched := sched;
+                          incr merges_accepted;
+                          improved := true
+                        end)
+              end
+            end)
+          sorted;
+        (* Mode-combining pass on each multi-image device. *)
+        Vec.iter
+          (fun (pe : Arch.pe_inst) ->
+            let modes = occupied_modes pe in
+            match modes with
+            | (a : Arch.mode) :: rest when rest <> [] ->
+                List.iter
+                  (fun (b : Arch.mode) ->
+                    let fits =
+                      a.Arch.m_gates + b.Arch.m_gates <= Caps.usable_pfus pe.Arch.ptype
+                      && a.Arch.m_pins + b.Arch.m_pins <= Caps.usable_pins pe.Arch.ptype
+                    in
+                    if fits then begin
+                      match
+                        try_combine spec clustering !current ~pe_id:pe.Arch.p_id
+                          ~mode_a:a.Arch.m_id ~mode_b:b.Arch.m_id
+                      with
+                      | Error _ -> ()
+                      | Ok trial -> (
+                          match run_schedule trial with
+                          | Error _ -> ()
+                          | Ok sched ->
+                              if feasible sched && Arch.cost trial <= Arch.cost !current
+                              then begin
+                                current := trial;
+                                current_sched := sched;
+                                incr modes_combined;
+                                improved := true
+                              end)
+                    end)
+                  rest
+            | _ -> ())
+          !current.Arch.pes
+      done;
+      Ok
+        ( !current,
+          !current_sched,
+          {
+            merges_accepted = !merges_accepted;
+            merges_tried = !merges_tried;
+            modes_combined = !modes_combined;
+            iterations = !iterations;
+          } )

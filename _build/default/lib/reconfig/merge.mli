@@ -1,0 +1,31 @@
+(** Dynamic-reconfiguration generation (Sections 4.1 / 4.2 / Fig. 3).
+
+    After an architecture meets its deadlines, CRUSADE computes its merge
+    potential (number of PPEs plus links), builds a merge array of PPE
+    pairs that could collapse into a single multi-mode device, and
+    explores the merges in decreasing-saving order; a merge is kept when
+    the re-scheduled architecture still meets every deadline and costs
+    less.  A second pass combines modes of the same device when capacity
+    allows, cutting configuration images and reboots.  The process
+    repeats until neither the cost nor the merge potential improves. *)
+
+type stats = {
+  merges_accepted : int;
+  merges_tried : int;
+  modes_combined : int;
+  iterations : int;
+}
+
+val merge_potential : Crusade_alloc.Arch.t -> int
+(** Number of (occupied) programmable PEs plus links — the quantity the
+    merge loop drives down. *)
+
+val optimize :
+  ?copy_cap:int ->
+  ?max_trials_per_pass:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (Crusade_alloc.Arch.t * Crusade_sched.Schedule.t * stats, string) result
+(** Returns the improved architecture with its final schedule.  The input
+    architecture is not mutated (work happens on copies). *)

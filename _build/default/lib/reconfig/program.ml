@@ -1,0 +1,98 @@
+module Spec = Crusade_taskgraph.Spec
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Schedule = Crusade_sched.Schedule
+module Vec = Crusade_util.Vec
+
+type step = {
+  mode : int;
+  load_at : int;
+  active_from : int;
+  active_until : int;
+}
+
+type device_program = {
+  pe_id : int;
+  device : string;
+  steps : step list;
+  switches : int;
+  reboot_time_us : int;
+}
+
+let extract (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t)
+    (sched : Schedule.t) =
+  ignore spec;
+  (* Collect execution windows per (device, mode). *)
+  let windows = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if i.Schedule.start >= 0 then begin
+        match Arch.task_site arch clustering i.Schedule.i_task with
+        | Some site
+          when Pe.is_programmable (Vec.get arch.Arch.pes site.Arch.s_pe).Arch.ptype ->
+            let key = site.Arch.s_pe in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt windows key) in
+            Hashtbl.replace windows key
+              ((site.Arch.s_mode, i.Schedule.start, i.Schedule.finish) :: cur)
+        | Some _ | None -> ()
+      end)
+    sched.Schedule.instances;
+  let programs = ref [] in
+  Hashtbl.iter
+    (fun pe_id executions ->
+      let pe = Vec.get arch.Arch.pes pe_id in
+      if Arch.n_images pe >= 2 then begin
+        (* Coalesce chronologically: consecutive executions of the same
+           mode belong to one window. *)
+        let sorted =
+          List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2) executions
+        in
+        let rec coalesce acc = function
+          | [] -> List.rev acc
+          | (mode, s, e) :: rest -> (
+              match acc with
+              | (m', s', e') :: acc' when m' = mode ->
+                  coalesce ((m', s', max e' e) :: acc') rest
+              | _ -> coalesce ((mode, s, e) :: acc) rest)
+        in
+        let windows = coalesce [] sorted in
+        let boot mode_id =
+          match List.nth_opt pe.Arch.modes mode_id with
+          | Some mode -> Arch.mode_boot_us pe mode
+          | None -> 0
+        in
+        let steps =
+          List.map
+            (fun (mode, s, e) ->
+              { mode; load_at = s - boot mode; active_from = s; active_until = e })
+            windows
+        in
+        let switches = max 0 (List.length steps - 1) in
+        let reboot_time_us =
+          match steps with
+          | [] -> 0
+          | _ :: later -> List.fold_left (fun acc st -> acc + boot st.mode) 0 later
+        in
+        programs :=
+          {
+            pe_id;
+            device = pe.Arch.ptype.Pe.name;
+            steps;
+            switches;
+            reboot_time_us;
+          }
+          :: !programs
+      end)
+    windows;
+  List.sort (fun a b -> compare a.pe_id b.pe_id) !programs
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>device %d (%s): %d reconfigurations, %d us rebooting@,"
+    p.pe_id p.device p.switches p.reboot_time_us;
+  List.iter
+    (fun st ->
+      Format.fprintf fmt "  load image %d at %6d us; active %6d..%6d us@," st.mode
+        st.load_at st.active_from st.active_until)
+    p.steps;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,34 @@
+(** Reconfiguration management output: the per-device mode-switch program.
+
+    Once the architecture and schedule are fixed, each multi-mode
+    programmable device follows a periodic program: load image m1, run
+    its window, reboot into m2, and so on over the hyperperiod.  This
+    module extracts that program from the schedule — the artefact a
+    run-time reconfiguration controller would execute — and reports the
+    reconfiguration count and the total time spent rebooting. *)
+
+type step = {
+  mode : int;  (** configuration image to load *)
+  load_at : int;  (** time (us) the reboot must start *)
+  active_from : int;  (** first execution in this window *)
+  active_until : int;  (** last execution finish in this window *)
+}
+
+type device_program = {
+  pe_id : int;
+  device : string;  (** PE type name *)
+  steps : step list;  (** chronological within the hyperperiod *)
+  switches : int;  (** reconfigurations per hyperperiod *)
+  reboot_time_us : int;  (** total time spent reconfiguring *)
+}
+
+val extract :
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  Crusade_sched.Schedule.t ->
+  device_program list
+(** Programs for every device with at least two occupied modes, ordered
+    by PE id. *)
+
+val pp : Format.formatter -> device_program -> unit

@@ -1,0 +1,1 @@
+lib/resource/caps.mli: Pe

@@ -1,0 +1,1 @@
+lib/resource/library.ml: Array Link List Pe

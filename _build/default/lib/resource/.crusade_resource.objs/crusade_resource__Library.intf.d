@@ -1,0 +1,1 @@
+lib/resource/library.mli: Link Pe

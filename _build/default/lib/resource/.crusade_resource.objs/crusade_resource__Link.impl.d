@@ -1,0 +1,1 @@
+lib/resource/link.ml: Array Crusade_util Format

@@ -1,0 +1,1 @@
+lib/resource/link.mli: Format

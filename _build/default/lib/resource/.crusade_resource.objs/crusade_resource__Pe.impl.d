@@ -1,0 +1,1 @@
+lib/resource/pe.ml: Format

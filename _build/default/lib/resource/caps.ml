@@ -1,0 +1,14 @@
+let eruf = 0.70
+let epuf = 0.80
+
+let usable_pfus (pe : Pe.t) =
+  match pe.pe_class with
+  | Pe.Programmable p -> int_of_float (eruf *. float_of_int p.pfus)
+  | Pe.Asic_pe a -> a.gates
+  | Pe.General_purpose _ -> 0
+
+let usable_pins (pe : Pe.t) =
+  match pe.pe_class with
+  | Pe.Programmable p -> int_of_float (epuf *. float_of_int p.pins)
+  | Pe.Asic_pe a -> a.pins
+  | Pe.General_purpose _ -> 0

@@ -1,0 +1,208 @@
+type t = { pes : Pe.t array; links : Link.t array }
+
+let create ~pes ~links =
+  Array.iteri
+    (fun i (p : Pe.t) ->
+      if p.id <> i then invalid_arg "Library.create: PE ids must equal indices")
+    pes;
+  Array.iteri
+    (fun i (l : Link.t) ->
+      if l.id <> i then invalid_arg "Library.create: link ids must equal indices")
+    links;
+  { pes; links }
+
+let n_pe_types t = Array.length t.pes
+let n_link_types t = Array.length t.links
+let pe t i = t.pes.(i)
+let link t i = t.links.(i)
+
+let cpus t = List.filter Pe.is_cpu (Array.to_list t.pes)
+let asics t = List.filter Pe.is_asic (Array.to_list t.pes)
+let ppes t = List.filter Pe.is_programmable (Array.to_list t.pes)
+
+(* Builders; ids are patched by [index_pes]/[index_links]. *)
+
+let cpu name ~cost ~speed ~comm_proc : Pe.t =
+  {
+    id = 0;
+    name;
+    cost;
+    pe_class =
+      General_purpose
+        {
+          memory_bank_bytes = 16 * 1024 * 1024;
+          max_memory_banks = 4;
+          memory_bank_cost = 30.0;
+          context_switch_us = 12;
+          preemption_overhead_us = 55;
+          has_communication_processor = comm_proc;
+          speed_factor = speed;
+        };
+  }
+
+let asic name ~cost ~gates ~pins : Pe.t =
+  { id = 0; name; cost; pe_class = Asic_pe { gates; pins } }
+
+let ppe name ~cost ~kind ~pfus ~pins ~config_bits ~partial ~speed : Pe.t =
+  {
+    id = 0;
+    name;
+    cost;
+    pe_class =
+      Programmable
+        {
+          kind;
+          pfus;
+          pins;
+          boot_memory_bytes = (config_bits + 7) / 8;
+          config_bits;
+          partially_reconfigurable = partial;
+          speed_factor = speed;
+        };
+  }
+
+let index_pes pes = Array.mapi (fun i (p : Pe.t) -> { p with id = i }) pes
+let index_links links = Array.mapi (fun i (l : Link.t) -> { l with id = i }) links
+
+let bus name ~cost ~max_ports ~base_access ~per_port ~bytes_per_packet ~packet_time_us
+    : Link.t =
+  {
+    id = 0;
+    name;
+    cost;
+    port_cost = 4.0;
+    topology = Bus;
+    max_ports;
+    access_times =
+      Array.init (max_ports - 1) (fun i -> base_access + (per_port * i));
+    bytes_per_packet;
+    packet_time_us;
+  }
+
+let stock_asics =
+  (* Sixteen ASIC types spanning small glue logic to large datapath parts.
+     Capacities are in the same area units as task gate requirements and
+     PPE PFU counts; each ASIC is a function-specific part, so only tasks
+     whose execution-time vector names it can map there. *)
+  let spec =
+    [
+      ("asic-gl8", 45.0, 160, 84);
+      ("asic-gl12", 60.0, 200, 100);
+      ("asic-dp16", 78.0, 240, 120);
+      ("asic-dp20", 95.0, 280, 144);
+      ("asic-dp24", 112.0, 320, 160);
+      ("asic-fe28", 128.0, 360, 160);
+      ("asic-fe32", 150.0, 400, 176);
+      ("asic-sw36", 170.0, 440, 208);
+      ("asic-sw40", 195.0, 480, 208);
+      ("asic-xc44", 215.0, 520, 240);
+      ("asic-xc48", 238.0, 560, 240);
+      ("asic-pm52", 262.0, 600, 256);
+      ("asic-pm56", 285.0, 640, 256);
+      ("asic-tr60", 310.0, 700, 304);
+      ("asic-tr68", 345.0, 760, 304);
+      ("asic-tr76", 390.0, 840, 352);
+    ]
+  in
+  List.map (fun (name, cost, gates, pins) -> asic name ~cost ~gates ~pins) spec
+
+let stock () =
+  let pes =
+    [
+      cpu "mc68360" ~cost:28.0 ~speed:1.0 ~comm_proc:true;
+      cpu "mc68360+L2" ~cost:68.0 ~speed:1.3 ~comm_proc:true;
+      cpu "mc68040" ~cost:55.0 ~speed:1.9 ~comm_proc:false;
+      cpu "mc68040+L2" ~cost:95.0 ~speed:2.3 ~comm_proc:false;
+      cpu "mc68060" ~cost:110.0 ~speed:3.2 ~comm_proc:false;
+      cpu "mc68060+L2" ~cost:150.0 ~speed:3.8 ~comm_proc:false;
+      cpu "powerquicc" ~cost:75.0 ~speed:2.6 ~comm_proc:true;
+      cpu "powerquicc+L2" ~cost:115.0 ~speed:3.0 ~comm_proc:true;
+    ]
+    @ stock_asics
+    @ [
+        ppe "xc3195a" ~cost:118.0 ~kind:Fpga ~pfus:484 ~pins:176
+          ~config_bits:94_984 ~partial:false ~speed:1.0;
+        ppe "xc4025" ~cost:340.0 ~kind:Fpga ~pfus:1024 ~pins:256
+          ~config_bits:422_176 ~partial:false ~speed:1.2;
+        ppe "xc6264" ~cost:190.0 ~kind:Fpga ~pfus:784 ~pins:224
+          ~config_bits:180_224 ~partial:true ~speed:1.1;
+        ppe "at6005" ~cost:88.0 ~kind:Fpga ~pfus:400 ~pins:120
+          ~config_bits:65_536 ~partial:true ~speed:0.9;
+        ppe "orca2t15" ~cost:165.0 ~kind:Fpga ~pfus:400 ~pins:208
+          ~config_bits:151_552 ~partial:false ~speed:1.15;
+        ppe "orca2t40" ~cost:330.0 ~kind:Fpga ~pfus:900 ~pins:304
+          ~config_bits:335_872 ~partial:false ~speed:1.25;
+        ppe "xc95108" ~cost:42.0 ~kind:Cpld ~pfus:108 ~pins:108
+          ~config_bits:23_328 ~partial:false ~speed:1.3;
+        ppe "xc7336" ~cost:24.0 ~kind:Cpld ~pfus:36 ~pins:44 ~config_bits:6_912
+          ~partial:false ~speed:1.4;
+      ]
+  in
+  let links : Link.t list =
+    [
+      bus "bus-680x0" ~cost:12.0 ~max_ports:6 ~base_access:3 ~per_port:2
+        ~bytes_per_packet:32 ~packet_time_us:3;
+      bus "bus-quicc" ~cost:18.0 ~max_ports:8 ~base_access:2 ~per_port:1
+        ~bytes_per_packet:64 ~packet_time_us:3;
+      {
+        id = 0;
+        name = "lan-10mb";
+        cost = 40.0;
+        port_cost = 9.0;
+        topology = Lan;
+        max_ports = 16;
+        access_times = Array.init 15 (fun i -> 40 + (12 * i));
+        bytes_per_packet = 256;
+        packet_time_us = 205;
+      };
+      {
+        id = 0;
+        name = "serial-31mb";
+        cost = 8.0;
+        port_cost = 3.0;
+        topology = Point_to_point;
+        max_ports = 2;
+        access_times = [| 4 |];
+        bytes_per_packet = 64;
+        packet_time_us = 17;
+      };
+    ]
+  in
+  create
+    ~pes:(index_pes (Array.of_list pes))
+    ~links:(index_links (Array.of_list links))
+
+let small () =
+  let pes =
+    [
+      cpu "cpu-a" ~cost:30.0 ~speed:1.0 ~comm_proc:true;
+      cpu "cpu-b" ~cost:90.0 ~speed:2.5 ~comm_proc:false;
+      asic "asic-s" ~cost:80.0 ~gates:20_000 ~pins:120;
+      (* F1 / F2 of the paper's Fig. 2: F2 is bigger and can host all three
+         task graphs when dynamic reconfiguration is used. *)
+      ppe "fpga-f1" ~cost:100.0 ~kind:Fpga ~pfus:200 ~pins:96 ~config_bits:40_000
+        ~partial:false ~speed:1.0;
+      ppe "fpga-f2" ~cost:150.0 ~kind:Fpga ~pfus:360 ~pins:144 ~config_bits:72_000
+        ~partial:true ~speed:1.0;
+    ]
+  in
+  let links : Link.t list =
+    [
+      bus "bus-s" ~cost:10.0 ~max_ports:6 ~base_access:3 ~per_port:2
+        ~bytes_per_packet:32 ~packet_time_us:3;
+      {
+        id = 0;
+        name = "serial-s";
+        cost = 6.0;
+        port_cost = 2.0;
+        topology = Point_to_point;
+        max_ports = 2;
+        access_times = [| 4 |];
+        bytes_per_packet = 64;
+        packet_time_us = 17;
+      };
+    ]
+  in
+  create
+    ~pes:(index_pes (Array.of_list pes))
+    ~links:(index_links (Array.of_list links))

@@ -1,0 +1,33 @@
+(** The resource library: the set of PE types and link types a synthesis
+    run may instantiate.  Execution-time vectors of tasks are indexed by
+    [Pe.t.id] and communication vectors by [Link.t.id] of the library in
+    use. *)
+
+type t = private { pes : Pe.t array; links : Link.t array }
+
+val create : pes:Pe.t array -> links:Link.t array -> t
+(** Validates that [pes.(i).id = i] and [links.(i).id = i].
+    @raise Invalid_argument otherwise. *)
+
+val n_pe_types : t -> int
+val n_link_types : t -> int
+
+val pe : t -> int -> Pe.t
+val link : t -> int -> Link.t
+
+val cpus : t -> Pe.t list
+val asics : t -> Pe.t list
+val ppes : t -> Pe.t list
+
+val stock : unit -> t
+(** The library used for the paper's experiments (Section 7): Motorola
+    68360 / 68040 / 68060 / PowerQUICC each with and without a 256 KB
+    second-level cache, sixteen ASICs, Xilinx XC3195A / XC4025 / XC6264
+    FPGAs, Atmel AT6005, ORCA 2T15 / 2T40, Xilinx XC9500 / XC7300 CPLDs,
+    and 680X0 / PowerQUICC buses, a 10 Mb/s LAN and a 31 Mb/s serial
+    link.  Costs are plausible 1999 figures at 15K yearly volume; only
+    their relative order drives synthesis. *)
+
+val small : unit -> t
+(** A compact library (two CPUs, two FPGAs, one ASIC, one bus, one serial
+    link) used by the quickstart example and the unit tests. *)

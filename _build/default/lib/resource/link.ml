@@ -1,0 +1,34 @@
+type topology = Point_to_point | Bus | Lan
+
+type t = {
+  id : int;
+  name : string;
+  cost : float;
+  port_cost : float;
+  topology : topology;
+  max_ports : int;
+  access_times : int array;
+  bytes_per_packet : int;
+  packet_time_us : int;
+}
+
+let average_ports = 4
+
+let access_time t ~ports =
+  let n = Array.length t.access_times in
+  assert (n > 0);
+  let idx = Crusade_util.Arith.clamp ~lo:0 ~hi:(n - 1) (ports - 2) in
+  t.access_times.(idx)
+
+let comm_time t ~ports ~bytes =
+  if bytes <= 0 then 0
+  else begin
+    let packets = Crusade_util.Arith.ceil_div bytes t.bytes_per_packet in
+    access_time t ~ports + (packets * t.packet_time_us)
+  end
+
+let pp fmt t =
+  let topo =
+    match t.topology with Point_to_point -> "p2p" | Bus -> "bus" | Lan -> "LAN"
+  in
+  Format.fprintf fmt "%s %s ($%.0f)" topo t.name t.cost

@@ -1,0 +1,36 @@
+(** Link types of the resource library: point-to-point, bus or LAN.
+
+    A link is characterized by the maximum number of ports it supports, an
+    access-time vector (access time as a function of the number of ports
+    currently on the link), the number of information bytes per packet and
+    the packet transmission time (Section 2.2). *)
+
+type topology = Point_to_point | Bus | Lan
+
+type t = {
+  id : int;
+  name : string;
+  cost : float;  (** dollars per link instance (transceivers, wiring) *)
+  port_cost : float;  (** incremental dollars per connected port *)
+  topology : topology;
+  max_ports : int;
+  access_times : int array;
+      (** [access_times.(p-2)] = access time (us) with [p] ports,
+          [2 <= p <= max_ports] *)
+  bytes_per_packet : int;
+  packet_time_us : int;
+}
+
+val access_time : t -> ports:int -> int
+(** Access time for the given population; clamps to the vector bounds. *)
+
+val comm_time : t -> ports:int -> bytes:int -> int
+(** Communication time of a message: access time plus
+    [ceil (bytes / bytes_per_packet)] packet transmissions.
+    Zero-byte messages cost zero. *)
+
+val average_ports : int
+(** Port count assumed before the architecture is known, used to compute
+    the a-priori communication vectors (Section 2.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type cpu_info = {
+  memory_bank_bytes : int;
+  max_memory_banks : int;
+  memory_bank_cost : float;
+  context_switch_us : int;
+  preemption_overhead_us : int;
+  has_communication_processor : bool;
+  speed_factor : float;
+}
+
+type asic_info = { gates : int; pins : int }
+
+type prog_kind = Fpga | Cpld
+
+type ppe_info = {
+  kind : prog_kind;
+  pfus : int;
+  pins : int;
+  boot_memory_bytes : int;
+  config_bits : int;
+  partially_reconfigurable : bool;
+  speed_factor : float;
+}
+
+type pe_class =
+  | General_purpose of cpu_info
+  | Asic_pe of asic_info
+  | Programmable of ppe_info
+
+type t = { id : int; name : string; cost : float; pe_class : pe_class }
+
+let is_programmable t =
+  match t.pe_class with Programmable _ -> true | General_purpose _ | Asic_pe _ -> false
+
+let is_cpu t =
+  match t.pe_class with General_purpose _ -> true | Programmable _ | Asic_pe _ -> false
+
+let is_asic t =
+  match t.pe_class with Asic_pe _ -> true | Programmable _ | General_purpose _ -> false
+
+let pfus t = match t.pe_class with Programmable p -> p.pfus | General_purpose _ | Asic_pe _ -> 0
+
+let pins t =
+  match t.pe_class with
+  | Programmable p -> p.pins
+  | Asic_pe a -> a.pins
+  | General_purpose _ -> 0
+
+let ppe_info t =
+  match t.pe_class with Programmable p -> Some p | General_purpose _ | Asic_pe _ -> None
+
+let pp fmt t =
+  let kind =
+    match t.pe_class with
+    | General_purpose _ -> "CPU"
+    | Asic_pe _ -> "ASIC"
+    | Programmable { kind = Fpga; _ } -> "FPGA"
+    | Programmable { kind = Cpld; _ } -> "CPLD"
+  in
+  Format.fprintf fmt "%s %s ($%.0f)" kind t.name t.cost

@@ -1,0 +1,60 @@
+(** Processing-element (PE) types of the resource library.
+
+    A PE type is one of:
+    - a general-purpose processor (software tasks; characterized by memory
+      hierarchy, communication-port support and OS overheads),
+    - an ASIC (fixed-function hardware; gates and pins),
+    - a programmable PE (PPE: FPGA or CPLD; PFUs, pins, boot memory and a
+      configuration bitstream that can be reloaded at run time).
+
+    Times are in microseconds, costs in dollars.  [speed_factor] is the
+    relative execution speed used by workload generators when deriving
+    per-type execution-time vectors (1.0 = baseline 68360-class). *)
+
+type cpu_info = {
+  memory_bank_bytes : int;  (** capacity of one DRAM bank *)
+  max_memory_banks : int;  (** the paper evaluates up to 4 banks / 64 MB *)
+  memory_bank_cost : float;  (** dollars per populated bank *)
+  context_switch_us : int;
+  preemption_overhead_us : int;  (** interrupt + context switch + RPC *)
+  has_communication_processor : bool;
+      (** when true, communication and computation proceed concurrently *)
+  speed_factor : float;
+}
+
+type asic_info = { gates : int; pins : int }
+
+type prog_kind = Fpga | Cpld
+
+type ppe_info = {
+  kind : prog_kind;
+  pfus : int;  (** programmable functional units (CLBs / macrocells) *)
+  pins : int;
+  boot_memory_bytes : int;  (** PROM bytes for one full configuration *)
+  config_bits : int;  (** bits to (re)program the whole device *)
+  partially_reconfigurable : bool;
+      (** AT6000 / XC6200-class devices reprogram only the used PFUs *)
+  speed_factor : float;
+}
+
+type pe_class =
+  | General_purpose of cpu_info
+  | Asic_pe of asic_info
+  | Programmable of ppe_info
+
+type t = { id : int; name : string; cost : float; pe_class : pe_class }
+
+val is_programmable : t -> bool
+val is_cpu : t -> bool
+val is_asic : t -> bool
+
+val pfus : t -> int
+(** PFU capacity of a PPE; 0 for non-programmable PEs. *)
+
+val pins : t -> int
+(** Pin count of a hardware PE; 0 for general-purpose processors (their
+    I/O goes through communication ports handled by the link model). *)
+
+val ppe_info : t -> ppe_info option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer Bytes Char Crusade_alloc Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Hashtbl List Printf Schedule

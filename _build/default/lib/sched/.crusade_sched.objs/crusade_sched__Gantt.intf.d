@@ -1,0 +1,1 @@
+lib/sched/gantt.mli: Crusade_alloc Crusade_cluster Crusade_taskgraph Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Crusade_alloc Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Hashtbl List Option Printf Timeline

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Crusade_alloc Crusade_cluster Crusade_taskgraph Crusade_util

@@ -1,0 +1,1 @@
+lib/sched/timeline.ml: List Option

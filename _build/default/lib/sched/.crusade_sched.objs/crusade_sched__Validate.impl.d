@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Array Crusade_alloc Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Format Hashtbl List Option Printf Schedule

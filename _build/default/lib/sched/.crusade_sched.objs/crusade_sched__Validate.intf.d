@@ -1,0 +1,1 @@
+lib/sched/validate.mli: Crusade_alloc Crusade_cluster Crusade_taskgraph Format Schedule

@@ -1,0 +1,63 @@
+module Spec = Crusade_taskgraph.Spec
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+
+let render ?(width = 100) (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t)
+    (sched : Schedule.t) =
+  ignore spec;
+  let horizon =
+    Array.fold_left
+      (fun acc (i : Schedule.instance) -> max acc i.Schedule.finish)
+      (max 1 sched.Schedule.hyperperiod)
+      sched.Schedule.instances
+  in
+  let column t = min (width - 1) (t * width / horizon) in
+  (* Rows keyed by (pe, mode); CPUs and ASICs use mode 0. *)
+  let rows = Hashtbl.create 16 in
+  let row_for pe_id mode_id =
+    match Hashtbl.find_opt rows (pe_id, mode_id) with
+    | Some r -> r
+    | None ->
+        let r = Bytes.make width '.' in
+        Hashtbl.replace rows (pe_id, mode_id) r;
+        r
+  in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if i.Schedule.start >= 0 then begin
+        match Arch.task_site arch clustering i.Schedule.i_task with
+        | None -> ()
+        | Some site ->
+            let r = row_for site.Arch.s_pe site.Arch.s_mode in
+            let c0 = column i.Schedule.start and c1 = column i.Schedule.finish in
+            let glyph =
+              (* one letter per cluster keeps the blocks tellable apart *)
+              let cid = clustering.Clustering.of_task.(i.Schedule.i_task) in
+              Char.chr (Char.code 'a' + (cid mod 26))
+            in
+            for c = c0 to max c0 (c1 - 1) do
+              Bytes.set r c glyph
+            done
+      end)
+    sched.Schedule.instances;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0 .. %d us (%d us per column)\n" horizon
+       (Crusade_util.Arith.ceil_div horizon width));
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) rows [] |> List.sort compare in
+  List.iter
+    (fun (pe_id, mode_id) ->
+      let pe = Vec.get arch.Arch.pes pe_id in
+      let label =
+        if Pe.is_programmable pe.Arch.ptype then
+          Printf.sprintf "pe%-3d %-12s mode %d" pe_id pe.Arch.ptype.Pe.name mode_id
+        else Printf.sprintf "pe%-3d %-12s       " pe_id pe.Arch.ptype.Pe.name
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Buffer.add_bytes buf (Hashtbl.find rows (pe_id, mode_id));
+      Buffer.add_string buf "|\n")
+    keys;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Plain-text Gantt rendering of a schedule.
+
+    One row per resource (CPU, link is omitted — links carry transfers
+    too short to see at this resolution — and one row per configuration
+    mode of each programmable device), columns spanning the hyperperiod.
+    Mode rows make the temporal sharing visible: two modes of one device
+    never overlap, and the gap between them is the reboot. *)
+
+val render :
+  ?width:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  Schedule.t ->
+  string
+(** [render spec clustering arch sched] draws at most [width] (default
+    100) character columns. *)

@@ -1,0 +1,406 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Graph = Crusade_taskgraph.Graph
+module Pe = Crusade_resource.Pe
+module Link = Crusade_resource.Link
+module Library = Crusade_resource.Library
+module Clustering = Crusade_cluster.Clustering
+module Priority = Crusade_cluster.Priority
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+module Intervals = Crusade_util.Intervals
+module Pqueue = Crusade_util.Pqueue
+
+type instance = {
+  i_task : int;
+  i_copy : int;
+  arrival : int;
+  abs_deadline : int;
+  mutable start : int;
+  mutable finish : int;
+}
+
+type t = {
+  instances : instance array;
+  hyperperiod : int;
+  deadlines_met : bool;
+  total_tardiness : int;
+  graph_windows : Intervals.t array;
+  mode_switches : int array;
+  scheduled_tasks : int;
+}
+
+let default_copy_cap = 64
+
+(* Bytes a non-comm-processor CPU copies per microsecond when staging an
+   inter-PE transfer; CPUs with a communication processor overlap
+   communication with computation (Section 2.2). *)
+let cpu_copy_bytes_per_us = 256
+
+let priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+  let exec_time (task : Task.t) =
+    match Arch.task_site arch clustering task.id with
+    | Some site ->
+        let pe = Vec.get arch.pes site.Arch.s_pe in
+        Option.value ~default:(Task.max_exec task)
+          (Task.exec_on task pe.Arch.ptype.Pe.id)
+    | None -> Task.max_exec task
+  in
+  let comm_time (e : Edge.t) =
+    if clustering.of_task.(e.src) = clustering.of_task.(e.dst) then 0
+    else begin
+      match
+        ( Arch.task_site arch clustering e.src,
+          Arch.task_site arch clustering e.dst )
+      with
+      | Some a, Some b when a.Arch.s_pe = b.Arch.s_pe -> 0
+      | Some a, Some b -> (
+          match Arch.links_between arch a.Arch.s_pe b.Arch.s_pe with
+          | [] -> Priority.unallocated_comm arch.lib e
+          | links ->
+              List.fold_left
+                (fun acc (l : Arch.link_inst) ->
+                  let time =
+                    Link.comm_time l.ltype
+                      ~ports:(max 2 (List.length l.attached))
+                      ~bytes:e.bytes
+                  in
+                  min acc time)
+                max_int links)
+      | _, _ -> Priority.unallocated_comm arch.lib e
+    end
+  in
+  Priority.compute spec ~exec_time ~comm_time
+
+(* Per-PPE configuration-window bookkeeping. *)
+type ppe_state = {
+  mutable windows : (int * int * int) list;  (* (mode, start, stop), by start *)
+  boot_by_mode : int array;
+}
+
+let ppe_find_start state ~mode ~ready ~duration =
+  let boot_self = state.boot_by_mode.(mode) in
+  let rec scan t = function
+    | [] -> t
+    | (md, s, e) :: rest ->
+        if md = mode then scan t rest
+        else begin
+          let boot_next = state.boot_by_mode.(md) in
+          (* Our window [t, t+duration) must leave room to boot into any
+             other-mode window after it, and must itself start a boot
+             after any other-mode window before it. *)
+          if t + duration + boot_next > s && t < e + boot_self then
+            scan (max t (e + boot_self)) rest
+          else scan t rest
+        end
+  in
+  scan ready state.windows
+
+let ppe_commit state ~mode ~start ~stop =
+  let rec ins = function
+    | [] -> [ (mode, start, stop) ]
+    | (md, s, e) :: rest when s <= start -> (md, s, e) :: ins rest
+    | rest -> (mode, start, stop) :: rest
+  in
+  state.windows <- ins state.windows
+
+let count_switches state =
+  (* Merge overlapping same-mode windows, then count mode alternations. *)
+  let rec walk current acc = function
+    | [] -> acc
+    | (md, _, _) :: rest ->
+        if md = current then walk current acc rest else walk md (acc + 1) rest
+  in
+  match state.windows with
+  | [] -> 0
+  | (first, _, _) :: rest -> walk first 0 rest
+
+exception Disconnected of int * int
+
+let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.t)
+    (arch : Arch.t) =
+  let n_graphs = Spec.n_graphs spec in
+  let hyperperiod = Spec.hyperperiod spec in
+  (* Instance numbering: graph base + copy * graph size + local index. *)
+  let local_index = Array.make (Spec.n_tasks spec) 0 in
+  Array.iter
+    (fun (g : Graph.t) ->
+      Array.iteri (fun i (task : Task.t) -> local_index.(task.id) <- i) g.tasks)
+    spec.graphs;
+  let explicit = Array.make n_graphs 0 in
+  let bases = Array.make n_graphs 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun gi (g : Graph.t) ->
+      explicit.(gi) <- min (Spec.copies spec g) copy_cap;
+      bases.(gi) <- !total;
+      total := !total + (explicit.(gi) * Graph.n_tasks g))
+    spec.graphs;
+  let instance_id (task : Task.t) copy =
+    bases.(task.graph) + (copy * Graph.n_tasks spec.graphs.(task.graph))
+    + local_index.(task.id)
+  in
+  (* Effective deadlines: an interior task must leave room for the
+     worst-case completion of its downstream path, otherwise a later
+     allocation can legally squeeze the chain until the sink has no slack
+     left.  Worst-case times match the paper's use of worst-case
+     execution vectors in priority levels. *)
+  let downstream = Array.make (Spec.n_tasks spec) 0 in
+  Array.iter
+    (fun (g : Graph.t) ->
+      let order = List.rev (Graph.topological_order g) in
+      List.iter
+        (fun (task : Task.t) ->
+          downstream.(task.id) <-
+            List.fold_left
+              (fun acc (e : Edge.t) ->
+                max acc (Task.max_exec (Spec.task spec e.dst) + downstream.(e.dst)))
+              0 spec.succs.(task.id))
+        order)
+    spec.graphs;
+  let instances =
+    Array.make !total
+      { i_task = 0; i_copy = 0; arrival = 0; abs_deadline = 0; start = 0; finish = 0 }
+  in
+  Array.iter
+    (fun (g : Graph.t) ->
+      for copy = 0 to explicit.(g.id) - 1 do
+        Array.iter
+          (fun (task : Task.t) ->
+            let arrival = g.est + (copy * g.period) in
+            instances.(instance_id task copy) <-
+              {
+                i_task = task.id;
+                i_copy = copy;
+                arrival;
+                abs_deadline =
+                  arrival + Graph.task_deadline g task - downstream.(task.id);
+                start = -1;
+                finish = -1;
+              })
+          g.tasks
+      done)
+    spec.graphs;
+  (* Placement lookups per task. *)
+  let site_of = Array.map (fun _ -> None) (Array.make (Spec.n_tasks spec) ()) in
+  Array.iteri
+    (fun task_id _ -> site_of.(task_id) <- Arch.task_site arch clustering task_id)
+    site_of;
+  let placed task_id = site_of.(task_id) <> None in
+  (* Resources. *)
+  let cpu_timelines = Hashtbl.create 16 in
+  let cpu_timeline pe_id =
+    match Hashtbl.find_opt cpu_timelines pe_id with
+    | Some tl -> tl
+    | None ->
+        let tl = Timeline.create () in
+        Hashtbl.replace cpu_timelines pe_id tl;
+        tl
+  in
+  let link_timelines = Hashtbl.create 16 in
+  let link_timeline l_id =
+    match Hashtbl.find_opt link_timelines l_id with
+    | Some tl -> tl
+    | None ->
+        let tl = Timeline.create () in
+        Hashtbl.replace link_timelines l_id tl;
+        tl
+  in
+  let ppe_states = Hashtbl.create 16 in
+  let ppe_state (pe : Arch.pe_inst) =
+    match Hashtbl.find_opt ppe_states pe.Arch.p_id with
+    | Some st -> st
+    | None ->
+        let boots =
+          Array.of_list (List.map (fun m -> Arch.mode_boot_us pe m) pe.Arch.modes)
+        in
+        let st = { windows = []; boot_by_mode = boots } in
+        Hashtbl.replace ppe_states pe.Arch.p_id st;
+        st
+  in
+  let links_memo = Hashtbl.create 64 in
+  let links_between a b =
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt links_memo key with
+    | Some ls -> ls
+    | None ->
+        let ls = Arch.links_between arch a b in
+        Hashtbl.replace links_memo key ls;
+        ls
+  in
+  (* Activity windows per graph (explicit copies). *)
+  let graph_activity = Array.make n_graphs [] in
+  let note_activity graph start stop =
+    if stop > start then graph_activity.(graph) <- (start, stop) :: graph_activity.(graph)
+  in
+  (* Dependency counting over placed tasks only. *)
+  let indegree = Array.make !total 0 in
+  Array.iter
+    (fun (g : Graph.t) ->
+      Array.iter
+        (fun (e : Edge.t) ->
+          if placed e.src && placed e.dst then
+            for copy = 0 to explicit.(g.id) - 1 do
+              let dst = instance_id (Spec.task spec e.dst) copy in
+              indegree.(dst) <- indegree.(dst) + 1
+            done)
+        g.edges)
+    spec.graphs;
+  let levels = priorities spec clustering arch in
+  (* Ready-list order: most urgent effective deadline first (the
+     per-instance form of the deadline-based priority levels: the
+     effective deadline already folds arrival, the task deadline and the
+     worst-case downstream path); levels break ties within a deadline. *)
+  let cmp a b =
+    if instances.(a).abs_deadline <> instances.(b).abs_deadline then
+      compare instances.(a).abs_deadline instances.(b).abs_deadline
+    else begin
+      let ta = instances.(a).i_task and tb = instances.(b).i_task in
+      if levels.(ta) <> levels.(tb) then compare levels.(tb) levels.(ta)
+      else compare a b
+    end
+  in
+  let queue = Pqueue.create ~cmp in
+  Array.iteri
+    (fun idx inst ->
+      if placed inst.i_task && indegree.(idx) = 0 then Pqueue.add queue idx)
+    instances;
+  let scheduled_tasks = ref 0 in
+  let schedule_instance idx =
+    let inst = instances.(idx) in
+    let task = Spec.task spec inst.i_task in
+    let site = Option.get site_of.(inst.i_task) in
+    let pe = Vec.get arch.pes site.Arch.s_pe in
+    let pe_type = pe.Arch.ptype in
+    let duration = Option.value ~default:0 (Task.exec_on task pe_type.Pe.id) in
+    (* Input edges: intra-PE transfers are free; inter-PE transfers are
+       scheduled on the best connecting link. *)
+    let copy_overhead = ref 0 in
+    let ready =
+      List.fold_left
+        (fun acc (e : Edge.t) ->
+          if not (placed e.src) then acc
+          else begin
+            let src_inst = instances.(instance_id (Spec.task spec e.src) inst.i_copy) in
+            let src_site = Option.get site_of.(e.src) in
+            if src_site.Arch.s_pe = site.Arch.s_pe then max acc src_inst.finish
+            else begin
+              match links_between src_site.Arch.s_pe site.Arch.s_pe with
+              | [] -> raise (Disconnected (src_site.Arch.s_pe, site.Arch.s_pe))
+              | links ->
+                  let best =
+                    List.fold_left
+                      (fun best (l : Arch.link_inst) ->
+                        let comm =
+                          Link.comm_time l.ltype
+                            ~ports:(max 2 (List.length l.Arch.attached))
+                            ~bytes:e.bytes
+                        in
+                        let _, fin =
+                          Timeline.probe (link_timeline l.Arch.l_id)
+                            ~ready:src_inst.finish ~duration:comm
+                        in
+                        match best with
+                        | Some (_, _, best_fin) when best_fin <= fin -> best
+                        | _ -> Some (l, comm, fin)
+                      )
+                      None links
+                  in
+                  let l, comm, _ =
+                    match best with Some x -> x | None -> assert false
+                  in
+                  let s, f =
+                    Timeline.insert (link_timeline l.Arch.l_id) ~ready:src_inst.finish
+                      ~duration:comm
+                  in
+                  note_activity task.graph s f;
+                  (match pe_type.Pe.pe_class with
+                  | Pe.General_purpose cpu when not cpu.has_communication_processor ->
+                      copy_overhead :=
+                        !copy_overhead
+                        + Crusade_util.Arith.ceil_div e.bytes cpu_copy_bytes_per_us
+                  | Pe.General_purpose _ | Pe.Asic_pe _ | Pe.Programmable _ -> ());
+                  max acc f
+            end
+          end)
+        inst.arrival spec.preds.(inst.i_task)
+    in
+    let start, finish =
+      match pe_type.Pe.pe_class with
+      | Pe.General_purpose cpu ->
+          Timeline.insert_preemptible (cpu_timeline pe.Arch.p_id) ~ready
+            ~duration:(duration + !copy_overhead)
+            ~max_chunks:3 ~chunk_penalty:cpu.preemption_overhead_us
+      | Pe.Asic_pe _ -> (ready, ready + duration)
+      | Pe.Programmable _ ->
+          let st = ppe_state pe in
+          let s = ppe_find_start st ~mode:site.Arch.s_mode ~ready ~duration in
+          ppe_commit st ~mode:site.Arch.s_mode ~start:s ~stop:(s + duration);
+          (s, s + duration)
+    in
+    inst.start <- start;
+    inst.finish <- finish;
+    note_activity task.graph start finish;
+    incr scheduled_tasks;
+    (* Release successors. *)
+    List.iter
+      (fun (e : Edge.t) ->
+        if placed e.dst then begin
+          let dst = instance_id (Spec.task spec e.dst) inst.i_copy in
+          indegree.(dst) <- indegree.(dst) - 1;
+          if indegree.(dst) = 0 then Pqueue.add queue dst
+        end)
+      spec.succs.(inst.i_task)
+  in
+  match
+    let rec drain () =
+      match Pqueue.pop queue with
+      | Some idx ->
+          schedule_instance idx;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  with
+  | exception Disconnected (a, b) ->
+      Error (Printf.sprintf "no link between PE %d and PE %d" a b)
+  | () ->
+      (* Deadline verification over the explicit instances. *)
+      let tardiness = ref 0 in
+      Array.iter
+        (fun inst ->
+          if placed inst.i_task && inst.finish >= 0 then
+            tardiness := !tardiness + max 0 (inst.finish - inst.abs_deadline))
+        instances;
+      (* Graph activity over the whole hyperperiod: explicit windows plus a
+         conservative covering interval for the extrapolated copies. *)
+      let graph_windows =
+        Array.mapi
+          (fun gi acts ->
+            let g = spec.graphs.(gi) in
+            let copies = Spec.copies spec g in
+            let acts =
+              if copies > explicit.(gi) && acts <> [] then begin
+                let horizon_start = g.est + (explicit.(gi) * g.period) in
+                (horizon_start, g.est + (copies * g.period)) :: acts
+              end
+              else acts
+            in
+            Intervals.of_list acts)
+          graph_activity
+      in
+      let mode_switches = Array.make (Vec.length arch.pes) 0 in
+      Hashtbl.iter
+        (fun pe_id st -> mode_switches.(pe_id) <- count_switches st)
+        ppe_states;
+      Ok
+        {
+          instances;
+          hyperperiod;
+          deadlines_met = !tardiness = 0;
+          total_tardiness = !tardiness;
+          graph_windows;
+          mode_switches;
+          scheduled_tasks = !scheduled_tasks;
+        }

@@ -1,0 +1,64 @@
+(** The static scheduler and finish-time estimator (Section 5).
+
+    Deadline-based priority-level list scheduling over the hyperperiod:
+    - every task-graph copy in the hyperperiod is instantiated (the
+      association array), up to [copy_cap] explicit copies per graph —
+      beyond the cap the explicit schedule is extrapolated periodically;
+    - tasks become ready when their intra-copy predecessors finish and
+      their input edges have been transferred over a connecting link;
+    - general-purpose processors and links are serial resources scheduled
+      by gap insertion, with restricted preemption on processors;
+    - ASIC tasks own their circuits and run as soon as ready;
+    - programmable-PE tasks additionally wait for their configuration
+      mode: windows of different modes may not overlap, and switching
+      modes costs the reboot task (Section 4.3).
+
+    The same run yields finish-time estimation (deadline check and total
+    tardiness), the per-graph activity windows used for compatibility
+    detection (Fig. 3), and the per-device mode windows and switch counts
+    used by reconfiguration generation. *)
+
+type instance = {
+  i_task : int;  (** global task id *)
+  i_copy : int;
+  arrival : int;
+  abs_deadline : int;
+  mutable start : int;
+  mutable finish : int;
+}
+
+type t = {
+  instances : instance array;
+  hyperperiod : int;
+  deadlines_met : bool;
+  total_tardiness : int;
+  graph_windows : Crusade_util.Intervals.t array;
+      (** activity (execution + communication) per graph over the full
+          hyperperiod, capped copies replicated periodically *)
+  mode_switches : int array;  (** reconfigurations per PE instance *)
+  scheduled_tasks : int;  (** tasks covered (placed clusters only) *)
+}
+
+val default_copy_cap : int
+(** 64: graphs with more copies in the hyperperiod than this are
+    scheduled for the first [copy_cap] copies and extrapolated — the
+    association-array compromise documented in DESIGN.md. *)
+
+val run :
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (t, string) result
+(** Schedules every task whose cluster is placed in the architecture.
+    Fails only when two communicating placed tasks sit on PEs with no
+    connecting link (a broken allocation). *)
+
+val priorities :
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  int array
+(** Deadline-based priority levels under the current (partial)
+    allocation: allocated tasks use their actual execution time, edges
+    internal to a cluster or PE cost zero. *)

@@ -1,0 +1,93 @@
+type t = { mutable busy : (int * int) list }
+(* Sorted by start, disjoint, non-adjacent. *)
+
+let create () = { busy = [] }
+
+let busy t = t.busy
+
+let busy_until t =
+  let rec last = function [] -> 0 | [ (_, stop) ] -> stop | _ :: rest -> last rest in
+  last t.busy
+
+let merge_insert busy (start, stop) =
+  let rec go acc = function
+    | [] -> List.rev ((start, stop) :: acc)
+    | (s, e) :: rest when e < start -> go ((s, e) :: acc) rest
+    | rest ->
+        (* [rest] begins at or after our interval; coalesce adjacency. *)
+        let rec absorb start stop = function
+          | (s, e) :: more when s <= stop -> absorb (min s start) (max e stop) more
+          | more -> ((start, stop), more)
+        in
+        let (start, stop), more = absorb start stop rest in
+        List.rev_append acc ((start, stop) :: more)
+  in
+  go [] busy
+
+(* Find the earliest gap of length [duration] starting at or after
+   [ready]. *)
+let find_gap busy ~ready ~duration =
+  let rec go t = function
+    | [] -> t
+    | (s, e) :: rest ->
+        if t + duration <= s then t else go (max t e) rest
+  in
+  go ready busy
+
+let insert t ~ready ~duration =
+  let start = find_gap t.busy ~ready ~duration in
+  let finish = start + duration in
+  if duration > 0 then t.busy <- merge_insert t.busy (start, finish);
+  (start, finish)
+
+let insert_preemptible t ~ready ~duration ~max_chunks ~chunk_penalty =
+  if duration <= 0 then begin
+    let start = find_gap t.busy ~ready ~duration:0 in
+    (start, start)
+  end
+  else begin
+    let min_chunk = max 1 (duration / 4) in
+    (* Walk the gaps from [ready], filling as much work as allowed. *)
+    let rec fill acc_busy chunks placed t remaining first_start = function
+      | _ when chunks = max_chunks - 1 || remaining <= 0 ->
+          (acc_busy, chunks, placed, t, remaining, first_start)
+      | [] -> (acc_busy, chunks, placed, t, remaining, first_start)
+      | (s, e) :: rest ->
+          if t >= s then fill acc_busy chunks placed (max t e) remaining first_start rest
+          else begin
+            let gap = s - t in
+            if gap >= remaining then
+              (* Everything fits here: done. *)
+              (acc_busy, chunks, placed @ [ (t, t + remaining) ], t + remaining, 0,
+               (match first_start with None -> Some t | some -> some))
+            else if gap >= min_chunk then begin
+              (* Partial chunk; the resident work at [s] preempts us. *)
+              let placed = placed @ [ (t, t + gap) ] in
+              let remaining = remaining - gap + chunk_penalty in
+              fill acc_busy (chunks + 1) placed e remaining
+                (match first_start with None -> Some t | some -> some)
+                rest
+            end
+            else fill acc_busy chunks placed e remaining first_start rest
+          end
+    in
+    let _, _, placed, cursor, remaining, first_start =
+      fill t.busy 0 [] ready duration None t.busy
+    in
+    let placed, finish, first_start =
+      if remaining > 0 then begin
+        (* Tail (or whole) of the work runs after the scanned gaps. *)
+        let start = find_gap t.busy ~ready:cursor ~duration:remaining in
+        ( placed @ [ (start, start + remaining) ],
+          start + remaining,
+          match first_start with None -> Some start | some -> some )
+      end
+      else (placed, cursor, first_start)
+    in
+    List.iter (fun iv -> t.busy <- merge_insert t.busy iv) placed;
+    (Option.value ~default:finish first_start, finish)
+  end
+
+let probe t ~ready ~duration =
+  let start = find_gap t.busy ~ready ~duration in
+  (start, start + duration)

@@ -1,0 +1,180 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Graph = Crusade_taskgraph.Graph
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+
+type violation = { rule : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.rule v.detail
+
+let check (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t)
+    (sched : Schedule.t) =
+  let violations = ref [] in
+  let fail rule detail = violations := { rule; detail } :: !violations in
+  let instances = sched.Schedule.instances in
+  (* Index instances by (task, copy) for precedence lookups. *)
+  let table = Hashtbl.create (Array.length instances) in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      Hashtbl.replace table (i.Schedule.i_task, i.Schedule.i_copy) i)
+    instances;
+  let scheduled (i : Schedule.instance) = i.Schedule.start >= 0 in
+  let site_of task_id = Arch.task_site arch clustering task_id in
+  (* Per-instance checks. *)
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if scheduled i then begin
+        let task = Spec.task spec i.Schedule.i_task in
+        (match site_of task.id with
+        | None ->
+            fail "placement"
+              (Printf.sprintf "scheduled task %s has no placed cluster" task.name)
+        | Some site ->
+            let pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+            (match Task.exec_on task pe.Arch.ptype.Pe.id with
+            | None ->
+                fail "placement"
+                  (Printf.sprintf "task %s cannot execute on %s" task.name
+                     pe.Arch.ptype.Pe.name)
+            | Some exec ->
+                if i.Schedule.finish - i.Schedule.start < exec then
+                  fail "execution-time"
+                    (Printf.sprintf "%s copy %d occupies %d us < its %d us WCET"
+                       task.name i.Schedule.i_copy
+                       (i.Schedule.finish - i.Schedule.start)
+                       exec)));
+        if i.Schedule.start < i.Schedule.arrival then
+          fail "arrival"
+            (Printf.sprintf "%s copy %d starts %d before arrival %d" task.name
+               i.Schedule.i_copy i.Schedule.start i.Schedule.arrival)
+      end)
+    instances;
+  (* Precedence. *)
+  Array.iter
+    (fun (e : Edge.t) ->
+      Array.iter
+        (fun (i : Schedule.instance) ->
+          if i.Schedule.i_task = e.dst && scheduled i then begin
+            match Hashtbl.find_opt table (e.src, i.Schedule.i_copy) with
+            | Some src when scheduled src ->
+                if i.Schedule.start < src.Schedule.finish then
+                  fail "precedence"
+                    (Printf.sprintf "edge %d->%d copy %d: start %d < producer finish %d"
+                       e.src e.dst i.Schedule.i_copy i.Schedule.start
+                       src.Schedule.finish)
+            | Some _ | None -> ()
+          end)
+        instances)
+    spec.Spec.edges;
+  (* Processor capacity: explicit work per CPU fits the explicit horizon. *)
+  let cpu_work = Hashtbl.create 8 in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if scheduled i then begin
+        match site_of i.Schedule.i_task with
+        | Some site when Pe.is_cpu (Vec.get arch.Arch.pes site.Arch.s_pe).Arch.ptype ->
+            (* Count pure execution time: spans of preempted instances
+               overlap each other, so spans would double-count. *)
+            let task = Spec.task spec i.Schedule.i_task in
+            let pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+            let exec = Option.value ~default:0 (Task.exec_on task pe.Arch.ptype.Pe.id) in
+            let cur = Option.value ~default:0 (Hashtbl.find_opt cpu_work site.Arch.s_pe) in
+            Hashtbl.replace cpu_work site.Arch.s_pe (cur + exec)
+        | Some _ | None -> ()
+      end)
+    instances;
+  let horizon =
+    Array.fold_left
+      (fun acc (i : Schedule.instance) -> max acc i.Schedule.finish)
+      sched.Schedule.hyperperiod instances
+  in
+  Hashtbl.iter
+    (fun pe_id work ->
+      if work > horizon then
+        fail "cpu-capacity"
+          (Printf.sprintf "CPU %d packs %d us of work into a %d us horizon" pe_id work
+             horizon))
+    cpu_work;
+  (* Mode exclusivity and boot gaps on programmable devices. *)
+  let mode_windows = Hashtbl.create 8 in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if scheduled i then begin
+        match site_of i.Schedule.i_task with
+        | Some site when Pe.is_programmable (Vec.get arch.Arch.pes site.Arch.s_pe).Arch.ptype ->
+            let key = (site.Arch.s_pe, site.Arch.s_mode) in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt mode_windows key) in
+            Hashtbl.replace mode_windows key
+              ((i.Schedule.start, i.Schedule.finish) :: cur)
+        | Some _ | None -> ()
+      end)
+    instances;
+  let by_pe = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (pe_id, mode_id) windows ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_pe pe_id) in
+      Hashtbl.replace by_pe pe_id ((mode_id, Crusade_util.Intervals.of_list windows) :: cur))
+    mode_windows;
+  Hashtbl.iter
+    (fun pe_id modes ->
+      let pe = Vec.get arch.Arch.pes pe_id in
+      let rec pairs = function
+        | [] -> ()
+        | (ma, wa) :: rest ->
+            List.iter
+              (fun (mb, wb) ->
+                if Crusade_util.Intervals.overlaps wa wb then
+                  fail "mode-exclusivity"
+                    (Printf.sprintf "device %d: modes %d and %d execute simultaneously"
+                       pe_id ma mb)
+                else begin
+                  (* boot gap between consecutive windows of different modes *)
+                  let boot m =
+                    match List.nth_opt pe.Arch.modes m with
+                    | Some mode -> Arch.mode_boot_us pe mode
+                    | None -> 0
+                  in
+                  List.iter
+                    (fun (sa, ea) ->
+                      List.iter
+                        (fun (sb, eb) ->
+                          (* wb follows wa: gap must cover booting mb *)
+                          if sb >= ea && sb - ea < boot mb then
+                            fail "boot-gap"
+                              (Printf.sprintf
+                                 "device %d: mode %d at %d follows mode %d ending %d \
+                                  with gap %d < boot %d"
+                                 pe_id mb sb ma ea (sb - ea) (boot mb))
+                          else if sa >= eb && sa - eb < boot ma then
+                            fail "boot-gap"
+                              (Printf.sprintf
+                                 "device %d: mode %d at %d follows mode %d ending %d \
+                                  with gap %d < boot %d"
+                                 pe_id ma sa mb eb (sa - eb) (boot ma)))
+                        (Crusade_util.Intervals.to_list wb))
+                    (Crusade_util.Intervals.to_list wa)
+                end)
+              rest;
+            pairs rest
+      in
+      pairs modes)
+    by_pe;
+  (* Deadline verdict consistency. *)
+  let tardiness =
+    Array.fold_left
+      (fun acc (i : Schedule.instance) ->
+        if scheduled i then acc + max 0 (i.Schedule.finish - i.Schedule.abs_deadline)
+        else acc)
+      0 instances
+  in
+  if tardiness <> sched.Schedule.total_tardiness then
+    fail "verdict"
+      (Printf.sprintf "recomputed tardiness %d <> reported %d" tardiness
+         sched.Schedule.total_tardiness);
+  if sched.Schedule.deadlines_met <> (tardiness = 0) then
+    fail "verdict" "deadlines_met flag disagrees with the instance table";
+  List.rev !violations

@@ -1,0 +1,34 @@
+(** Independent schedule validation.
+
+    The scheduler is trusted inside the synthesis inner loop; this module
+    re-derives the invariants a correct CRUSADE schedule must satisfy
+    from first principles, so tests (and sceptical users) can check any
+    produced schedule without trusting the scheduler's own bookkeeping:
+
+    - precedence: a consumer instance never starts before its producer
+      instance finishes;
+    - arrival: no instance starts before its copy's arrival;
+    - placement: every scheduled task's cluster is placed, and the task
+      can execute on its PE type;
+    - execution time: an instance occupies at least its worst-case
+      execution time on its PE (CPU instances may stretch further due to
+      preemption and staging overheads);
+    - processor capacity: the work packed onto a CPU fits the
+      hyperperiod;
+    - mode exclusivity: executions of different configuration modes of
+      one programmable device never overlap, and consecutive windows of
+      different modes are separated by at least the mode's boot time;
+    - deadline verdict: [deadlines_met] and [total_tardiness] agree with
+      the instance table. *)
+
+type violation = { rule : string; detail : string }
+
+val check :
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  Schedule.t ->
+  violation list
+(** Empty when the schedule is sound. *)
+
+val pp_violation : Format.formatter -> violation -> unit

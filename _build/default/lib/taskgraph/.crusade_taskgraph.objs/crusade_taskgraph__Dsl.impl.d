@@ -1,0 +1,1 @@
+lib/taskgraph/dsl.ml: Array Buffer Edge Graph Hashtbl In_channel List Out_channel Printf Spec String Task

@@ -1,0 +1,1 @@
+lib/taskgraph/dsl.mli: Spec

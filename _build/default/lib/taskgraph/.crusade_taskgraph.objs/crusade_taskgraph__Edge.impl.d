@@ -1,0 +1,1 @@
+lib/taskgraph/edge.ml: Array

@@ -1,0 +1,1 @@
+lib/taskgraph/graph.ml: Array Edge Hashtbl List Option Printf Queue Task

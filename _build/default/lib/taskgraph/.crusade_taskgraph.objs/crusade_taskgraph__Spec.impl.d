@@ -1,0 +1,1 @@
+lib/taskgraph/spec.ml: Array Crusade_util Edge Graph Hashtbl List Task

@@ -1,0 +1,1 @@
+lib/taskgraph/spec.mli: Edge Graph Task

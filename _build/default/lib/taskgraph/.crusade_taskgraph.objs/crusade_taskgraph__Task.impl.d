@@ -1,0 +1,1 @@
+lib/taskgraph/task.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/taskgraph/task.mli:

@@ -1,0 +1,253 @@
+(* Line-oriented parser: tokenize each line, dispatch on the first word,
+   carry mutable builder state. *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected an integer, got %S" s)
+
+let float_of line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected a number, got %S" s)
+
+let exec_of line s =
+  String.split_on_char ',' s |> List.map (int_of line) |> Array.of_list
+
+(* Consume "key value ..." option pairs from a token list. *)
+type task_options = {
+  mutable exec : int array option;
+  mutable preference : int array option;
+  mutable memory : Task.memory;
+  mutable gates : int;
+  mutable pins : int;
+  mutable deadline : int option;
+  mutable exclude : string list;
+}
+
+let parse_task_options line rest =
+  let o =
+    {
+      exec = None;
+      preference = None;
+      memory = Task.no_memory;
+      gates = 0;
+      pins = 0;
+      deadline = None;
+      exclude = [];
+    }
+  in
+  let rec go = function
+    | [] -> o
+    | "exec" :: v :: rest ->
+        o.exec <- Some (exec_of line v);
+        go rest
+    | "pref" :: v :: rest ->
+        o.preference <- Some (exec_of line v);
+        go rest
+    | "mem" :: p :: d :: s :: rest ->
+        o.memory <-
+          {
+            Task.program_bytes = int_of line p;
+            data_bytes = int_of line d;
+            stack_bytes = int_of line s;
+          };
+        go rest
+    | "gates" :: v :: rest ->
+        o.gates <- int_of line v;
+        go rest
+    | "pins" :: v :: rest ->
+        o.pins <- int_of line v;
+        go rest
+    | "deadline" :: v :: rest ->
+        o.deadline <- Some (int_of line v);
+        go rest
+    | "exclude" :: v :: rest ->
+        o.exclude <- String.split_on_char ',' v;
+        go rest
+    | key :: _ -> fail line (Printf.sprintf "unknown task option %S" key)
+  in
+  go rest
+
+type graph_header = {
+  g_period : int;
+  g_est : int;
+  g_deadline : int;
+  g_unavail : float option;
+  g_compat : string list;
+}
+
+let parse_graph_header line rest =
+  let period = ref None
+  and est = ref 0
+  and deadline = ref None
+  and unavail = ref None
+  and compat = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "period" :: v :: rest ->
+        period := Some (int_of line v);
+        go rest
+    | "est" :: v :: rest ->
+        est := int_of line v;
+        go rest
+    | "deadline" :: v :: rest ->
+        deadline := Some (int_of line v);
+        go rest
+    | "unavail" :: v :: rest ->
+        unavail := Some (float_of line v);
+        go rest
+    | "compat" :: rest ->
+        (* the remaining tokens are graph names *)
+        compat := rest
+    | key :: _ -> fail line (Printf.sprintf "unknown graph option %S" key)
+  in
+  go rest;
+  match (!period, !deadline) with
+  | Some p, Some d ->
+      { g_period = p; g_est = !est; g_deadline = d; g_unavail = !unavail; g_compat = !compat }
+  | None, _ -> fail line "graph needs a period"
+  | _, None -> fail line "graph needs a deadline"
+
+let parse text =
+  let builder = Spec.Builder.create () in
+  let spec_name = ref "spec" in
+  let boot = ref None in
+  let graph_ids = Hashtbl.create 8 in
+  (* task name -> global id (task names must be unique spec-wide to keep
+     exclusion references unambiguous) *)
+  let task_ids = Hashtbl.create 64 in
+  let current_graph = ref None in
+  (* exclusions may reference tasks declared later: resolve at the end via
+     a patch list is impossible with the immutable builder, so forward
+     references are rejected instead. *)
+  let handle line_no line =
+    match tokens line with
+    | [] -> ()
+    | hd :: _ when String.length hd > 0 && hd.[0] = '#' -> ()
+    | [ "spec"; name ] -> spec_name := name
+    | [ "boot_requirement"; v ] -> boot := Some (int_of line_no v)
+    | "graph" :: name :: rest ->
+        let h = parse_graph_header line_no rest in
+        let compat_with =
+          List.map
+            (fun g ->
+              match Hashtbl.find_opt graph_ids g with
+              | Some id -> id
+              | None -> fail line_no (Printf.sprintf "unknown graph %S in compat" g))
+            h.g_compat
+        in
+        let gid =
+          Spec.Builder.add_graph builder ~name ~period:h.g_period ~est:h.g_est
+            ~deadline:h.g_deadline ~compat_with
+            ?unavailability_budget:h.g_unavail ()
+        in
+        Hashtbl.replace graph_ids name gid;
+        current_graph := Some gid
+    | "task" :: name :: rest -> (
+        match !current_graph with
+        | None -> fail line_no "task outside a graph"
+        | Some gid ->
+            if Hashtbl.mem task_ids name then
+              fail line_no (Printf.sprintf "duplicate task name %S" name);
+            let o = parse_task_options line_no rest in
+            let exec =
+              match o.exec with
+              | Some e -> e
+              | None -> fail line_no "task needs an exec vector"
+            in
+            let exclusion =
+              List.map
+                (fun t ->
+                  match Hashtbl.find_opt task_ids t with
+                  | Some id -> id
+                  | None ->
+                      fail line_no
+                        (Printf.sprintf "unknown task %S in exclude (forward \
+                                         references are not supported)" t))
+                o.exclude
+            in
+            let id =
+              Spec.Builder.add_task builder ~graph:gid ~name ~exec
+                ?preference:o.preference ~exclusion ~memory:o.memory ~gates:o.gates
+                ~pins:o.pins ?deadline:o.deadline ()
+            in
+            Hashtbl.replace task_ids name id)
+    | [ "edge"; src; dst; bytes ] -> (
+        match (Hashtbl.find_opt task_ids src, Hashtbl.find_opt task_ids dst) with
+        | Some s, Some d ->
+            Spec.Builder.add_edge builder ~src:s ~dst:d ~bytes:(int_of line_no bytes)
+        | None, _ -> fail line_no (Printf.sprintf "unknown task %S" src)
+        | _, None -> fail line_no (Printf.sprintf "unknown task %S" dst))
+    | hd :: _ -> fail line_no (Printf.sprintf "unknown directive %S" hd)
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line -> handle (i + 1) (String.trim line))
+  with
+  | () ->
+      Spec.Builder.finish builder ~name:!spec_name ?boot_time_requirement:!boot ()
+  | exception Parse_error (line, msg) ->
+      Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Invalid_argument msg -> Error msg
+
+let print (spec : Spec.t) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "spec %s\n" spec.name;
+  out "boot_requirement %d\n" spec.boot_time_requirement;
+  let task_name id = (Spec.task spec id).Task.name in
+  Array.iter
+    (fun (g : Graph.t) ->
+      out "\ngraph %s period %d est %d deadline %d" g.name g.period g.est g.deadline;
+      (match g.unavailability_budget with
+      | Some u -> out " unavail %g" u
+      | None -> ());
+      (match g.compat with
+      | Some vector ->
+          let names =
+            List.filteri (fun j _ -> j < g.id && vector.(j)) (Array.to_list spec.graphs)
+            |> List.map (fun (h : Graph.t) -> h.name)
+          in
+          if names <> [] then out " compat %s" (String.concat " " names)
+      | None -> ());
+      out "\n";
+      Array.iter
+        (fun (task : Task.t) ->
+          out "  task %s exec %s" task.name
+            (String.concat "," (List.map string_of_int (Array.to_list task.exec)));
+          (match task.preference with
+          | Some pref ->
+              out " pref %s"
+                (String.concat "," (List.map string_of_int (Array.to_list pref)))
+          | None -> ());
+          if Task.total_bytes task.memory > 0 then
+            out " mem %d %d %d" task.memory.Task.program_bytes
+              task.memory.Task.data_bytes task.memory.Task.stack_bytes;
+          if task.gates > 0 then out " gates %d" task.gates;
+          if task.pins > 0 then out " pins %d" task.pins;
+          (match task.deadline with Some d -> out " deadline %d" d | None -> ());
+          if task.exclusion <> [] then
+            out " exclude %s" (String.concat "," (List.map task_name task.exclusion));
+          out "\n")
+        g.tasks;
+      Array.iter
+        (fun (e : Edge.t) ->
+          out "  edge %s %s %d\n" (task_name e.src) (task_name e.dst) e.bytes)
+        g.edges)
+    spec.graphs;
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let save path spec =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (print spec))

@@ -1,0 +1,38 @@
+(** Textual specification format.
+
+    A line-oriented format for writing embedded-system specifications by
+    hand or exchanging them between tools:
+
+    {v
+    spec radio
+    boot_requirement 50000
+
+    graph rx period 64000 est 0 deadline 16000 unavail 4.0
+      task fe    exec -1,-1,120,100   gates 40 pins 6
+      task demod exec -1,-1,180,150   gates 55 pins 4 deadline 9000
+      task ctl   exec 300,150,-1,-1   mem 16384 8192 2048
+      edge fe demod 64
+      edge demod ctl 128
+
+    graph tx period 64000 est 32000 deadline 16000 compat rx
+      task mod exec -1,-1,200,170 gates 50 pins 5 exclude fe
+    v}
+
+    Execution vectors are comma-separated per PE type ([-1] =
+    infeasible); [mem] takes program/data/stack bytes; [compat] names
+    previously declared graphs this one may time-share devices with;
+    [exclude] names tasks (of any earlier graph) that may not share a
+    PE.  Lines starting with [#] are comments. *)
+
+val parse : string -> (Spec.t, string) result
+(** Parses the textual form.  Errors carry a line number. *)
+
+val print : Spec.t -> string
+(** Prints a specification in the same format; [parse (print s)] yields
+    a specification equivalent to [s]. *)
+
+val load : string -> (Spec.t, string) result
+(** Reads and parses a file. *)
+
+val save : string -> Spec.t -> unit
+(** Writes [print spec] to a file. *)

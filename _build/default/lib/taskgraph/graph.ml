@@ -1,0 +1,84 @@
+type t = {
+  id : int;
+  name : string;
+  period : int;
+  est : int;
+  deadline : int;
+  tasks : Task.t array;
+  edges : Edge.t array;
+  compat : bool array option;
+  unavailability_budget : float option;
+}
+
+let n_tasks t = Array.length t.tasks
+
+let task_ids t = Array.to_list (Array.map (fun (task : Task.t) -> task.id) t.tasks)
+
+let degree_tables t =
+  let ids = Hashtbl.create (Array.length t.tasks) in
+  Array.iter (fun (task : Task.t) -> Hashtbl.replace ids task.id ()) t.tasks;
+  let out_deg = Hashtbl.create 16 and in_deg = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Edge.t) ->
+      Hashtbl.replace out_deg e.src (1 + Option.value ~default:0 (Hashtbl.find_opt out_deg e.src));
+      Hashtbl.replace in_deg e.dst (1 + Option.value ~default:0 (Hashtbl.find_opt in_deg e.dst)))
+    t.edges;
+  (ids, in_deg, out_deg)
+
+let sinks t =
+  let _, _, out_deg = degree_tables t in
+  Array.to_list t.tasks
+  |> List.filter (fun (task : Task.t) -> not (Hashtbl.mem out_deg task.id))
+
+let sources t =
+  let _, in_deg, _ = degree_tables t in
+  Array.to_list t.tasks
+  |> List.filter (fun (task : Task.t) -> not (Hashtbl.mem in_deg task.id))
+
+let task_deadline t (task : Task.t) =
+  match task.deadline with Some d -> d | None -> t.deadline
+
+let topological_order t =
+  let n = Array.length t.tasks in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i (task : Task.t) -> Hashtbl.replace index_of task.id i) t.tasks;
+  let in_deg = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun (e : Edge.t) ->
+      let si = Hashtbl.find index_of e.src and di = Hashtbl.find index_of e.dst in
+      in_deg.(di) <- in_deg.(di) + 1;
+      succs.(si) <- di :: succs.(si))
+    t.edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) in_deg;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    order := t.tasks.(i) :: !order;
+    let relax j =
+      in_deg.(j) <- in_deg.(j) - 1;
+      if in_deg.(j) = 0 then Queue.add j queue
+    in
+    List.iter relax succs.(i)
+  done;
+  if !seen <> n then failwith (Printf.sprintf "Graph.topological_order: cycle in %s" t.name)
+  else List.rev !order
+
+let validate t =
+  let ids, _, _ = degree_tables t in
+  let bad_edge =
+    Array.exists
+      (fun (e : Edge.t) -> not (Hashtbl.mem ids e.src && Hashtbl.mem ids e.dst))
+      t.edges
+  in
+  if t.period <= 0 then Error (t.name ^ ": non-positive period")
+  else if t.deadline <= 0 then Error (t.name ^ ": non-positive deadline")
+  else if t.est < 0 then Error (t.name ^ ": negative earliest start time")
+  else if bad_edge then Error (t.name ^ ": edge references a non-member task")
+  else begin
+    match topological_order t with
+    | _ -> Ok ()
+    | exception Failure msg -> Error msg
+  end

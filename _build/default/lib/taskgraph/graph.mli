@@ -1,0 +1,44 @@
+(** A periodic acyclic task graph (Fig. 1): earliest start time, period and
+    deadline, plus the optional compatibility vector of Section 4.1. *)
+
+type t = {
+  id : int;
+  name : string;
+  period : int;  (** period (us); the graph re-arrives every [period] *)
+  est : int;  (** earliest start time of the first copy (us) *)
+  deadline : int;
+      (** end-to-end deadline (us, relative to each copy's arrival);
+          applies to sink tasks that carry no own deadline *)
+  tasks : Task.t array;
+  edges : Edge.t array;
+  compat : bool array option;
+      (** [compat.(j)] = this graph is compatible with graph [j] (their
+          execution slots never overlap, so they may time-share PPEs);
+          [None] = unknown, to be discovered from the schedule (Fig. 3) *)
+  unavailability_budget : float option;
+      (** CRUSADE-FT: maximum unavailability in minutes/year *)
+}
+
+val n_tasks : t -> int
+
+val task_ids : t -> int list
+(** Global ids of the member tasks. *)
+
+val sinks : t -> Task.t list
+(** Tasks with no outgoing edge. *)
+
+val sources : t -> Task.t list
+(** Tasks with no incoming edge. *)
+
+val task_deadline : t -> Task.t -> int
+(** Effective deadline of a task relative to copy arrival: its own
+    [deadline] if set, otherwise the graph deadline (sinks), otherwise
+    the graph deadline too — interior tasks inherit the end-to-end
+    deadline as a latest-completion bound. *)
+
+val validate : t -> (unit, string) result
+(** Checks that the graph is acyclic, edges reference member tasks, the
+    period is positive and the deadline positive. *)
+
+val topological_order : t -> Task.t list
+(** Member tasks in a topological order.  @raise Failure on a cycle. *)

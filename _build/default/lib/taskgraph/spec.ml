@@ -1,0 +1,229 @@
+type t = {
+  name : string;
+  graphs : Graph.t array;
+  tasks : Task.t array;
+  edges : Edge.t array;
+  succs : Edge.t list array;
+  preds : Edge.t list array;
+  boot_time_requirement : int;
+}
+
+let default_boot_requirement = 50_000 (* 50 ms *)
+
+let build ~name ?(boot_time_requirement = default_boot_requirement) graph_list =
+  let graphs = Array.of_list graph_list in
+  let rec first_error i =
+    if i >= Array.length graphs then None
+    else begin
+      match Graph.validate graphs.(i) with
+      | Ok () -> first_error (i + 1)
+      | Error msg -> Some msg
+    end
+  in
+  match first_error 0 with
+  | Some msg -> Error msg
+  | None ->
+      let tasks =
+        Array.concat (Array.to_list (Array.map (fun (g : Graph.t) -> g.tasks) graphs))
+      in
+      let edges =
+        Array.concat (Array.to_list (Array.map (fun (g : Graph.t) -> g.edges) graphs))
+      in
+      let n = Array.length tasks in
+      let ids_ok =
+        Array.for_all (fun (task : Task.t) -> task.id >= 0 && task.id < n) tasks
+      in
+      let distinct =
+        let seen = Array.make n false in
+        Array.for_all
+          (fun (task : Task.t) ->
+            if task.id < 0 || task.id >= n || seen.(task.id) then false
+            else begin
+              seen.(task.id) <- true;
+              true
+            end)
+          tasks
+      in
+      let graph_ids_ok =
+        Array.for_all
+          (fun (g : Graph.t) ->
+            g.id >= 0 && g.id < Array.length graphs && graphs.(g.id) == g)
+          graphs
+      in
+      if not (ids_ok && distinct) then Error (name ^ ": task ids are not a permutation")
+      else if not graph_ids_ok then Error (name ^ ": graph ids must equal indices")
+      else begin
+        (* Re-order the flat task table so that [tasks.(i).id = i]. *)
+        let by_id = Array.make n tasks.(0) in
+        Array.iter (fun (task : Task.t) -> by_id.(task.id) <- task) tasks;
+        let edges = Array.mapi (fun i (e : Edge.t) -> { e with id = i }) edges in
+        let succs = Array.make n [] and preds = Array.make n [] in
+        Array.iter
+          (fun (e : Edge.t) ->
+            succs.(e.src) <- e :: succs.(e.src);
+            preds.(e.dst) <- e :: preds.(e.dst))
+          edges;
+        Ok { name; graphs; tasks = by_id; edges; succs; preds; boot_time_requirement }
+      end
+
+let build_exn ~name ?boot_time_requirement graph_list =
+  match build ~name ?boot_time_requirement graph_list with
+  | Ok t -> t
+  | Error msg -> failwith ("Spec.build: " ^ msg)
+
+let n_tasks t = Array.length t.tasks
+let n_edges t = Array.length t.edges
+let n_graphs t = Array.length t.graphs
+let task t i = t.tasks.(i)
+let edge t i = t.edges.(i)
+let graph_of_task t (task : Task.t) = t.graphs.(task.graph)
+
+let hyperperiod t =
+  let periods = Array.to_list (Array.map (fun (g : Graph.t) -> g.period) t.graphs) in
+  Crusade_util.Arith.lcm_list periods
+
+let copies t (g : Graph.t) = hyperperiod t / g.period
+
+module Builder = struct
+  type pending_graph = {
+    g_name : string;
+    period : int;
+    est : int;
+    deadline : int;
+    compat_with : int list;
+    unavailability_budget : float option;
+    mutable g_tasks : Task.t list;  (* reverse order *)
+    mutable g_edges : Edge.t list;  (* reverse order *)
+  }
+
+  type b = {
+    mutable graphs_rev : pending_graph list;
+    mutable n_graphs : int;
+    mutable next_task : int;
+    mutable task_graph : (int, int) Hashtbl.t;  (* task id -> graph id *)
+  }
+
+  let create () =
+    { graphs_rev = []; n_graphs = 0; next_task = 0; task_graph = Hashtbl.create 64 }
+
+  let nth_graph b i =
+    let from_end = b.n_graphs - 1 - i in
+    List.nth b.graphs_rev from_end
+
+  let add_graph b ~name ~period ?(est = 0) ~deadline ?(compat_with = [])
+      ?unavailability_budget () =
+    let id = b.n_graphs in
+    let pg =
+      {
+        g_name = name;
+        period;
+        est;
+        deadline;
+        compat_with;
+        unavailability_budget;
+        g_tasks = [];
+        g_edges = [];
+      }
+    in
+    b.graphs_rev <- pg :: b.graphs_rev;
+    b.n_graphs <- id + 1;
+    id
+
+  let add_task b ~graph ~name ~exec ?preference ?(exclusion = [])
+      ?(memory = Task.no_memory) ?(gates = 0) ?(pins = 0) ?deadline
+      ?(ft = Task.default_ft) () =
+    let pg = nth_graph b graph in
+    let id = b.next_task in
+    b.next_task <- id + 1;
+    Hashtbl.replace b.task_graph id graph;
+    let task : Task.t =
+      { id; name; graph; exec; preference; exclusion; memory; gates; pins; deadline; ft }
+    in
+    pg.g_tasks <- task :: pg.g_tasks;
+    id
+
+  let add_edge b ~src ~dst ~bytes =
+    let gs = Hashtbl.find_opt b.task_graph src
+    and gd = Hashtbl.find_opt b.task_graph dst in
+    match (gs, gd) with
+    | Some gs, Some gd when gs = gd ->
+        let pg = nth_graph b gs in
+        pg.g_edges <- { Edge.id = 0; src; dst; bytes } :: pg.g_edges
+    | Some _, Some _ -> invalid_arg "Spec.Builder.add_edge: endpoints in different graphs"
+    | _ -> invalid_arg "Spec.Builder.add_edge: unknown task id"
+
+  let finish b ~name ?boot_time_requirement () =
+    let pending = List.rev b.graphs_rev in
+    (* Symmetric closure of the declared compatibilities. *)
+    let n = b.n_graphs in
+    let declared = Array.make_matrix n n false in
+    List.iteri
+      (fun i pg ->
+        List.iter
+          (fun j ->
+            if j >= 0 && j < n then begin
+              declared.(i).(j) <- true;
+              declared.(j).(i) <- true
+            end)
+          pg.compat_with)
+      pending;
+    let any_declared = List.exists (fun pg -> pg.compat_with <> []) pending in
+    let graphs =
+      List.mapi
+        (fun i pg ->
+          {
+            Graph.id = i;
+            name = pg.g_name;
+            period = pg.period;
+            est = pg.est;
+            deadline = pg.deadline;
+            tasks = Array.of_list (List.rev pg.g_tasks);
+            edges = Array.of_list (List.rev pg.g_edges);
+            compat = (if any_declared then Some declared.(i) else None);
+            unavailability_budget = pg.unavailability_budget;
+          })
+        pending
+    in
+    build ~name ?boot_time_requirement graphs
+
+  let finish_exn b ~name ?boot_time_requirement () =
+    match finish b ~name ?boot_time_requirement () with
+    | Ok t -> t
+    | Error msg -> failwith ("Spec.Builder.finish: " ^ msg)
+end
+
+let envelopes_overlap (a : Graph.t) (b : Graph.t) =
+  let lcm = Crusade_util.Arith.lcm a.period b.period in
+  let copies_a = lcm / a.period and copies_b = lcm / b.period in
+  (* Compare envelopes modulo the common hyperperiod; deadlines beyond the
+     period boundary wrap conservatively. *)
+  let overlap_1d s1 e1 s2 e2 = s1 < e2 && s2 < e1 in
+  let rec scan_a k =
+    if k >= copies_a then false
+    else begin
+      let sa = a.est + (k * a.period) in
+      let ea = sa + a.deadline in
+      let rec scan_b m =
+        if m >= copies_b then false
+        else begin
+          let sb = b.est + (m * b.period) in
+          let eb = sb + b.deadline in
+          overlap_1d sa ea sb eb
+          || overlap_1d sa ea (sb + lcm) (eb + lcm)
+          || overlap_1d (sa + lcm) (ea + lcm) sb eb
+          || scan_b (m + 1)
+        end
+      in
+      scan_b 0 || scan_a (k + 1)
+    end
+  in
+  scan_a 0
+
+let static_compatible t gi gj =
+  if gi = gj then false
+  else begin
+    let a = t.graphs.(gi) and b = t.graphs.(gj) in
+    match a.Graph.compat with
+    | Some vector when gj < Array.length vector -> vector.(gj)
+    | Some _ | None -> not (envelopes_overlap a b)
+  end

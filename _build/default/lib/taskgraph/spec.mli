@@ -1,0 +1,93 @@
+(** A complete embedded-system specification: a set of periodic acyclic
+    task graphs plus system-wide requirements (the boot-time requirement
+    of Section 4.4).
+
+    Tasks and edges have global ids so the synthesis pipeline can use
+    flat arrays; [tasks.(i).id = i] and [edges.(i).id = i]. *)
+
+type t = private {
+  name : string;
+  graphs : Graph.t array;
+  tasks : Task.t array;
+  edges : Edge.t array;
+  succs : Edge.t list array;  (** outgoing edges, indexed by task id *)
+  preds : Edge.t list array;  (** incoming edges, indexed by task id *)
+  boot_time_requirement : int;
+      (** maximum tolerated reconfiguration (mode-switch) time, us *)
+}
+
+val build :
+  name:string -> ?boot_time_requirement:int -> Graph.t list -> (t, string) result
+(** Validates every graph and the id numbering.  The default boot-time
+    requirement is 50 ms. *)
+
+val build_exn :
+  name:string -> ?boot_time_requirement:int -> Graph.t list -> t
+
+val n_tasks : t -> int
+val n_edges : t -> int
+val n_graphs : t -> int
+
+val task : t -> int -> Task.t
+val edge : t -> int -> Edge.t
+val graph_of_task : t -> Task.t -> Graph.t
+
+val hyperperiod : t -> int
+(** Least common multiple of all graph periods (traditional real-time
+    computing; Section 3). *)
+
+val copies : t -> Graph.t -> int
+(** [hyperperiod / period]: number of copies of the graph inside the
+    hyperperiod — the association-array row count for that graph. *)
+
+(** Incremental construction used by workload generators and examples. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val add_graph :
+    b ->
+    name:string ->
+    period:int ->
+    ?est:int ->
+    deadline:int ->
+    ?compat_with:int list ->
+    ?unavailability_budget:float ->
+    unit ->
+    int
+  (** Returns the new graph's id.  [compat_with] lists ids of previously
+      added graphs this one is declared compatible with (the declaration
+      is made symmetric at [finish] time). *)
+
+  val add_task :
+    b ->
+    graph:int ->
+    name:string ->
+    exec:int array ->
+    ?preference:int array ->
+    ?exclusion:int list ->
+    ?memory:Task.memory ->
+    ?gates:int ->
+    ?pins:int ->
+    ?deadline:int ->
+    ?ft:Task.ft_info ->
+    unit ->
+    int
+  (** Returns the new task's global id. *)
+
+  val add_edge : b -> src:int -> dst:int -> bytes:int -> unit
+  (** Both endpoints must belong to the same graph. *)
+
+  val finish : b -> name:string -> ?boot_time_requirement:int -> unit -> (t, string) result
+
+  val finish_exn : b -> name:string -> ?boot_time_requirement:int -> unit -> t
+end
+
+val static_compatible : t -> int -> int -> bool
+(** Design-time compatibility of two graphs: declared compatibility
+    vectors win; otherwise the arrival-to-deadline envelopes of all
+    copies are intersected over the two periods' LCM.  Disjoint
+    envelopes guarantee disjoint execution slots in any deadline-meeting
+    schedule, so the graphs may time-share a programmable device
+    (Section 4.1).  A graph is never compatible with itself. *)

@@ -1,0 +1,67 @@
+type memory = { program_bytes : int; data_bytes : int; stack_bytes : int }
+
+let no_memory = { program_bytes = 0; data_bytes = 0; stack_bytes = 0 }
+let total_bytes m = m.program_bytes + m.data_bytes + m.stack_bytes
+
+type assertion_spec = {
+  assertion_name : string;
+  coverage : float;
+  check_exec : int array;
+  check_bytes : int;
+}
+
+type ft_info = {
+  assertions : assertion_spec list;
+  error_transparent : bool;
+  required_coverage : float;
+}
+
+let default_ft = { assertions = []; error_transparent = false; required_coverage = 0.0 }
+
+type t = {
+  id : int;
+  name : string;
+  graph : int;
+  exec : int array;
+  preference : int array option;
+  exclusion : int list;
+  memory : memory;
+  gates : int;
+  pins : int;
+  deadline : int option;
+  ft : ft_info;
+}
+
+let exec_on t pe_type =
+  if pe_type < 0 || pe_type >= Array.length t.exec then None
+  else begin
+    let time = t.exec.(pe_type) in
+    let preferred =
+      match t.preference with None -> true | Some pref -> pref.(pe_type) <> 0
+    in
+    if time < 0 || not preferred then None else Some time
+  end
+
+let can_run_on t pe_type = exec_on t pe_type <> None
+
+let fold_feasible f init t =
+  let acc = ref init in
+  Array.iteri
+    (fun pe_type _ ->
+      match exec_on t pe_type with
+      | Some time -> acc := f !acc time
+      | None -> ())
+    t.exec;
+  !acc
+
+let max_exec t =
+  match fold_feasible (fun acc x -> Some (match acc with None -> x | Some a -> max a x)) None t with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Task.max_exec: task %s runs nowhere" t.name)
+
+let min_exec t =
+  match fold_feasible (fun acc x -> Some (match acc with None -> x | Some a -> min a x)) None t with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Task.min_exec: task %s runs nowhere" t.name)
+
+let excludes a b = List.mem b.id a.exclusion || List.mem a.id b.exclusion

@@ -1,0 +1,71 @@
+(** Tasks: the atomic units of embedded-system functionality.
+
+    A task carries the four characterization vectors of Section 2.2:
+    execution-time vector (per PE type), preference vector, exclusion
+    vector and memory vector — plus the hardware area (gates / PFUs and
+    pins) it occupies when mapped to an ASIC or a programmable device, and
+    the optional fault-tolerance annotations used by CRUSADE-FT. *)
+
+type memory = { program_bytes : int; data_bytes : int; stack_bytes : int }
+
+val no_memory : memory
+val total_bytes : memory -> int
+
+type assertion_spec = {
+  assertion_name : string;
+  coverage : float;  (** fault coverage achieved by this assertion, in [0,1] *)
+  check_exec : int array;  (** execution-time vector of the check task *)
+  check_bytes : int;  (** bytes on the checked-task -> check-task edge *)
+}
+(** An available assertion check for a task (parity, checksum, address
+    range, ...).  When a single assertion's coverage is insufficient, a
+    group of assertions is applied together (Section 6). *)
+
+type ft_info = {
+  assertions : assertion_spec list;
+      (** available assertions; empty means the task must be protected by
+          duplicate-and-compare *)
+  error_transparent : bool;
+      (** the task propagates input errors to its outputs, allowing a
+          downstream assertion to cover it *)
+  required_coverage : float;  (** fault coverage demanded for this task *)
+}
+
+val default_ft : ft_info
+
+type t = {
+  id : int;  (** global id, unique across the whole specification *)
+  name : string;
+  graph : int;  (** owning task-graph id *)
+  exec : int array;
+      (** [exec.(p)] = worst-case execution time (us) on PE type [p];
+          [-1] marks an infeasible mapping *)
+  preference : int array option;
+      (** optional 0/1 vector over PE types; [0] forbids the mapping
+          even when [exec] would allow it *)
+  exclusion : int list;  (** global task ids that may not share a PE *)
+  memory : memory;
+  gates : int;  (** area (gates or PFUs) when implemented in hardware *)
+  pins : int;  (** device pins consumed when implemented in hardware *)
+  deadline : int option;
+      (** deadline (us, relative to the copy's arrival); typically set on
+          sink tasks *)
+  ft : ft_info;
+}
+
+val exec_on : t -> int -> int option
+(** [exec_on task pe_type] is the execution time on that PE type, [None]
+    when infeasible or forbidden by the preference vector. *)
+
+val can_run_on : t -> int -> bool
+
+val max_exec : t -> int
+(** Worst feasible execution time across PE types (used for priority
+    levels before allocation).  @raise Failure if the task can run
+    nowhere. *)
+
+val min_exec : t -> int
+(** Best feasible execution time across PE types. *)
+
+val excludes : t -> t -> bool
+(** Whether the two tasks appear in each other's exclusion vectors. *)

@@ -1,0 +1,1 @@
+lib/util/disjoint_set.ml: Array Hashtbl List

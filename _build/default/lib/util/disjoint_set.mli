@@ -1,0 +1,16 @@
+(** Union-find over integers [0 .. n-1], with path compression and union
+    by rank.  Used for service-module grouping and merge bookkeeping. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** Equivalence classes, each sorted ascending; classes ordered by their
+    smallest member. *)

@@ -1,0 +1,60 @@
+type interval = { start : int; stop : int }
+
+type t = interval list
+(* Sorted by [start]; disjoint and non-adjacent (normalized). *)
+
+let empty = []
+
+let normalize pairs =
+  let cmp a b = compare a.start b.start in
+  let sorted = List.sort cmp pairs in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | iv :: rest -> (
+        match acc with
+        | prev :: acc' when iv.start <= prev.stop ->
+            merge ({ prev with stop = max prev.stop iv.stop } :: acc') rest
+        | _ -> merge (iv :: acc) rest)
+  in
+  merge [] sorted
+
+let of_list pairs =
+  let ivs =
+    List.filter_map
+      (fun (start, stop) ->
+        if start > stop then invalid_arg "Intervals.of_list: start > stop"
+        else if start = stop then None
+        else Some { start; stop })
+      pairs
+  in
+  normalize ivs
+
+let to_list t = List.map (fun iv -> (iv.start, iv.stop)) t
+
+let add t start stop =
+  if start > stop then invalid_arg "Intervals.add: start > stop"
+  else if start = stop then t
+  else normalize ({ start; stop } :: t)
+
+let union a b = normalize (a @ b)
+
+let rec overlaps a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | x :: xs, y :: ys ->
+      if x.stop <= y.start then overlaps xs b
+      else if y.stop <= x.start then overlaps a ys
+      else true
+
+let overlaps_interval t start stop =
+  if start >= stop then false else overlaps t [ { start; stop } ]
+
+let total_length t = List.fold_left (fun acc iv -> acc + (iv.stop - iv.start)) 0 t
+
+let is_empty t = t = []
+
+let span = function
+  | [] -> None
+  | first :: _ as t ->
+      let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> assert false in
+      Some (first.start, (last t).stop)

@@ -1,0 +1,39 @@
+(** Half-open time intervals [\[start, stop)] and busy-window sets.
+
+    The scheduler represents the activity of a task-graph copy, a PE
+    timeline slot or a mode's occupation as interval sets; compatibility of
+    two task graphs (Section 4.1 of the paper) is the emptiness of the
+    intersection of their busy-window sets over the hyperperiod. *)
+
+type interval = { start : int; stop : int }
+(** Invariant: [start <= stop].  The interval is empty when [start = stop]. *)
+
+type t
+(** An immutable normalized set of disjoint, sorted intervals. *)
+
+val empty : t
+
+val of_list : (int * int) list -> t
+(** Builds a set from arbitrary (possibly overlapping, unsorted) pairs;
+    empty pairs are dropped.  @raise Invalid_argument if any pair has
+    [start > stop]. *)
+
+val to_list : t -> (int * int) list
+(** Sorted disjoint intervals. *)
+
+val add : t -> int -> int -> t
+(** [add t start stop] inserts one interval. *)
+
+val union : t -> t -> t
+
+val overlaps : t -> t -> bool
+(** Whether the two sets share any instant. *)
+
+val overlaps_interval : t -> int -> int -> bool
+
+val total_length : t -> int
+
+val is_empty : t -> bool
+
+val span : t -> (int * int) option
+(** Smallest interval covering the whole set, or [None] when empty. *)

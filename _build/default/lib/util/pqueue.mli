@@ -1,0 +1,27 @@
+(** Mutable binary-heap priority queue.
+
+    The element with the smallest key (per the comparison supplied at
+    creation) is served first.  Used by the scheduler's ready list and by
+    the router's wavefront expansion. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty queue ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when the queue is empty. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order, not sorted). *)

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the library draws from an explicit [t]
+    so that workload generation, placement and routing are reproducible
+    from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split rng] derives an independent generator from [rng], advancing
+    [rng] by one step.  Used to give each subsystem its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in rng lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance rng p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

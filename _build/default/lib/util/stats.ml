@@ -1,0 +1,15 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = Arith.clamp ~lo:0 ~hi:(n - 1) (rank - 1) in
+      List.nth sorted idx

@@ -1,0 +1,11 @@
+(** Small descriptive-statistics helpers used when reporting experiments. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument on the empty list. *)

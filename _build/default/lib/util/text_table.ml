@@ -1,0 +1,36 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows in
+  let get_align i = match List.nth_opt align i with Some a -> a | None -> Left in
+  let cell row i = match List.nth_opt row i with Some s -> s | None -> "" in
+  let all = header :: rows in
+  let width i = List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0 all in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i w -> pad (get_align i) w (cell row i)) widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let fmt_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_dollars x =
+  let n = int_of_float (Float.round x) in
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

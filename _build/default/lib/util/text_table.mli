@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the benchmark harness and CLI reports. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a table with one separator line under
+    the header.  Columns default to left alignment; [align] overrides
+    per-column (missing entries default to [Left]). *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 1 decimal. *)
+
+val fmt_dollars : float -> string
+(** Thousands-separated integer dollars, e.g. [26,245]. *)

@@ -1,0 +1,52 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.size then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- x
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec scan i = i < t.size && (p t.data.(i) || scan (i + 1)) in
+  scan 0
+
+let to_list t =
+  let rec collect i acc = if i < 0 then acc else collect (i - 1) (t.data.(i) :: acc) in
+  collect (t.size - 1) []
+
+let map_copy f t =
+  { data = Array.init t.size (fun i -> f t.data.(i)); size = t.size }

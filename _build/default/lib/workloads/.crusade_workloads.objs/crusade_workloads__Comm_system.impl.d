@@ -1,0 +1,1 @@
+lib/workloads/comm_system.ml: Array Crusade_resource Crusade_taskgraph Crusade_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/workloads/comm_system.mli: Crusade_resource Crusade_taskgraph

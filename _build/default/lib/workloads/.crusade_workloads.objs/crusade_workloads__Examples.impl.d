@@ -1,0 +1,1 @@
+lib/workloads/examples.ml: Array Crusade_pnr Crusade_resource Crusade_taskgraph Crusade_util List

@@ -1,0 +1,1 @@
+lib/workloads/examples.mli: Crusade_pnr Crusade_resource Crusade_taskgraph

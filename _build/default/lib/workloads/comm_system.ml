@@ -1,0 +1,217 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Pe = Crusade_resource.Pe
+module Library = Crusade_resource.Library
+module Rng = Crusade_util.Rng
+
+type params = {
+  name : string;
+  n_tasks : int;
+  seed : int;
+  hw_fraction : float;
+  family_slots : int;
+  asic_fraction : float;
+  cpld_fraction : float;
+}
+
+let presets =
+  [
+    { name = "A1TR"; n_tasks = 1126; seed = 11; hw_fraction = 0.55; family_slots = 4; asic_fraction = 0.12; cpld_fraction = 0.15 };
+    { name = "VDRTX"; n_tasks = 1634; seed = 12; hw_fraction = 0.58; family_slots = 4; asic_fraction = 0.10; cpld_fraction = 0.12 };
+    { name = "HROST"; n_tasks = 2645; seed = 13; hw_fraction = 0.50; family_slots = 3; asic_fraction = 0.12; cpld_fraction = 0.15 };
+    { name = "EST189A"; n_tasks = 3826; seed = 14; hw_fraction = 0.50; family_slots = 3; asic_fraction = 0.10; cpld_fraction = 0.10 };
+    { name = "HRXC"; n_tasks = 4571; seed = 15; hw_fraction = 0.48; family_slots = 3; asic_fraction = 0.15; cpld_fraction = 0.10 };
+    { name = "ADMR"; n_tasks = 5419; seed = 16; hw_fraction = 0.55; family_slots = 4; asic_fraction = 0.10; cpld_fraction = 0.12 };
+    { name = "B192G"; n_tasks = 6815; seed = 17; hw_fraction = 0.60; family_slots = 5; asic_fraction = 0.08; cpld_fraction = 0.10 };
+    { name = "NGXM"; n_tasks = 7416; seed = 18; hw_fraction = 0.60; family_slots = 6; asic_fraction = 0.08; cpld_fraction = 0.10 };
+  ]
+
+let preset_names = List.map (fun p -> p.name) presets
+
+let preset name = List.find (fun p -> p.name = name) presets
+
+let scaled p f =
+  { p with n_tasks = max 20 (int_of_float (float_of_int p.n_tasks /. f)) }
+
+(* Periods (us) and their sampling weights: most functionality lives at
+   the slower rates, keeping the association array bounded. *)
+let period_choices = [| (64_000, 50); (32_000, 25); (16_000, 15); (8_000, 10) |]
+
+let pick_period rng =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 period_choices in
+  let roll = Rng.int rng total in
+  let rec walk acc i =
+    let period, w = period_choices.(i) in
+    if roll < acc + w then period else walk (acc + w) (i + 1)
+  in
+  walk 0 0
+
+(* Layered pipeline structure: returns the layer of each local task and
+   the edges (local src, local dst). *)
+let layered_structure rng size =
+  let n_layers = Crusade_util.Arith.clamp ~lo:2 ~hi:6 (size / 3) in
+  let layer = Array.init size (fun i -> if i < n_layers then i else Rng.int rng n_layers) in
+  let members l =
+    let acc = ref [] in
+    for i = size - 1 downto 0 do
+      if layer.(i) = l then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let edges = ref [] in
+  for l = 1 to n_layers - 1 do
+    let prev = members (l - 1) in
+    Array.iter
+      (fun t ->
+        let n_in = 1 + (if Rng.chance rng 0.3 then 1 else 0) in
+        for _ = 1 to n_in do
+          edges := (Rng.pick rng prev, t) :: !edges
+        done)
+      (members l)
+  done;
+  (layer, n_layers, List.sort_uniq compare !edges)
+
+(* Execution-time vector over the whole PE library for a task of the
+   given class. *)
+let exec_vector lib rng ~hw ~base_us ~cpld_ok ~asic_type =
+  let n = Library.n_pe_types lib in
+  Array.init n (fun p ->
+      let pe = Library.pe lib p in
+      match pe.Pe.pe_class with
+      | Pe.General_purpose cpu ->
+          if hw then -1
+          else max 10 (int_of_float (float_of_int base_us /. cpu.speed_factor))
+      | Pe.Asic_pe _ ->
+          if hw && asic_type = Some p then max 1 (base_us * 8 / 10) else -1
+      | Pe.Programmable info ->
+          if not hw then -1
+          else if info.kind = Pe.Cpld && not cpld_ok then -1
+          else begin
+            ignore rng;
+            max 1 (int_of_float (float_of_int base_us /. info.speed_factor))
+          end)
+
+let ft_annotations lib rng ~exec =
+  let assertions =
+    if Rng.chance rng 0.65 then begin
+      let make_one idx =
+        let coverage = 0.88 +. Rng.float rng 0.09 in
+        let check_exec =
+          Array.map (fun t -> if t < 0 then -1 else max 1 (t / 6)) exec
+        in
+        {
+          Task.assertion_name = Printf.sprintf "assert%d" idx;
+          coverage;
+          check_exec;
+          check_bytes = Rng.int_in rng 16 64;
+        }
+      in
+      if Rng.chance rng 0.15 then [ make_one 0; make_one 1 ] else [ make_one 0 ]
+    end
+    else []
+  in
+  ignore lib;
+  {
+    Task.assertions;
+    error_transparent = Rng.chance rng 0.35;
+    required_coverage = 0.9;
+  }
+
+let asic_types lib =
+  let acc = ref [] in
+  for p = Library.n_pe_types lib - 1 downto 0 do
+    if Pe.is_asic (Library.pe lib p) then acc := p :: !acc
+  done;
+  Array.of_list !acc
+
+let generate lib params =
+  let rng = Rng.create params.seed in
+  let builder = Spec.Builder.create () in
+  let asics = asic_types lib in
+  let slot_counters = Hashtbl.create 8 in
+  let next_slot period =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt slot_counters period) in
+    Hashtbl.replace slot_counters period (cur + 1);
+    cur mod params.family_slots
+  in
+  let remaining = ref params.n_tasks and graph_index = ref 0 in
+  let hw_tasks = ref 0 in
+  while !remaining > 0 do
+    let size = min !remaining (Rng.int_in rng 6 24) in
+    let hw =
+      float_of_int !hw_tasks < params.hw_fraction *. float_of_int params.n_tasks
+    in
+    let period = pick_period rng in
+    let layer, n_layers, edges = layered_structure rng size in
+    let est, deadline =
+      if hw then begin
+        let slot_width = period / params.family_slots in
+        let slot = next_slot period in
+        (slot * slot_width, slot_width)
+      end
+      else (0, period * 6 / 10)
+    in
+    let gid =
+      Spec.Builder.add_graph builder
+        ~name:
+          (Printf.sprintf "%s-%s%d" params.name (if hw then "hw" else "sw") !graph_index)
+        ~period ~est ~deadline
+        ~unavailability_budget:(if hw then 4.0 else 12.0)
+        ()
+    in
+    incr graph_index;
+    let slot_width = period / params.family_slots in
+    let hw_base = max 50 (slot_width / (2 * (n_layers + 1))) in
+    let ids = Array.make size (-1) in
+    for i = 0 to size - 1 do
+      let cpld_ok = hw && Rng.chance rng params.cpld_fraction in
+      let asic_type =
+        if hw && Array.length asics > 0 && Rng.chance rng params.asic_fraction then
+          Some (Rng.pick rng asics)
+        else None
+      in
+      let base_us =
+        if hw then max 25 (hw_base / 2 + Rng.int rng (max 1 hw_base))
+        else begin
+          (* Keep the longest path within half the deadline even on the
+             baseline processor, whatever the period. *)
+          let cap = max 100 (deadline / (2 * (n_layers + 1))) in
+          Rng.int_in rng (max 50 (cap / 3)) cap
+        end
+      in
+      let exec = exec_vector lib rng ~hw ~base_us ~cpld_ok ~asic_type in
+      let gates = if not hw then 0 else if cpld_ok then Rng.int_in rng 6 15 else Rng.int_in rng 20 60 in
+      let pins = if hw then Rng.int_in rng 3 8 else 0 in
+      let memory =
+        if hw then Task.no_memory
+        else
+          {
+            Task.program_bytes = Rng.int_in rng 8 64 * 1024;
+            data_bytes = Rng.int_in rng 4 32 * 1024;
+            stack_bytes = Rng.int_in rng 2 8 * 1024;
+          }
+      in
+      (* Occasional exclusion pair inside a layer: processing bottleneck
+         avoidance (Section 2.2). *)
+      let exclusion =
+        if i > 0 && Rng.chance rng 0.02 then begin
+          let buddy = Rng.int rng i in
+          if layer.(buddy) = layer.(i) && ids.(buddy) >= 0 then [ ids.(buddy) ] else []
+        end
+        else []
+      in
+      let ft = ft_annotations lib rng ~exec in
+      ids.(i) <-
+        Spec.Builder.add_task builder ~graph:gid
+          ~name:(Printf.sprintf "t%d_%d" gid i)
+          ~exec ~exclusion ~memory ~gates ~pins ~ft ();
+      if hw then incr hw_tasks
+    done;
+    List.iter
+      (fun (src, dst) ->
+        let bytes = if hw then Rng.int_in rng 32 128 else Rng.int_in rng 64 512 in
+        Spec.Builder.add_edge builder ~src:ids.(src) ~dst:ids.(dst) ~bytes)
+      edges;
+    remaining := !remaining - size
+  done;
+  Spec.Builder.finish_exn builder ~name:params.name ()

@@ -1,0 +1,47 @@
+(** Synthetic communication-system workloads.
+
+    The paper evaluates CRUSADE on proprietary Lucent task graphs (mobile
+    base station, video distribution router, SONET/ATM telecom systems,
+    1126-7416 tasks).  This generator reproduces their structural
+    features deterministically from a seed:
+
+    - a few hundred periodic task graphs of 6-24 tasks each, layered
+      pipelines with fan-out (framing, cell processing, DSP chains,
+      provisioning, performance monitoring);
+    - multi-rate harmonic periods (8/16/32/64 ms) so the hyperperiod and
+      association array stay bounded;
+    - a hardware share of graphs whose tasks only run on programmable
+      devices (or one matching function-specific ASIC type), organized in
+      compatibility families: members of a family occupy disjoint time
+      slots of the common period, which is precisely the temporal
+      structure dynamic reconfiguration exploits (Section 3);
+    - a software share of graphs for general-purpose processors with
+      realistic memory vectors;
+    - occasional exclusion pairs, and CRUSADE-FT annotations (assertions
+      with coverage, error transparency, availability budgets:
+      12 min/year for provisioning-class graphs, 4 min/year for
+      transmission-class graphs, Section 7). *)
+
+type params = {
+  name : string;
+  n_tasks : int;
+  seed : int;
+  hw_fraction : float;  (** share of tasks living in hardware-only graphs *)
+  family_slots : int;  (** time slots per compatibility family; deeper
+                           families leave more room for reconfiguration *)
+  asic_fraction : float;  (** hw tasks that can also map to one ASIC type *)
+  cpld_fraction : float;  (** hw tasks small enough for CPLD mapping *)
+}
+
+val generate : Crusade_resource.Library.t -> params -> Crusade_taskgraph.Spec.t
+
+val preset : string -> params
+(** The eight Table 2/3 examples by name: A1TR, VDRTX, HROST, EST189A,
+    HRXC, ADMR, B192G, NGXM.  @raise Not_found for other names. *)
+
+val preset_names : string list
+(** In the paper's order. *)
+
+val scaled : params -> float -> params
+(** [scaled p f] shrinks the task count by factor [f] (for quick runs);
+    other parameters are unchanged. *)

@@ -1,0 +1,218 @@
+module Spec = Crusade_taskgraph.Spec
+module Pe = Crusade_resource.Pe
+module Library = Crusade_resource.Library
+module Rng = Crusade_util.Rng
+
+(* Execution-time vector: [time] on every PE type satisfying [eligible],
+   infeasible elsewhere. *)
+let exec_where lib ~eligible ~time =
+  Array.init (Library.n_pe_types lib) (fun p ->
+      let pe = Library.pe lib p in
+      if eligible pe then
+        let speed =
+          match pe.Pe.pe_class with
+          | Pe.General_purpose cpu -> cpu.speed_factor
+          | Pe.Programmable info -> info.speed_factor
+          | Pe.Asic_pe _ -> 1.0
+        in
+        max 1 (int_of_float (float_of_int time /. speed))
+      else -1)
+
+let fpga_only lib time =
+  exec_where lib ~time ~eligible:(fun pe ->
+      match pe.Pe.pe_class with
+      | Pe.Programmable { kind = Pe.Fpga; _ } -> true
+      | Pe.Programmable { kind = Pe.Cpld; _ } | Pe.General_purpose _ | Pe.Asic_pe _ ->
+          false)
+
+let cpu_only lib time = exec_where lib ~time ~eligible:Pe.is_cpu
+
+let figure2 lib =
+  let builder = Spec.Builder.create () in
+  let add_graph ~name ~est =
+    Spec.Builder.add_graph builder ~name ~period:50_000 ~est ~deadline:10_000 ()
+  in
+  let add_hw_task gid name =
+    Spec.Builder.add_task builder ~graph:gid ~name ~exec:(fpga_only lib 8_000)
+      ~gates:90 ~pins:10 ()
+  in
+  let g1 = add_graph ~name:"T1" ~est:0 in
+  let _ = add_hw_task g1 "t1" in
+  let g2 = add_graph ~name:"T2" ~est:15_000 in
+  let _ = add_hw_task g2 "t2" in
+  let g3 = add_graph ~name:"T3" ~est:30_000 in
+  let _ = add_hw_task g3 "t3" in
+  Spec.Builder.finish_exn builder ~name:"figure2" ()
+
+let figure4 lib =
+  let builder = Spec.Builder.create () in
+  (* C0: a software pipeline; C1-C3: hardware blocks.  C1 and C2 occupy
+     disjoint slots; C3 overlaps C1. *)
+  let g0 =
+    Spec.Builder.add_graph builder ~name:"C0" ~period:50_000 ~est:0 ~deadline:30_000 ()
+  in
+  let sw0 =
+    Spec.Builder.add_task builder ~graph:g0 ~name:"c0_in" ~exec:(cpu_only lib 2_000)
+      ~memory:{ Crusade_taskgraph.Task.program_bytes = 32_768; data_bytes = 16_384; stack_bytes = 4_096 }
+      ()
+  in
+  let sw1 =
+    Spec.Builder.add_task builder ~graph:g0 ~name:"c0_out" ~exec:(cpu_only lib 2_500)
+      ~memory:{ Crusade_taskgraph.Task.program_bytes = 24_576; data_bytes = 8_192; stack_bytes = 4_096 }
+      ()
+  in
+  Spec.Builder.add_edge builder ~src:sw0 ~dst:sw1 ~bytes:128;
+  let add_hw ~name ~est ~gates_a ~gates_b =
+    let gid =
+      Spec.Builder.add_graph builder ~name ~period:50_000 ~est ~deadline:8_000 ()
+    in
+    let a =
+      Spec.Builder.add_task builder ~graph:gid ~name:(name ^ "_a")
+        ~exec:(fpga_only lib 2_500) ~gates:gates_a ~pins:6 ()
+    in
+    let b =
+      Spec.Builder.add_task builder ~graph:gid ~name:(name ^ "_b")
+        ~exec:(fpga_only lib 2_500) ~gates:gates_b ~pins:6 ()
+    in
+    Spec.Builder.add_edge builder ~src:a ~dst:b ~bytes:64;
+    gid
+  in
+  let _c1 = add_hw ~name:"C1" ~est:0 ~gates_a:50 ~gates_b:50 in
+  let _c2 = add_hw ~name:"C2" ~est:10_000 ~gates_a:50 ~gates_b:50 in
+  let _c3 = add_hw ~name:"C3" ~est:2_000 ~gates_a:15 ~gates_b:15 in
+  Spec.Builder.finish_exn builder ~name:"figure4" ()
+
+let multirate lib =
+  let builder = Spec.Builder.create () in
+  let chain gid names time_us exec_of =
+    let ids = List.map (fun n -> exec_of gid n time_us) names in
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+          Spec.Builder.add_edge builder ~src:a ~dst:b ~bytes:64;
+          link rest
+      | [ _ ] | [] -> ()
+    in
+    link ids
+  in
+  let hw_task gid name time =
+    Spec.Builder.add_task builder ~graph:gid ~name ~exec:(fpga_only lib time)
+      ~gates:30 ~pins:5 ()
+  in
+  let sw_task gid name time =
+    Spec.Builder.add_task builder ~graph:gid ~name ~exec:(cpu_only lib time)
+      ~memory:{ Crusade_taskgraph.Task.program_bytes = 16_384; data_bytes = 8_192; stack_bytes = 2_048 }
+      ()
+  in
+  (* ATM cell processing: 25 us period, a few microseconds of hardware
+     pipeline per cell. *)
+  let cell =
+    Spec.Builder.add_graph builder ~name:"atm-cell" ~period:25 ~est:0 ~deadline:20 ()
+  in
+  chain cell [ "hec"; "vpi"; "police"; "queue" ] 3 hw_task;
+  (* SONET framing at 125 us. *)
+  let frame =
+    Spec.Builder.add_graph builder ~name:"sonet-frame" ~period:125 ~est:0 ~deadline:100
+      ()
+  in
+  chain frame [ "a1a2"; "b1"; "pointer"; "spe"; "descr" ] 12 hw_task;
+  (* Performance monitoring at 1 ms (software). *)
+  let pm =
+    Spec.Builder.add_graph builder ~name:"perf-mon" ~period:1_000 ~est:0 ~deadline:900 ()
+  in
+  chain pm [ "collect"; "threshold" ] 120 sw_task;
+  (* Protection switching at 10 ms (hardware). *)
+  let ps =
+    Spec.Builder.add_graph builder ~name:"protection" ~period:10_000 ~est:0
+      ~deadline:5_000 ()
+  in
+  chain ps [ "detect"; "vote"; "switch" ] 600 hw_task;
+  (* Provisioning scan: one minute period, long software chain. *)
+  let prov =
+    Spec.Builder.add_graph builder ~name:"provisioning" ~period:60_000_000 ~est:0
+      ~deadline:30_000_000 ~unavailability_budget:12.0 ()
+  in
+  chain prov
+    [ "parse"; "validate"; "apply"; "audit"; "commit"; "report" ]
+    5_000 sw_task;
+  Spec.Builder.finish_exn builder ~name:"multirate-sonet-atm" ()
+
+type table1_circuit = {
+  circuit_name : string;
+  pfus : int;
+  pins : int;
+  cross_fraction : float;
+}
+
+let table1_circuits =
+  [
+    { circuit_name = "cvs1"; pfus = 18; pins = 20; cross_fraction = 0.0 };
+    { circuit_name = "cvs2"; pfus = 20; pins = 22; cross_fraction = 0.0 };
+    { circuit_name = "xtrs1"; pfus = 36; pins = 28; cross_fraction = 0.0 };
+    { circuit_name = "xtrs2"; pfus = 40; pins = 30; cross_fraction = 0.0 };
+    { circuit_name = "rnvk"; pfus = 48; pins = 30; cross_fraction = 0.0 };
+    { circuit_name = "fcsdp"; pfus = 35; pins = 26; cross_fraction = 0.12 };
+    { circuit_name = "r2d2p"; pfus = 46; pins = 34; cross_fraction = 0.6 };
+    { circuit_name = "cv46"; pfus = 74; pins = 40; cross_fraction = 0.6 };
+    { circuit_name = "wamxp"; pfus = 84; pins = 46; cross_fraction = 0.6 };
+    { circuit_name = "pewxfm"; pfus = 47; pins = 32; cross_fraction = 0.12 };
+  ]
+
+let table1_netlist c =
+  let rng = Rng.create 42 in
+  Crusade_pnr.Circuit.generate ~cross_fraction:c.cross_fraction rng
+    ~name:c.circuit_name ~pfus:c.pfus ~pins:c.pins
+
+let upgrade_scenario lib =
+  let builder = Spec.Builder.create () in
+  let hw_task gid name time gates =
+    Spec.Builder.add_task builder ~graph:gid ~name ~exec:(fpga_only lib time)
+      ~gates ~pins:5 ()
+  in
+  let sw_task gid name time =
+    Spec.Builder.add_task builder ~graph:gid ~name ~exec:(cpu_only lib time)
+      ~memory:
+        { Crusade_taskgraph.Task.program_bytes = 24_576; data_bytes = 8_192; stack_bytes = 2_048 }
+      ()
+  in
+  let edge src dst = Spec.Builder.add_edge builder ~src ~dst ~bytes:64 in
+  (* Initial release: framing in slot [0, 12ms), policing in [12, 24ms),
+     and a software monitor. *)
+  let framer =
+    Spec.Builder.add_graph builder ~name:"framer" ~period:48_000 ~est:0
+      ~deadline:12_000 ()
+  in
+  let f1 = hw_task framer "align" 3_000 60 in
+  let f2 = hw_task framer "descramble" 3_000 60 in
+  edge f1 f2;
+  let policer =
+    Spec.Builder.add_graph builder ~name:"policer" ~period:48_000 ~est:12_000
+      ~deadline:12_000 ()
+  in
+  let p1 = hw_task policer "meter" 3_000 60 in
+  let p2 = hw_task policer "mark" 3_000 50 in
+  edge p1 p2;
+  let monitor =
+    Spec.Builder.add_graph builder ~name:"monitor" ~period:48_000 ~est:0
+      ~deadline:40_000 ()
+  in
+  let m1 = sw_task monitor "collect" 2_000 in
+  let m2 = sw_task monitor "report" 1_500 in
+  edge m1 m2;
+  (* Feature release: encryption offload in the idle slot [24, 36ms) and
+     an extra traffic class in [36, 48ms). *)
+  let crypto =
+    Spec.Builder.add_graph builder ~name:"crypto-offload" ~period:48_000 ~est:24_000
+      ~deadline:12_000 ()
+  in
+  let c1 = hw_task crypto "keyexp" 2_500 55 in
+  let c2 = hw_task crypto "cipher" 3_500 70 in
+  edge c1 c2;
+  let tclass =
+    Spec.Builder.add_graph builder ~name:"traffic-class" ~period:48_000 ~est:36_000
+      ~deadline:12_000 ()
+  in
+  let t1 = hw_task tclass "classify" 3_000 65 in
+  let t2 = hw_task tclass "queue" 2_500 50 in
+  edge t1 t2;
+  let spec = Spec.Builder.finish_exn builder ~name:"field-upgrade" () in
+  (spec, [ crypto; tclass ])

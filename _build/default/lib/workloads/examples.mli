@@ -1,0 +1,45 @@
+(** Hand-built specifications mirroring the paper's illustrative figures,
+    plus the Table 1 circuit set. *)
+
+val figure2 : Crusade_resource.Library.t -> Crusade_taskgraph.Spec.t
+(** The Section 3 motivation example: three FPGA-bound task graphs T1,
+    T2, T3 with non-overlapping execution slots.  Without dynamic
+    reconfiguration two devices are needed (F2 holds two graphs, F1 one);
+    with it a single F2 suffices, time-shared through modes.  Use with
+    {!Crusade_resource.Library.small}. *)
+
+val figure4 : Crusade_resource.Library.t -> Crusade_taskgraph.Spec.t
+(** The Section 4.2 allocation walk-through: a software cluster C0 and
+    hardware clusters C1, C2, C3 where C1/C2 are compatible but C3
+    overlaps C1.  The expected architecture is a CPU plus one FPGA with
+    two modes: mode 1 holding C1 and C3, mode 2 holding C2.  Use with
+    {!Crusade_resource.Library.small}. *)
+
+val multirate : Crusade_resource.Library.t -> Crusade_taskgraph.Spec.t
+(** A SONET/ATM-flavoured example with the paper's full rate spread
+    (25 us cell processing up to a 1-minute provisioning scan), whose
+    hyperperiod forces the association-array extrapolation path. *)
+
+type table1_circuit = {
+  circuit_name : string;
+  pfus : int;
+  pins : int;
+  cross_fraction : float;
+      (** interconnect richness; the three paper-unroutable circuits
+          (r2d2p, cv46, wamxp) are the dense ones *)
+}
+
+val table1_circuits : table1_circuit list
+(** The ten functional blocks of Table 1 (cvs1 ... pewxfm) with their PFU
+    counts from the paper. *)
+
+val table1_netlist : table1_circuit -> Crusade_pnr.Circuit.t
+(** Deterministic netlist for a Table 1 circuit. *)
+
+val upgrade_scenario :
+  Crusade_resource.Library.t -> Crusade_taskgraph.Spec.t * int list
+(** A field-upgrade case study (Section 3, motivation 2): a deployed
+    line card (framer, policer, monitor) plus two later feature graphs
+    (an encryption offload and an extra traffic class) that fit the idle
+    slots of the deployed FPGAs.  Returns the spec and the ids of the
+    upgrade graphs. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Crusade Crusade_resource Crusade_taskgraph List Printf

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Crusade_alloc Crusade_cluster Crusade_resource Crusade_taskgraph Crusade_util Helpers List Result

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Crusade_cluster Crusade_taskgraph Helpers List

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Crusade Crusade_alloc Crusade_resource Crusade_sched Crusade_taskgraph Crusade_util Crusade_workloads Format Helpers List String

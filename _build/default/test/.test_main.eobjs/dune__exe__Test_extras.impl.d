@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Crusade Crusade_alloc Crusade_reconfig Crusade_sched Crusade_taskgraph Crusade_workloads Filename Format Helpers List Printf String Sys

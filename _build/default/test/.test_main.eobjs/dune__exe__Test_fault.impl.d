@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Crusade Crusade_fault Crusade_resource Crusade_taskgraph Helpers List Printf

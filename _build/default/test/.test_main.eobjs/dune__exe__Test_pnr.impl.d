@@ -1,0 +1,1 @@
+test/test_pnr.ml: Alcotest Array Crusade_pnr Crusade_util Crusade_workloads List QCheck QCheck_alcotest

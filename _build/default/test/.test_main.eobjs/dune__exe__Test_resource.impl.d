@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Crusade_resource Helpers List

@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array Crusade_taskgraph Crusade_util Hashtbl Helpers List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Crusade_taskgraph Crusade_workloads Helpers List Printf String

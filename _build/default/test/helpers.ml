@@ -1,0 +1,73 @@
+(* Shared builders for the test suites: small specs over the small
+   resource library (PE types: 0 cpu-a, 1 cpu-b, 2 asic-s, 3 fpga-f1,
+   4 fpga-f2). *)
+
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Library = Crusade_resource.Library
+module Pe = Crusade_resource.Pe
+
+let small_lib = Library.small ()
+let stock_lib = Library.stock ()
+
+let exec_where lib ~eligible ~time =
+  Array.init (Library.n_pe_types lib) (fun p ->
+      if eligible (Library.pe lib p) then time else -1)
+
+let cpu_exec ?(lib = small_lib) time = exec_where lib ~eligible:Pe.is_cpu ~time
+
+let fpga_exec ?(lib = small_lib) time =
+  exec_where lib ~time ~eligible:(fun pe ->
+      match pe.Pe.pe_class with
+      | Pe.Programmable { kind = Pe.Fpga; _ } -> true
+      | Pe.Programmable { kind = Pe.Cpld; _ } | Pe.General_purpose _ | Pe.Asic_pe _ ->
+          false)
+
+let hw_exec ?(lib = small_lib) time =
+  exec_where lib ~time ~eligible:(fun pe -> not (Pe.is_cpu pe))
+
+(* A single-graph chain of [n] software tasks. *)
+let sw_chain ?(lib = small_lib) ?(period = 10_000) ?(deadline = 8_000) ?(exec = 500) n =
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"chain" ~period ~deadline () in
+  let ids =
+    List.init n (fun i ->
+        Spec.Builder.add_task b ~graph:g
+          ~name:(Printf.sprintf "t%d" i)
+          ~exec:(cpu_exec ~lib exec) ())
+  in
+  let rec link = function
+    | a :: (b' :: _ as rest) ->
+        Spec.Builder.add_edge b ~src:a ~dst:b' ~bytes:64;
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link ids;
+  (Spec.Builder.finish_exn b ~name:"sw-chain" (), ids)
+
+(* Two single-task FPGA graphs; [overlap] controls whether their
+   arrival-to-deadline envelopes intersect. *)
+let two_hw_graphs ?(lib = small_lib) ~overlap () =
+  let b = Spec.Builder.create () in
+  let g1 = Spec.Builder.add_graph b ~name:"g1" ~period:20_000 ~est:0 ~deadline:5_000 () in
+  let est2 = if overlap then 2_000 else 10_000 in
+  let g2 =
+    Spec.Builder.add_graph b ~name:"g2" ~period:20_000 ~est:est2 ~deadline:5_000 ()
+  in
+  let t1 =
+    Spec.Builder.add_task b ~graph:g1 ~name:"t1" ~exec:(fpga_exec ~lib 3_000) ~gates:80
+      ~pins:8 ()
+  in
+  let t2 =
+    Spec.Builder.add_task b ~graph:g2 ~name:"t2" ~exec:(fpga_exec ~lib 3_000) ~gates:80
+      ~pins:8 ()
+  in
+  (Spec.Builder.finish_exn b ~name:"two-hw" (), t1, t2)
+
+let synthesize ?(lib = small_lib) ?(reconfig = true) spec =
+  let options =
+    { Crusade.Crusade_core.default_options with dynamic_reconfiguration = reconfig }
+  in
+  match Crusade.Crusade_core.synthesize ~options spec lib with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "synthesis failed: %s" msg

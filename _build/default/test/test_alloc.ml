@@ -1,0 +1,308 @@
+module Spec = Crusade_taskgraph.Spec
+module Library = Crusade_resource.Library
+module Pe = Crusade_resource.Pe
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Options = Crusade_alloc.Options
+module Connect = Crusade_alloc.Connect
+module Vec = Crusade_util.Vec
+
+let check = Alcotest.check
+let lib = Helpers.small_lib
+
+(* Common fixture: two compatible hardware graphs, one cluster each. *)
+let fixture ?(overlap = false) () =
+  let spec, t1, t2 = Helpers.two_hw_graphs ~overlap () in
+  let clustering = Clustering.singletons spec lib in
+  (spec, clustering, t1, t2)
+
+let arch_add_pe () =
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 3) in
+  check Alcotest.int "id" 0 pe.Arch.p_id;
+  check Alcotest.int "one mode" 1 (List.length pe.Arch.modes);
+  check Alcotest.bool "boot time set" true (pe.Arch.boot_full_us > 0);
+  let cpu = Arch.add_pe arch (Library.pe lib 0) in
+  check Alcotest.int "cpu boot" 0 cpu.Arch.boot_full_us
+
+let arch_add_mode_only_ppe () =
+  let arch = Arch.create lib in
+  let cpu = Arch.add_pe arch (Library.pe lib 0) in
+  check Alcotest.bool "cpu mode rejected" true
+    (try
+       ignore (Arch.add_mode arch cpu);
+       false
+     with Invalid_argument _ -> true);
+  let fpga = Arch.add_pe arch (Library.pe lib 3) in
+  let mode = Arch.add_mode arch fpga in
+  check Alcotest.int "mode id" 1 mode.Arch.m_id
+
+let arch_place_and_unplace () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  let mode = List.hd pe.Arch.modes in
+  let cluster = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  (match Arch.place_cluster arch spec clustering cluster ~pe ~mode with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "place failed: %s" msg);
+  check Alcotest.int "gates accounted" 80 mode.Arch.m_gates;
+  check Alcotest.bool "site recorded" true (Arch.site_of_cluster arch cluster.cid <> None);
+  check Alcotest.int "one used PE" 1 (Arch.n_pes arch);
+  Arch.unplace_cluster arch clustering cluster;
+  check Alcotest.int "gates released" 0 mode.Arch.m_gates;
+  check Alcotest.bool "site gone" true (Arch.site_of_cluster arch cluster.cid = None);
+  check Alcotest.int "no used PEs" 0 (Arch.n_pes arch)
+
+let arch_capacity_rejection () =
+  let spec, clustering, t1, t2 = fixture () in
+  let arch = Arch.create lib in
+  (* F1 usable = 140 PFUs; two 80-gate clusters cannot share a mode. *)
+  let pe = Arch.add_pe arch (Library.pe lib 3) in
+  let mode = List.hd pe.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  let c2 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t2)) in
+  check Alcotest.bool "first fits" true
+    (Result.is_ok (Arch.place_cluster arch spec clustering c1 ~pe ~mode));
+  check Alcotest.bool "second rejected" true
+    (Result.is_error (Arch.place_cluster arch spec clustering c2 ~pe ~mode))
+
+let arch_wrong_type_rejected () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  let cpu = Arch.add_pe arch (Library.pe lib 0) in
+  let mode = List.hd cpu.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  check Alcotest.bool "hw cluster on cpu rejected" true
+    (Result.is_error (Arch.place_cluster arch spec clustering c1 ~pe:cpu ~mode))
+
+let arch_exclusion_rejected () =
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"g" ~period:10_000 ~deadline:8_000 () in
+  let t0 = Spec.Builder.add_task b ~graph:g ~name:"a" ~exec:(Helpers.cpu_exec 100) () in
+  let t1 =
+    Spec.Builder.add_task b ~graph:g ~name:"b" ~exec:(Helpers.cpu_exec 100)
+      ~exclusion:[ t0 ] ()
+  in
+  let spec = Spec.Builder.finish_exn b ~name:"excl" () in
+  let clustering = Clustering.singletons spec lib in
+  let arch = Arch.create lib in
+  let cpu = Arch.add_pe arch (Library.pe lib 0) in
+  let mode = List.hd cpu.Arch.modes in
+  let c0 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t0)) in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  check Alcotest.bool "first ok" true
+    (Result.is_ok (Arch.place_cluster arch spec clustering c0 ~pe:cpu ~mode));
+  (match Arch.place_cluster arch spec clustering c1 ~pe:cpu ~mode with
+  | Error "exclusion vector conflict" -> ()
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+  | Ok () -> Alcotest.fail "exclusion not enforced")
+
+let arch_cost_accounting () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  check (Alcotest.float 1e-9) "empty arch free" 0.0 (Arch.cost arch);
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  (* unused PEs do not count *)
+  check (Alcotest.float 1e-9) "unused PE free" 0.0 (Arch.cost arch);
+  let mode = List.hd pe.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  (match Arch.place_cluster arch spec clustering c1 ~pe ~mode with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* device cost + PROM estimate for one image *)
+  let expected =
+    150.0 +. (float_of_int ((72_000 + 7) / 8) /. 1024.0 *. Arch.prom_dollars_per_kbyte)
+  in
+  check (Alcotest.float 0.01) "pe + prom" expected (Arch.cost arch)
+
+let arch_memory_banks () =
+  let arch = Arch.create lib in
+  let cpu = Arch.add_pe arch (Library.pe lib 0) in
+  check Alcotest.int "idle cpu still needs a bank" 1 (Arch.memory_banks cpu);
+  cpu.Arch.used_memory <- 20 * 1024 * 1024;
+  check Alcotest.int "two banks for 20MB" 2 (Arch.memory_banks cpu)
+
+let arch_copy_independent () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  let mode = List.hd pe.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  (match Arch.place_cluster arch spec clustering c1 ~pe ~mode with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let snapshot = Arch.copy arch in
+  Arch.unplace_cluster arch clustering c1;
+  check Alcotest.bool "copy keeps placement" true
+    (Arch.site_of_cluster snapshot c1.cid <> None);
+  check Alcotest.int "copy keeps gates" 80
+    (List.hd (Vec.get snapshot.Arch.pes 0).Arch.modes).Arch.m_gates
+
+let arch_mode_boot_partial () =
+  let arch = Arch.create lib in
+  (* f2 is partially reconfigurable in the small library *)
+  let f2 = Arch.add_pe arch (Library.pe lib 4) in
+  let mode = List.hd f2.Arch.modes in
+  mode.Arch.m_gates <- 36 (* a tenth of 360 PFUs *);
+  let partial_boot = Arch.mode_boot_us f2 mode in
+  check Alcotest.bool "partial boot cheaper than full" true
+    (partial_boot < f2.Arch.boot_full_us);
+  let f1 = Arch.add_pe arch (Library.pe lib 3) in
+  let m1 = List.hd f1.Arch.modes in
+  m1.Arch.m_gates <- 10;
+  check Alcotest.int "non-partial boots fully" f1.Arch.boot_full_us
+    (Arch.mode_boot_us f1 m1)
+
+let links_and_attach () =
+  let arch = Arch.create lib in
+  let a = Arch.add_pe arch (Library.pe lib 0) in
+  let b = Arch.add_pe arch (Library.pe lib 0) in
+  let serial = Arch.add_link arch (Library.link lib 1) in
+  check Alcotest.bool "attach a" true (Result.is_ok (Arch.attach arch serial a));
+  check Alcotest.bool "attach idempotent" true (Result.is_ok (Arch.attach arch serial a));
+  check Alcotest.bool "attach b" true (Result.is_ok (Arch.attach arch serial b));
+  check Alcotest.int "links_between" 1 (List.length (Arch.links_between arch 0 1));
+  let c = Arch.add_pe arch (Library.pe lib 0) in
+  check Alcotest.bool "serial full at 2 ports" true
+    (Result.is_error (Arch.attach arch serial c))
+
+let connect_creates_and_reuses () =
+  let spec, clustering, t1, t2 = fixture () in
+  let arch = Arch.create lib in
+  (* place the two clusters on two PEs and add an artificial edge demand by
+     checking pairwise connection directly *)
+  ignore (spec, clustering, t1, t2);
+  let a = Arch.add_pe arch (Library.pe lib 0) in
+  let b = Arch.add_pe arch (Library.pe lib 0) in
+  (* no placed neighbours -> Connect on a placed, isolated cluster is a
+     no-op; exercise the pair primitive through ensure with real edges in
+     test_core instead; here check link reuse via attach cost path. *)
+  let bus = Arch.add_link arch (Library.link lib 0) in
+  check Alcotest.bool "attach both" true
+    (Result.is_ok (Arch.attach arch bus a) && Result.is_ok (Arch.attach arch bus b));
+  check Alcotest.int "one link instance" 1 (Arch.n_links arch)
+
+let options_new_pe_sorted () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  let cluster = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  let opts = Options.enumerate arch spec clustering cluster ~allow_new_modes:true () in
+  check Alcotest.bool "has options" true (opts <> []);
+  (* empty architecture: only New_pe options, sorted by cost: f1 before f2 *)
+  (match opts with
+  | { Options.kind = Options.New_pe p; _ } :: _ ->
+      check Alcotest.string "cheapest FPGA first" "fpga-f1" (Library.pe lib p).Pe.name
+  | _ -> Alcotest.fail "expected New_pe first");
+  let costs = List.map (fun (o : Options.t) -> o.delta_cost) opts in
+  check Alcotest.bool "sorted" true (List.sort compare costs = costs)
+
+let options_same_graph_same_mode () =
+  (* Once one cluster of a graph sits in a mode, other clusters of the
+     same graph are only offered that mode on that device. *)
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"g" ~period:20_000 ~deadline:6_000 () in
+  let t0 =
+    Spec.Builder.add_task b ~graph:g ~name:"a" ~exec:(Helpers.fpga_exec 1_000)
+      ~gates:40 ~pins:4 ()
+  in
+  let t1 =
+    Spec.Builder.add_task b ~graph:g ~name:"b" ~exec:(Helpers.fpga_exec 1_000)
+      ~gates:40 ~pins:4 ()
+  in
+  Spec.Builder.add_edge b ~src:t0 ~dst:t1 ~bytes:16;
+  let spec = Spec.Builder.finish_exn b ~name:"same-graph" () in
+  let clustering = Clustering.singletons spec lib in
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  let mode0 = List.hd pe.Arch.modes in
+  let c0 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t0)) in
+  (match Arch.place_cluster arch spec clustering c0 ~pe ~mode:mode0 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  let opts = Options.enumerate arch spec clustering c1 ~allow_new_modes:true () in
+  List.iter
+    (fun (o : Options.t) ->
+      match o.kind with
+      | Options.Existing_site site ->
+          check Alcotest.int "only mode 0 offered" 0 site.Arch.s_mode
+      | Options.New_mode pe_id ->
+          Alcotest.failf "new mode on device %d must not be offered" pe_id
+      | Options.New_pe _ -> ())
+    opts
+
+let options_compat_gates_new_mode () =
+  (* overlapping graphs: no new-mode option on the occupied device *)
+  let spec, clustering, t1, t2 = fixture ~overlap:true () in
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  let mode0 = List.hd pe.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  (match Arch.place_cluster arch spec clustering c1 ~pe ~mode:mode0 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let c2 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t2)) in
+  let opts = Options.enumerate arch spec clustering c2 ~allow_new_modes:true () in
+  List.iter
+    (fun (o : Options.t) ->
+      match o.kind with
+      | Options.New_mode _ -> Alcotest.fail "incompatible graphs cannot time-share"
+      | Options.Existing_site _ | Options.New_pe _ -> ())
+    opts
+
+let options_new_mode_for_compatible () =
+  let spec, clustering, t1, t2 = fixture ~overlap:false () in
+  let arch = Arch.create lib in
+  let pe = Arch.add_pe arch (Library.pe lib 4) in
+  let mode0 = List.hd pe.Arch.modes in
+  let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  (match Arch.place_cluster arch spec clustering c1 ~pe ~mode:mode0 with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let c2 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t2)) in
+  let opts = Options.enumerate arch spec clustering c2 ~allow_new_modes:true () in
+  check Alcotest.bool "new-mode offered for compatible graphs" true
+    (List.exists
+       (fun (o : Options.t) ->
+         match o.kind with Options.New_mode _ -> true | _ -> false)
+       opts);
+  (* and never when reconfiguration is disabled *)
+  let opts' = Options.enumerate arch spec clustering c2 ~allow_new_modes:false () in
+  check Alcotest.bool "no new modes without reconfiguration" false
+    (List.exists
+       (fun (o : Options.t) ->
+         match o.kind with Options.New_mode _ -> true | _ -> false)
+       opts')
+
+let options_apply_new_pe () =
+  let spec, clustering, t1, _ = fixture () in
+  let arch = Arch.create lib in
+  let cluster = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
+  let opts = Options.enumerate arch spec clustering cluster ~allow_new_modes:true () in
+  (match Options.apply arch spec clustering cluster (List.hd opts) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "pe instantiated" 1 (Arch.n_pes arch);
+  check Alcotest.bool "cluster placed" true (Arch.site_of_cluster arch cluster.cid <> None)
+
+let suite =
+  [
+    Alcotest.test_case "add pe" `Quick arch_add_pe;
+    Alcotest.test_case "add mode only on PPE" `Quick arch_add_mode_only_ppe;
+    Alcotest.test_case "place/unplace" `Quick arch_place_and_unplace;
+    Alcotest.test_case "capacity rejection" `Quick arch_capacity_rejection;
+    Alcotest.test_case "wrong type rejected" `Quick arch_wrong_type_rejected;
+    Alcotest.test_case "exclusion rejected" `Quick arch_exclusion_rejected;
+    Alcotest.test_case "cost accounting" `Quick arch_cost_accounting;
+    Alcotest.test_case "memory banks" `Quick arch_memory_banks;
+    Alcotest.test_case "copy independence" `Quick arch_copy_independent;
+    Alcotest.test_case "partial reconfiguration boot" `Quick arch_mode_boot_partial;
+    Alcotest.test_case "links and attach" `Quick links_and_attach;
+    Alcotest.test_case "connect/links counting" `Quick connect_creates_and_reuses;
+    Alcotest.test_case "options sorted by cost" `Quick options_new_pe_sorted;
+    Alcotest.test_case "same graph same mode" `Quick options_same_graph_same_mode;
+    Alcotest.test_case "no mode for overlapping" `Quick options_compat_gates_new_mode;
+    Alcotest.test_case "new mode for compatible" `Quick options_new_mode_for_compatible;
+    Alcotest.test_case "apply new pe" `Quick options_apply_new_pe;
+  ]

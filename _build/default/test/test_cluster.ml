@@ -1,0 +1,174 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Priority = Crusade_cluster.Priority
+module Clustering = Crusade_cluster.Clustering
+
+let check = Alcotest.check
+
+let lib = Helpers.small_lib
+
+let priorities_chain () =
+  (* In a chain, upstream tasks carry longer remaining paths, hence
+     higher priority levels. *)
+  let spec, ids = Helpers.sw_chain 4 in
+  let levels =
+    Priority.compute spec ~exec_time:Priority.unallocated_exec
+      ~comm_time:(Priority.unallocated_comm lib)
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> levels.(a) > levels.(b) && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "levels decrease downstream" true (decreasing ids)
+
+let priorities_deadline_effect () =
+  (* A tighter deadline raises the whole graph's levels. *)
+  let tight, tight_ids = Helpers.sw_chain ~deadline:1_000 3 in
+  let loose, loose_ids = Helpers.sw_chain ~deadline:8_000 3 in
+  let level spec ids =
+    let l =
+      Priority.compute spec ~exec_time:Priority.unallocated_exec
+        ~comm_time:(Priority.unallocated_comm lib)
+    in
+    l.(List.hd ids)
+  in
+  check Alcotest.bool "tighter deadline higher level" true
+    (level tight tight_ids > level loose loose_ids)
+
+let priorities_sink_formula () =
+  (* Single task: level = exec - deadline. *)
+  let spec, ids = Helpers.sw_chain ~exec:500 ~deadline:8_000 1 in
+  let levels =
+    Priority.compute spec ~exec_time:Priority.unallocated_exec ~comm_time:(fun _ -> 0)
+  in
+  check Alcotest.int "sink level" (500 - 8_000) levels.(List.hd ids)
+
+let task_mask_matches_exec () =
+  let spec, ids = Helpers.sw_chain 1 in
+  let task = Spec.task spec (List.hd ids) in
+  let mask = Clustering.task_mask lib task in
+  (* cpu-a and cpu-b are PE types 0 and 1 of the small library *)
+  check Alcotest.int "cpu mask" 0b00011 mask
+
+let feasibility_mask_capacity () =
+  (* A cluster too large for F1 under ERUF but fine for F2. *)
+  let mask =
+    Clustering.feasibility_mask lib ~gates:200 ~pins:10 ~memory_bytes:0
+      ~task_mask:0b11000
+  in
+  check Alcotest.int "only F2 fits 200 gates" 0b10000 mask
+
+let feasibility_mask_memory () =
+  (* cpu capacity in the small library is 4 banks x 16 MB *)
+  let fits =
+    Clustering.feasibility_mask lib ~gates:0 ~pins:0
+      ~memory_bytes:(16 * 1024 * 1024) ~task_mask:0b00011
+  in
+  let too_big =
+    Clustering.feasibility_mask lib ~gates:0 ~pins:0
+      ~memory_bytes:(65 * 1024 * 1024) ~task_mask:0b00011
+  in
+  check Alcotest.int "16MB fits" 0b00011 fits;
+  check Alcotest.int "65MB does not" 0 too_big
+
+let clustering_total () =
+  let spec, _ = Helpers.sw_chain 6 in
+  let c = Clustering.run spec lib in
+  (* every task belongs to exactly one cluster *)
+  Array.iter
+    (fun cid -> check Alcotest.bool "assigned" true (cid >= 0))
+    c.Clustering.of_task;
+  let members =
+    Array.fold_left
+      (fun acc (cl : Clustering.cluster) -> acc + List.length cl.members)
+      0 c.Clustering.clusters
+  in
+  check Alcotest.int "partition" (Spec.n_tasks spec) members
+
+let clustering_chains_merge () =
+  (* A pure software chain should collapse into few clusters. *)
+  let spec, _ = Helpers.sw_chain 6 in
+  let c = Clustering.run spec lib in
+  check Alcotest.bool "chain clustered" true (Array.length c.Clustering.clusters <= 2)
+
+let clustering_max_size () =
+  let spec, _ = Helpers.sw_chain 12 in
+  let c = Clustering.run ~max_cluster_size:3 spec lib in
+  Array.iter
+    (fun (cl : Clustering.cluster) ->
+      check Alcotest.bool "size cap" true (List.length cl.members <= 3))
+    c.Clustering.clusters
+
+let clustering_same_graph () =
+  let spec, _, _ = Helpers.two_hw_graphs ~overlap:false () in
+  let c = Clustering.run spec lib in
+  Array.iter
+    (fun (cl : Clustering.cluster) ->
+      List.iter
+        (fun m ->
+          check Alcotest.int "member graph" cl.graph (Spec.task spec m).Task.graph)
+        cl.members)
+    c.Clustering.clusters
+
+let clustering_respects_exclusion () =
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"x" ~period:10_000 ~deadline:8_000 () in
+  let t0 =
+    Spec.Builder.add_task b ~graph:g ~name:"a" ~exec:(Helpers.cpu_exec 100) ()
+  in
+  let t1 =
+    Spec.Builder.add_task b ~graph:g ~name:"b" ~exec:(Helpers.cpu_exec 100)
+      ~exclusion:[ t0 ] ()
+  in
+  Spec.Builder.add_edge b ~src:t0 ~dst:t1 ~bytes:8;
+  let spec = Spec.Builder.finish_exn b ~name:"excl" () in
+  let c = Clustering.run spec lib in
+  check Alcotest.bool "excluded pair split" true
+    (c.Clustering.of_task.(t0) <> c.Clustering.of_task.(t1))
+
+let clustering_nonempty_masks () =
+  let spec, _, _ = Helpers.two_hw_graphs ~overlap:true () in
+  let c = Clustering.run spec lib in
+  Array.iter
+    (fun (cl : Clustering.cluster) ->
+      check Alcotest.bool "feasible somewhere" true (cl.feasible_mask <> 0))
+    c.Clustering.clusters
+
+let singletons_shape () =
+  let spec, _ = Helpers.sw_chain 5 in
+  let c = Clustering.singletons spec lib in
+  check Alcotest.int "one task per cluster" 5 (Array.length c.Clustering.clusters);
+  Array.iteri
+    (fun i cid -> check Alcotest.int "identity" i cid)
+    c.Clustering.of_task
+
+let cluster_priority_is_max () =
+  let spec, _ = Helpers.sw_chain 4 in
+  let c = Clustering.run spec lib in
+  let levels =
+    Priority.compute spec ~exec_time:Priority.unallocated_exec ~comm_time:(fun _ -> 0)
+  in
+  Array.iter
+    (fun (cl : Clustering.cluster) ->
+      let expect = List.fold_left (fun acc m -> max acc levels.(m)) min_int cl.members in
+      check Alcotest.int "max member" expect
+        (Clustering.cluster_priority c levels cl.cid))
+    c.Clustering.clusters
+
+let suite =
+  [
+    Alcotest.test_case "priorities decrease downstream" `Quick priorities_chain;
+    Alcotest.test_case "deadline raises priority" `Quick priorities_deadline_effect;
+    Alcotest.test_case "sink level formula" `Quick priorities_sink_formula;
+    Alcotest.test_case "task mask" `Quick task_mask_matches_exec;
+    Alcotest.test_case "feasibility mask capacity" `Quick feasibility_mask_capacity;
+    Alcotest.test_case "feasibility mask memory" `Quick feasibility_mask_memory;
+    Alcotest.test_case "clustering is a partition" `Quick clustering_total;
+    Alcotest.test_case "chains merge" `Quick clustering_chains_merge;
+    Alcotest.test_case "max cluster size" `Quick clustering_max_size;
+    Alcotest.test_case "clusters stay in one graph" `Quick clustering_same_graph;
+    Alcotest.test_case "exclusion splits clusters" `Quick clustering_respects_exclusion;
+    Alcotest.test_case "masks nonempty" `Quick clustering_nonempty_masks;
+    Alcotest.test_case "singletons" `Quick singletons_shape;
+    Alcotest.test_case "cluster priority = max member" `Quick cluster_priority_is_max;
+  ]

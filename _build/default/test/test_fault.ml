@@ -1,0 +1,223 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Transform = Crusade_fault.Transform
+module Dependability = Crusade_fault.Dependability
+module Ft = Crusade_fault.Ft
+
+let check = Alcotest.check
+let lib = Helpers.small_lib
+
+let assertion ?(coverage = 0.95) name =
+  {
+    Task.assertion_name = name;
+    coverage;
+    check_exec = Helpers.cpu_exec 50;
+    check_bytes = 16;
+  }
+
+let protected_chain ~assertions ~transparent n =
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"g" ~period:20_000 ~deadline:10_000 () in
+  let ft =
+    { Task.assertions; error_transparent = transparent; required_coverage = 0.9 }
+  in
+  let ids =
+    List.init n (fun i ->
+        Spec.Builder.add_task b ~graph:g
+          ~name:(Printf.sprintf "t%d" i)
+          ~exec:(Helpers.cpu_exec 300) ~ft ())
+  in
+  let rec link = function
+    | a :: (b' :: _ as rest) ->
+        Spec.Builder.add_edge b ~src:a ~dst:b' ~bytes:32;
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link ids;
+  Spec.Builder.finish_exn b ~name:"prot" ()
+
+(* --- Transform --- *)
+
+let transform_assertion_added () =
+  let spec = protected_chain ~assertions:[ assertion "parity" ] ~transparent:false 1 in
+  let out, stats = Transform.apply spec in
+  check Alcotest.int "one assertion task" 1 stats.Transform.assertion_tasks;
+  check Alcotest.int "no duplicates" 0 stats.Transform.duplicate_tasks;
+  check Alcotest.int "task count" 2 (Spec.n_tasks out);
+  check Alcotest.int "check edge" 1 (Spec.n_edges out)
+
+let transform_duplicate_when_no_assertion () =
+  let spec = protected_chain ~assertions:[] ~transparent:false 1 in
+  let out, stats = Transform.apply spec in
+  check Alcotest.int "duplicate" 1 stats.Transform.duplicate_tasks;
+  check Alcotest.int "compare" 1 stats.Transform.compare_tasks;
+  check Alcotest.int "tasks: orig + dup + cmp" 3 (Spec.n_tasks out);
+  (* the duplicate must exclude its original *)
+  let dup =
+    Array.to_list out.Spec.tasks
+    |> List.find (fun (t : Task.t) -> t.name = "t0.dup")
+  in
+  let orig =
+    Array.to_list out.Spec.tasks |> List.find (fun (t : Task.t) -> t.name = "t0")
+  in
+  check Alcotest.bool "exclusion" true (Task.excludes dup orig)
+
+let transform_insufficient_coverage_duplicates () =
+  (* one weak assertion cannot reach 0.9 -> fall back to duplication *)
+  let spec =
+    protected_chain ~assertions:[ assertion ~coverage:0.5 "weak" ] ~transparent:false 1
+  in
+  let _, stats = Transform.apply spec in
+  check Alcotest.int "duplicated instead" 1 stats.Transform.duplicate_tasks;
+  check Alcotest.int "no assertion" 0 stats.Transform.assertion_tasks
+
+let transform_assertion_group () =
+  (* two 0.7-coverage assertions combine to 0.91 >= 0.9 *)
+  let spec =
+    protected_chain
+      ~assertions:[ assertion ~coverage:0.7 "a"; assertion ~coverage:0.7 "b" ]
+      ~transparent:false 1
+  in
+  let _, stats = Transform.apply spec in
+  check Alcotest.int "group of two" 2 stats.Transform.assertion_tasks
+
+let transform_transparency_shares () =
+  (* chain of 3 transparent tasks: only the sink needs its own check *)
+  let spec = protected_chain ~assertions:[ assertion "crc" ] ~transparent:true 3 in
+  let out, stats = Transform.apply spec in
+  check Alcotest.int "two covered upstream" 2 stats.Transform.shared_by_transparency;
+  check Alcotest.int "one check" 1 stats.Transform.assertion_tasks;
+  check Alcotest.int "tasks" 4 (Spec.n_tasks out)
+
+let transform_opaque_chain_checks_everyone () =
+  let spec = protected_chain ~assertions:[ assertion "crc" ] ~transparent:false 3 in
+  let _, stats = Transform.apply spec in
+  check Alcotest.int "no sharing" 0 stats.Transform.shared_by_transparency;
+  check Alcotest.int "three checks" 3 stats.Transform.assertion_tasks
+
+let transform_chain_cap () =
+  (* long transparent chain: the cap forces intermediate checks *)
+  let spec = protected_chain ~assertions:[ assertion "crc" ] ~transparent:true 8 in
+  let _, stats = Transform.apply spec ~max_transparent_chain:3 in
+  check Alcotest.bool "more than one check" true (stats.Transform.assertion_tasks >= 2)
+
+let transform_unprotected_untouched () =
+  let spec, _ = Helpers.sw_chain 3 in
+  let out, stats = Transform.apply spec in
+  check Alcotest.int "no checks" 0
+    (stats.Transform.assertion_tasks + stats.Transform.duplicate_tasks);
+  check Alcotest.int "same size" (Spec.n_tasks spec) (Spec.n_tasks out)
+
+let transform_check_deadline_budget () =
+  let spec = protected_chain ~assertions:[ assertion "crc" ] ~transparent:false 1 in
+  let out, _ = Transform.apply spec in
+  let chk =
+    Array.to_list out.Spec.tasks
+    |> List.find (fun (t : Task.t) -> t.name <> "t0")
+  in
+  (* deadline = graph deadline + period/5 *)
+  check Alcotest.(option int) "detection latency budget" (Some 14_000) chk.Task.deadline
+
+let transform_valid_spec () =
+  let spec = protected_chain ~assertions:[] ~transparent:false 4 in
+  let out, _ = Transform.apply spec in
+  (* Transformed spec revalidates (acyclic, ids consistent). *)
+  check Alcotest.bool "ids permutation" true
+    (Array.for_all
+       (fun (t : Task.t) -> out.Spec.tasks.(t.id).Task.id = t.id)
+       out.Spec.tasks)
+
+(* --- Dependability --- *)
+
+let pool_unavailability_basics () =
+  let u0 = Dependability.pool_unavailability ~n_active:10 ~spares:0 ~fit:500.0 () in
+  let u1 = Dependability.pool_unavailability ~n_active:10 ~spares:1 ~fit:500.0 () in
+  let u2 = Dependability.pool_unavailability ~n_active:10 ~spares:2 ~fit:500.0 () in
+  check Alcotest.bool "positive" true (u0 > 0.0);
+  check Alcotest.bool "spares monotone" true (u1 < u0 && u2 < u1);
+  check (Alcotest.float 1e-12) "empty pool perfect" 0.0
+    (Dependability.pool_unavailability ~n_active:0 ~spares:0 ~fit:500.0 ())
+
+let pool_more_units_less_available () =
+  let u_small = Dependability.pool_unavailability ~n_active:5 ~spares:0 ~fit:500.0 () in
+  let u_big = Dependability.pool_unavailability ~n_active:50 ~spares:0 ~fit:500.0 () in
+  check Alcotest.bool "bigger pool fails more" true (u_big > u_small)
+
+let minutes_per_year_scale () =
+  check (Alcotest.float 1.0) "1e-5 is about 5 min/yr" 5.2
+    (Dependability.minutes_per_year 1e-5)
+
+let fit_rates_by_class () =
+  check (Alcotest.float 1e-9) "cpu" 500.0
+    (Dependability.fit_rate (Crusade_resource.Library.pe lib 0));
+  check (Alcotest.float 1e-9) "asic" 200.0
+    (Dependability.fit_rate (Crusade_resource.Library.pe lib 2));
+  check (Alcotest.float 1e-9) "fpga" 350.0
+    (Dependability.fit_rate (Crusade_resource.Library.pe lib 3))
+
+let provision_meets_budget () =
+  (* synthesize a small FT spec and provision *)
+  let b = Spec.Builder.create () in
+  let g =
+    Spec.Builder.add_graph b ~name:"critical" ~period:20_000 ~deadline:10_000
+      ~unavailability_budget:4.0 ()
+  in
+  ignore (Spec.Builder.add_task b ~graph:g ~name:"t" ~exec:(Helpers.cpu_exec 500) ());
+  let spec = Spec.Builder.finish_exn b ~name:"avail" () in
+  let r = Helpers.synthesize ~reconfig:false spec in
+  let p =
+    Dependability.provision spec r.Crusade.Crusade_core.clustering
+      r.Crusade.Crusade_core.arch
+  in
+  List.iter
+    (fun (name, u) ->
+      check Alcotest.bool (name ^ " within budget") true (u <= 4.0))
+    p.Dependability.graph_unavailability
+
+(* --- Ft driver --- *)
+
+let ft_end_to_end () =
+  let spec = protected_chain ~assertions:[ assertion "crc" ] ~transparent:false 3 in
+  match Ft.synthesize spec lib with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.bool "deadlines met" true r.Ft.core.Crusade.Crusade_core.deadlines_met;
+      check Alcotest.bool "spare cost accounted" true
+        (r.Ft.total_cost >= r.Ft.core.Crusade.Crusade_core.cost);
+      check Alcotest.int "checks synthesized" 3
+        r.Ft.transform_stats.Transform.assertion_tasks
+
+let ft_costs_more_than_plain () =
+  let spec = protected_chain ~assertions:[] ~transparent:false 3 in
+  let plain = Helpers.synthesize ~reconfig:false spec in
+  match
+    Ft.synthesize
+      ~options:
+        { Crusade.Crusade_core.default_options with dynamic_reconfiguration = false }
+      spec lib
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.bool "fault tolerance costs" true
+        (r.Ft.total_cost > plain.Crusade.Crusade_core.cost)
+
+let suite =
+  [
+    Alcotest.test_case "assertion added" `Quick transform_assertion_added;
+    Alcotest.test_case "duplicate-and-compare" `Quick transform_duplicate_when_no_assertion;
+    Alcotest.test_case "weak assertion falls back" `Quick transform_insufficient_coverage_duplicates;
+    Alcotest.test_case "assertion group" `Quick transform_assertion_group;
+    Alcotest.test_case "transparency shares checks" `Quick transform_transparency_shares;
+    Alcotest.test_case "opaque chain all checked" `Quick transform_opaque_chain_checks_everyone;
+    Alcotest.test_case "transparent chain cap" `Quick transform_chain_cap;
+    Alcotest.test_case "unprotected untouched" `Quick transform_unprotected_untouched;
+    Alcotest.test_case "check deadline budget" `Quick transform_check_deadline_budget;
+    Alcotest.test_case "transformed spec valid" `Quick transform_valid_spec;
+    Alcotest.test_case "pool unavailability" `Quick pool_unavailability_basics;
+    Alcotest.test_case "pool size effect" `Quick pool_more_units_less_available;
+    Alcotest.test_case "minutes per year" `Quick minutes_per_year_scale;
+    Alcotest.test_case "fit rates" `Quick fit_rates_by_class;
+    Alcotest.test_case "provision meets budget" `Quick provision_meets_budget;
+    Alcotest.test_case "ft end to end" `Quick ft_end_to_end;
+    Alcotest.test_case "ft costs more" `Quick ft_costs_more_than_plain;
+  ]

@@ -1,0 +1,19 @@
+(* Test entry point: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "crusade"
+    [
+      ("util", Test_util.suite);
+      ("taskgraph", Test_taskgraph.suite);
+      ("resource", Test_resource.suite);
+      ("pnr", Test_pnr.suite);
+      ("cluster", Test_cluster.suite);
+      ("alloc", Test_alloc.suite);
+      ("sched", Test_sched.suite);
+      ("reconfig", Test_reconfig.suite);
+      ("fault", Test_fault.suite);
+      ("workloads", Test_workloads.suite);
+      ("core", Test_core.suite);
+      ("extras", Test_extras.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,132 @@
+module Rng = Crusade_util.Rng
+module Device = Crusade_pnr.Device
+module Circuit = Crusade_pnr.Circuit
+module Fabric = Crusade_pnr.Fabric
+module Delay = Crusade_pnr.Delay
+module Ex = Crusade_workloads.Examples
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let circuit_structure =
+  QCheck.Test.make ~name:"generated circuits are well-formed" ~count:100
+    QCheck.(pair small_int (int_range 8 90))
+    (fun (seed, pfus) ->
+      let rng = Rng.create seed in
+      let c = Circuit.generate rng ~name:"c" ~pfus ~pins:10 in
+      c.Circuit.pfu_count = pfus
+      && c.Circuit.depth >= 3
+      && Array.for_all
+           (fun (net : Circuit.net) ->
+             net.Circuit.driver >= 0 && net.Circuit.driver < pfus
+             && net.Circuit.level >= 0
+             && net.Circuit.level < c.Circuit.depth
+             && List.for_all (fun s -> s >= 0 && s < pfus) net.Circuit.sinks)
+           c.Circuit.nets)
+
+let circuit_cross_fraction_adds_nets () =
+  let base = Circuit.generate (Rng.create 1) ~name:"a" ~pfus:40 ~pins:10 in
+  let dense =
+    Circuit.generate ~cross_fraction:0.5 (Rng.create 1) ~name:"b" ~pfus:40 ~pins:10
+  in
+  check Alcotest.bool "denser netlist" true
+    (Array.length dense.Circuit.nets > Array.length base.Circuit.nets)
+
+let device_geometry () =
+  check Alcotest.int "table1 device pfus" 100 (Device.pfus Device.table1_device);
+  let d = Device.make ~rows:4 ~cols:6 () in
+  check Alcotest.int "pfus" 24 (Device.pfus d)
+
+let fabric_deterministic () =
+  let c = Circuit.generate (Rng.create 5) ~name:"c" ~pfus:20 ~pins:10 in
+  let run () =
+    Fabric.place_and_route Device.table1_device ~fillers:[] ~circuit:c
+      ~extra_pin_nets:10 ~seed:99
+  in
+  match (run (), run ()) with
+  | ( Fabric.Routed { critical_delay_ns = a; _ },
+      Fabric.Routed { critical_delay_ns = b; _ } ) ->
+      check (Alcotest.float 1e-9) "same delay" a b
+  | _ -> Alcotest.fail "expected routed"
+
+let fabric_no_capacity () =
+  let d = Device.make ~rows:3 ~cols:3 () in
+  let c = Circuit.generate (Rng.create 5) ~name:"big" ~pfus:20 ~pins:4 in
+  match Fabric.place_and_route d ~fillers:[] ~circuit:c ~extra_pin_nets:0 ~seed:1 with
+  | Fabric.Unroutable -> ()
+  | Fabric.Routed _ -> Alcotest.fail "20 PFUs cannot fit 9 cells"
+
+let fabric_positive_delay () =
+  let c = Circuit.generate (Rng.create 5) ~name:"c" ~pfus:20 ~pins:10 in
+  match
+    Fabric.place_and_route Device.table1_device ~fillers:[] ~circuit:c
+      ~extra_pin_nets:0 ~seed:3
+  with
+  | Fabric.Routed { critical_delay_ns; overflow_ratio } ->
+      check Alcotest.bool "positive delay" true (critical_delay_ns > 0.0);
+      check Alcotest.bool "no overflow when alone" true (overflow_ratio < 0.01)
+  | Fabric.Unroutable -> Alcotest.fail "lone circuit must route"
+
+let delay_zero_at_default_caps () =
+  List.iter
+    (fun (c : Ex.table1_circuit) ->
+      let netlist = Ex.table1_netlist c in
+      match Delay.measure ~samples:5 netlist ~eruf:0.70 ~epuf:0.80 ~seed:7 with
+      | Delay.Increase_pct p ->
+          check (Alcotest.float 1e-9) (c.Ex.circuit_name ^ " at caps") 0.0 p
+      | Delay.Unroutable -> Alcotest.failf "%s unroutable at caps" c.Ex.circuit_name)
+    Ex.table1_circuits
+
+let delay_grows_with_utilization () =
+  (* Table 1's qualitative law on a light circuit: full utilization is
+     clearly worse than the 70% cap. *)
+  let c = Ex.table1_netlist (List.hd Ex.table1_circuits) in
+  match
+    ( Delay.measure ~samples:9 c ~eruf:0.75 ~epuf:0.80 ~seed:7,
+      Delay.measure ~samples:9 c ~eruf:1.00 ~epuf:0.80 ~seed:7 )
+  with
+  | Delay.Increase_pct low, Delay.Increase_pct high ->
+      check Alcotest.bool "full >= low + 10%" true (high >= low +. 10.0)
+  | _ -> Alcotest.fail "cvs1 routes at both settings"
+
+let dense_circuits_unroutable_at_full () =
+  List.iter
+    (fun name ->
+      let c =
+        List.find (fun (c : Ex.table1_circuit) -> c.Ex.circuit_name = name)
+          Ex.table1_circuits
+      in
+      match Delay.measure ~samples:15 (Ex.table1_netlist c) ~eruf:1.00 ~epuf:0.80 ~seed:7 with
+      | Delay.Unroutable -> ()
+      | Delay.Increase_pct p -> Alcotest.failf "%s routed at 100%% (%.1f%%)" name p)
+    [ "r2d2p"; "cv46"; "wamxp" ]
+
+let dense_circuits_route_below_full () =
+  List.iter
+    (fun name ->
+      let c =
+        List.find (fun (c : Ex.table1_circuit) -> c.Ex.circuit_name = name)
+          Ex.table1_circuits
+      in
+      match Delay.measure ~samples:15 (Ex.table1_netlist c) ~eruf:0.90 ~epuf:0.80 ~seed:7 with
+      | Delay.Unroutable -> Alcotest.failf "%s unroutable at 90%%" name
+      | Delay.Increase_pct _ -> ())
+    [ "r2d2p"; "cv46"; "wamxp" ]
+
+let table1_circuit_count () =
+  check Alcotest.int "ten circuits" 10 (List.length Ex.table1_circuits)
+
+let suite =
+  [
+    qcheck circuit_structure;
+    Alcotest.test_case "cross fraction adds nets" `Quick circuit_cross_fraction_adds_nets;
+    Alcotest.test_case "device geometry" `Quick device_geometry;
+    Alcotest.test_case "fabric deterministic" `Quick fabric_deterministic;
+    Alcotest.test_case "fabric capacity" `Quick fabric_no_capacity;
+    Alcotest.test_case "fabric positive delay" `Quick fabric_positive_delay;
+    Alcotest.test_case "0% at default caps" `Slow delay_zero_at_default_caps;
+    Alcotest.test_case "delay grows with utilization" `Slow delay_grows_with_utilization;
+    Alcotest.test_case "dense unroutable at 100%" `Slow dense_circuits_unroutable_at_full;
+    Alcotest.test_case "dense route below 100%" `Slow dense_circuits_route_below_full;
+    Alcotest.test_case "table1 circuit count" `Quick table1_circuit_count;
+  ]

@@ -1,0 +1,142 @@
+(* Cross-cutting properties: random workloads through the whole flow,
+   checked by the independent schedule validator; plus targeted failure
+   injection. *)
+
+module C = Crusade.Crusade_core
+module Spec = Crusade_taskgraph.Spec
+module Library = Crusade_resource.Library
+module Pe = Crusade_resource.Pe
+module Validate = Crusade_sched.Validate
+module W = Crusade_workloads.Comm_system
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let stock = Helpers.stock_lib
+
+let tiny_params seed =
+  {
+    W.name = Printf.sprintf "prop%d" seed;
+    n_tasks = 40;
+    seed;
+    hw_fraction = 0.5;
+    family_slots = 3;
+    asic_fraction = 0.1;
+    cpld_fraction = 0.1;
+  }
+
+(* The flagship property: whatever the seed, synthesis produces a
+   deadline-meeting architecture whose schedule passes every invariant of
+   the independent validator, and dynamic reconfiguration never costs
+   more than its absence. *)
+let synthesis_sound =
+  QCheck.Test.make ~name:"synthesize is sound on random workloads" ~count:12
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      match
+        ( C.synthesize ~options:{ C.default_options with dynamic_reconfiguration = false }
+            spec stock,
+          C.synthesize spec stock )
+      with
+      | Ok plain, Ok reconf ->
+          let violations =
+            Validate.check spec reconf.C.clustering reconf.C.arch reconf.C.schedule
+          in
+          plain.C.deadlines_met && reconf.C.deadlines_met && violations = []
+          && reconf.C.cost <= plain.C.cost +. 0.001
+      | _ -> false)
+
+let ft_sound =
+  QCheck.Test.make ~name:"CRUSADE-FT is sound on random workloads" ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      match Crusade_fault.Ft.synthesize spec stock with
+      | Ok r ->
+          let core = r.Crusade_fault.Ft.core in
+          core.C.deadlines_met
+          && Validate.check core.C.spec core.C.clustering core.C.arch core.C.schedule
+             = []
+          && r.Crusade_fault.Ft.total_cost >= core.C.cost
+      | Error _ -> false)
+
+let dsl_roundtrip_generated =
+  QCheck.Test.make ~name:"Dsl roundtrips generated workloads" ~count:10
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      match Crusade_taskgraph.Dsl.parse (Crusade_taskgraph.Dsl.print spec) with
+      | Ok again ->
+          Spec.n_tasks again = Spec.n_tasks spec
+          && Spec.n_edges again = Spec.n_edges spec
+          && Spec.hyperperiod again = Spec.hyperperiod spec
+      | Error _ -> false)
+
+(* --- failure injection --- *)
+
+let cpu_less_library_rejects_software () =
+  (* a library with only FPGAs cannot host software tasks *)
+  let fpga = Library.pe Helpers.small_lib 3 in
+  let lib = Library.create ~pes:[| { fpga with Pe.id = 0 } |] ~links:[||] in
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"g" ~period:1_000 ~deadline:800 () in
+  ignore (Spec.Builder.add_task b ~graph:g ~name:"sw" ~exec:[| -1 |] ());
+  let spec = Spec.Builder.finish_exn b ~name:"no-cpu" () in
+  check Alcotest.bool "rejected" true (Result.is_error (C.synthesize spec lib))
+
+let overtight_deadline_reported_not_crashed () =
+  let spec, _ = Helpers.sw_chain ~exec:9_000 ~deadline:1_000 2 in
+  match C.synthesize spec Helpers.small_lib with
+  | Ok r -> check Alcotest.bool "reported as missed" false r.C.deadlines_met
+  | Error msg -> Alcotest.failf "should degrade, not error: %s" msg
+
+let tight_boot_requirement_buys_speed () =
+  (* figure2 with a tight boot-time budget forces a faster, costlier
+     programming interface than the relaxed default *)
+  let relaxed = Crusade_workloads.Examples.figure2 Helpers.small_lib in
+  let tight =
+    Spec.build_exn ~name:"figure2-tight" ~boot_time_requirement:600
+      (Array.to_list relaxed.Spec.graphs)
+  in
+  let run spec = Helpers.synthesize spec in
+  let relaxed_r = run relaxed and tight_r = run tight in
+  match (relaxed_r.C.chosen_interface, tight_r.C.chosen_interface) with
+  | Some a, Some b ->
+      let speed (o : Crusade_reconfig.Interface.option_t) =
+        o.Crusade_reconfig.Interface.mhz
+        *. float_of_int
+             (match o.Crusade_reconfig.Interface.style with
+             | Crusade_reconfig.Interface.Serial -> 1
+             | Crusade_reconfig.Interface.Parallel8 -> 8)
+      in
+      check Alcotest.bool "tight budget buys bandwidth" true (speed b > speed a)
+  | _ -> Alcotest.fail "both runs must synthesize an interface"
+
+let determinism_across_option_sets =
+  QCheck.Test.make ~name:"copy_cap never breaks determinism" ~count:6
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      let run cap =
+        match
+          C.synthesize ~options:{ C.default_options with copy_cap = cap } spec stock
+        with
+        | Ok r -> Some (r.C.cost, r.C.n_pes)
+        | Error _ -> None
+      in
+      (* same cap twice -> identical result *)
+      run 16 = run 16)
+
+let suite =
+  [
+    qcheck synthesis_sound;
+    qcheck ft_sound;
+    qcheck dsl_roundtrip_generated;
+    Alcotest.test_case "cpu-less library rejects software" `Quick
+      cpu_less_library_rejects_software;
+    Alcotest.test_case "overtight deadline degrades" `Quick
+      overtight_deadline_reported_not_crashed;
+    Alcotest.test_case "tight boot budget buys speed" `Quick
+      tight_boot_requirement_buys_speed;
+    qcheck determinism_across_option_sets;
+  ]

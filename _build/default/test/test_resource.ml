@@ -1,0 +1,123 @@
+module Library = Crusade_resource.Library
+module Pe = Crusade_resource.Pe
+module Link = Crusade_resource.Link
+module Caps = Crusade_resource.Caps
+
+let check = Alcotest.check
+
+let stock = Helpers.stock_lib
+let small = Helpers.small_lib
+
+let stock_shape () =
+  check Alcotest.int "8 CPUs" 8 (List.length (Library.cpus stock));
+  check Alcotest.int "16 ASICs" 16 (List.length (Library.asics stock));
+  check Alcotest.int "8 PPEs" 8 (List.length (Library.ppes stock));
+  check Alcotest.int "4 link types" 4 (Library.n_link_types stock)
+
+let ids_are_indices () =
+  for i = 0 to Library.n_pe_types stock - 1 do
+    check Alcotest.int "pe id" i (Library.pe stock i).Pe.id
+  done;
+  for i = 0 to Library.n_link_types stock - 1 do
+    check Alcotest.int "link id" i (Library.link stock i).Link.id
+  done
+
+let create_rejects_bad_ids () =
+  let pe = Library.pe stock 3 in
+  check Alcotest.bool "bad id rejected" true
+    (try
+       ignore (Library.create ~pes:[| pe |] ~links:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let partial_devices_exist () =
+  let partial =
+    List.filter
+      (fun (pe : Pe.t) ->
+        match Pe.ppe_info pe with
+        | Some info -> info.Pe.partially_reconfigurable
+        | None -> false)
+      (Library.ppes stock)
+  in
+  check Alcotest.bool "XC6200/AT6000-class present" true (List.length partial >= 2)
+
+let pe_class_predicates () =
+  let cpu = Library.pe stock 0 in
+  check Alcotest.bool "is_cpu" true (Pe.is_cpu cpu);
+  check Alcotest.bool "cpu not programmable" false (Pe.is_programmable cpu);
+  check Alcotest.int "cpu has no pfus" 0 (Pe.pfus cpu);
+  let fpga = List.hd (Library.ppes stock) in
+  check Alcotest.bool "fpga programmable" true (Pe.is_programmable fpga);
+  check Alcotest.bool "fpga pfus > 0" true (Pe.pfus fpga > 0);
+  let asic = List.hd (Library.asics stock) in
+  check Alcotest.bool "asic" true (Pe.is_asic asic);
+  check Alcotest.bool "asic pins > 0" true (Pe.pins asic > 0)
+
+let caps_values () =
+  check (Alcotest.float 1e-9) "ERUF is 70%" 0.70 Caps.eruf;
+  check (Alcotest.float 1e-9) "EPUF is 80%" 0.80 Caps.epuf;
+  let fpga = List.hd (Library.ppes stock) in
+  check Alcotest.bool "usable pfus capped" true
+    (Caps.usable_pfus fpga < Pe.pfus fpga);
+  check Alcotest.bool "usable pins capped" true
+    (Caps.usable_pins fpga < Pe.pins fpga);
+  let asic = List.hd (Library.asics stock) in
+  (* ASICs are fixed silicon: fully usable. *)
+  check Alcotest.bool "asic fully usable" true (Caps.usable_pins asic = Pe.pins asic)
+
+let comm_time_properties () =
+  let bus = Library.link stock 0 in
+  check Alcotest.int "zero bytes free" 0 (Link.comm_time bus ~ports:2 ~bytes:0);
+  let t1 = Link.comm_time bus ~ports:2 ~bytes:32 in
+  let t2 = Link.comm_time bus ~ports:2 ~bytes:33 in
+  check Alcotest.bool "packet boundary" true (t2 > t1);
+  let more_ports = Link.comm_time bus ~ports:6 ~bytes:32 in
+  check Alcotest.bool "more ports slower" true (more_ports >= t1)
+
+let access_time_clamps () =
+  let bus = Library.link stock 0 in
+  let lo = Link.access_time bus ~ports:0 in
+  let hi = Link.access_time bus ~ports:99 in
+  check Alcotest.bool "clamped below" true (lo = Link.access_time bus ~ports:2);
+  check Alcotest.bool "clamped above" true
+    (hi = Link.access_time bus ~ports:bus.Link.max_ports)
+
+let serial_is_point_to_point () =
+  let serial = Library.link stock 3 in
+  check Alcotest.int "two ports" 2 serial.Link.max_ports;
+  check Alcotest.bool "topology" true (serial.Link.topology = Link.Point_to_point)
+
+let small_library_fig2_capacities () =
+  (* The Fig. 2 story needs F1 to hold one 90-gate task per mode and F2 to
+     hold two but not three. *)
+  let f1 = Library.pe small 3 and f2 = Library.pe small 4 in
+  check Alcotest.bool "F1 holds one" true (Caps.usable_pfus f1 >= 90);
+  check Alcotest.bool "F1 not two" true (Caps.usable_pfus f1 < 180);
+  check Alcotest.bool "F2 holds two" true (Caps.usable_pfus f2 >= 180);
+  check Alcotest.bool "F2 not three" true (Caps.usable_pfus f2 < 270)
+
+let boot_memory_consistent () =
+  List.iter
+    (fun (pe : Pe.t) ->
+      match Pe.ppe_info pe with
+      | Some info ->
+          check Alcotest.int "boot bytes = config bits / 8"
+            ((info.Pe.config_bits + 7) / 8)
+            info.Pe.boot_memory_bytes
+      | None -> ())
+    (Library.ppes stock)
+
+let suite =
+  [
+    Alcotest.test_case "stock shape" `Quick stock_shape;
+    Alcotest.test_case "ids are indices" `Quick ids_are_indices;
+    Alcotest.test_case "create rejects bad ids" `Quick create_rejects_bad_ids;
+    Alcotest.test_case "partial devices exist" `Quick partial_devices_exist;
+    Alcotest.test_case "pe class predicates" `Quick pe_class_predicates;
+    Alcotest.test_case "ERUF/EPUF caps" `Quick caps_values;
+    Alcotest.test_case "comm time" `Quick comm_time_properties;
+    Alcotest.test_case "access time clamps" `Quick access_time_clamps;
+    Alcotest.test_case "serial p2p" `Quick serial_is_point_to_point;
+    Alcotest.test_case "fig2 capacities" `Quick small_library_fig2_capacities;
+    Alcotest.test_case "boot memory consistent" `Quick boot_memory_consistent;
+  ]

@@ -1,0 +1,282 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Graph = Crusade_taskgraph.Graph
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let mk_task ?(id = 0) ?(graph = 0) ?(exec = [| 100; 200; -1 |]) ?preference
+    ?(exclusion = []) ?(deadline = None) () : Task.t =
+  {
+    id;
+    name = Printf.sprintf "t%d" id;
+    graph;
+    exec;
+    preference;
+    exclusion;
+    memory = Task.no_memory;
+    gates = 0;
+    pins = 0;
+    deadline;
+    ft = Task.default_ft;
+  }
+
+(* --- Task --- *)
+
+let task_exec_on () =
+  let t = mk_task () in
+  check Alcotest.(option int) "feasible" (Some 100) (Task.exec_on t 0);
+  check Alcotest.(option int) "infeasible" None (Task.exec_on t 2);
+  check Alcotest.(option int) "out of range" None (Task.exec_on t 7);
+  check Alcotest.bool "can_run_on" true (Task.can_run_on t 1)
+
+let task_preference_forbids () =
+  let t = mk_task ~preference:[| 1; 0; 1 |] () in
+  check Alcotest.(option int) "preferred ok" (Some 100) (Task.exec_on t 0);
+  check Alcotest.(option int) "preference 0 forbids" None (Task.exec_on t 1)
+
+let task_min_max_exec () =
+  let t = mk_task () in
+  check Alcotest.int "max" 200 (Task.max_exec t);
+  check Alcotest.int "min" 100 (Task.min_exec t)
+
+let task_runs_nowhere () =
+  let t = mk_task ~exec:[| -1; -1; -1 |] () in
+  check Alcotest.bool "max_exec raises" true
+    (try
+       ignore (Task.max_exec t);
+       false
+     with Failure _ -> true)
+
+let task_excludes () =
+  let a = mk_task ~id:0 ~exclusion:[ 1 ] () in
+  let b = mk_task ~id:1 () in
+  let c = mk_task ~id:2 () in
+  check Alcotest.bool "one-sided exclusion counts" true (Task.excludes a b);
+  check Alcotest.bool "symmetric view" true (Task.excludes b a);
+  check Alcotest.bool "unrelated" false (Task.excludes b c)
+
+let task_memory_total () =
+  let m = { Task.program_bytes = 10; data_bytes = 20; stack_bytes = 5 } in
+  check Alcotest.int "total" 35 (Task.total_bytes m)
+
+(* --- Graph --- *)
+
+let chain_graph n =
+  let tasks = Array.init n (fun i -> mk_task ~id:i ()) in
+  let edges =
+    Array.init (n - 1) (fun i -> { Edge.id = i; src = i; dst = i + 1; bytes = 8 })
+  in
+  {
+    Graph.id = 0;
+    name = "chain";
+    period = 1000;
+    est = 0;
+    deadline = 900;
+    tasks;
+    edges;
+    compat = None;
+    unavailability_budget = None;
+  }
+
+let graph_validate_ok () =
+  check Alcotest.bool "valid chain" true (Result.is_ok (Graph.validate (chain_graph 4)))
+
+let graph_validate_cycle () =
+  let g = chain_graph 3 in
+  let g =
+    {
+      g with
+      Graph.edges = Array.append g.Graph.edges [| { Edge.id = 9; src = 2; dst = 0; bytes = 1 } |];
+    }
+  in
+  check Alcotest.bool "cycle rejected" true (Result.is_error (Graph.validate g))
+
+let graph_validate_bad_edge () =
+  let g = chain_graph 3 in
+  let g =
+    { g with Graph.edges = [| { Edge.id = 0; src = 0; dst = 42; bytes = 1 } |] }
+  in
+  check Alcotest.bool "foreign task rejected" true (Result.is_error (Graph.validate g))
+
+let graph_validate_bad_period () =
+  let g = { (chain_graph 3) with Graph.period = 0 } in
+  check Alcotest.bool "zero period rejected" true (Result.is_error (Graph.validate g))
+
+let graph_topological_order () =
+  let g = chain_graph 5 in
+  let order = Graph.topological_order g in
+  check Alcotest.(list int) "chain order"
+    [ 0; 1; 2; 3; 4 ]
+    (List.map (fun (t : Task.t) -> t.id) order)
+
+let graph_sources_sinks () =
+  let g = chain_graph 3 in
+  check Alcotest.(list int) "sources" [ 0 ]
+    (List.map (fun (t : Task.t) -> t.id) (Graph.sources g));
+  check Alcotest.(list int) "sinks" [ 2 ]
+    (List.map (fun (t : Task.t) -> t.id) (Graph.sinks g))
+
+let graph_task_deadline () =
+  let g = chain_graph 2 in
+  let with_own = mk_task ~id:0 ~deadline:(Some 123) () in
+  check Alcotest.int "own deadline" 123 (Graph.task_deadline g with_own);
+  check Alcotest.int "inherits graph deadline" 900 (Graph.task_deadline g g.Graph.tasks.(1))
+
+(* --- Spec + Builder --- *)
+
+let builder_roundtrip () =
+  let spec, ids = Helpers.sw_chain 4 in
+  check Alcotest.int "tasks" 4 (Spec.n_tasks spec);
+  check Alcotest.int "edges" 3 (Spec.n_edges spec);
+  check Alcotest.int "graphs" 1 (Spec.n_graphs spec);
+  List.iteri
+    (fun i id -> check Alcotest.int "ids sequential" i id)
+    ids;
+  (* adjacency *)
+  check Alcotest.int "succ of 0" 1
+    (List.length spec.Spec.succs.(0));
+  check Alcotest.int "preds of 0" 0 (List.length spec.Spec.preds.(0))
+
+let builder_cross_graph_edge () =
+  let b = Spec.Builder.create () in
+  let g1 = Spec.Builder.add_graph b ~name:"a" ~period:100 ~deadline:50 () in
+  let g2 = Spec.Builder.add_graph b ~name:"b" ~period:100 ~deadline:50 () in
+  let t1 = Spec.Builder.add_task b ~graph:g1 ~name:"x" ~exec:[| 1 |] () in
+  let t2 = Spec.Builder.add_task b ~graph:g2 ~name:"y" ~exec:[| 1 |] () in
+  Alcotest.check_raises "cross-graph edge"
+    (Invalid_argument "Spec.Builder.add_edge: endpoints in different graphs")
+    (fun () -> Spec.Builder.add_edge b ~src:t1 ~dst:t2 ~bytes:1)
+
+let spec_hyperperiod () =
+  let b = Spec.Builder.create () in
+  let g1 = Spec.Builder.add_graph b ~name:"a" ~period:4_000 ~deadline:1_000 () in
+  let g2 = Spec.Builder.add_graph b ~name:"b" ~period:6_000 ~deadline:1_000 () in
+  ignore (Spec.Builder.add_task b ~graph:g1 ~name:"x" ~exec:[| 1 |] ());
+  ignore (Spec.Builder.add_task b ~graph:g2 ~name:"y" ~exec:[| 1 |] ());
+  let spec = Spec.Builder.finish_exn b ~name:"hp" () in
+  check Alcotest.int "hyperperiod" 12_000 (Spec.hyperperiod spec);
+  check Alcotest.int "copies of a" 3 (Spec.copies spec spec.Spec.graphs.(0));
+  check Alcotest.int "copies of b" 2 (Spec.copies spec spec.Spec.graphs.(1))
+
+let spec_boot_requirement_default () =
+  let spec, _ = Helpers.sw_chain 2 in
+  check Alcotest.int "default boot requirement" 50_000 spec.Spec.boot_time_requirement
+
+(* --- static compatibility --- *)
+
+let static_compat_disjoint () =
+  let spec, _, _ = Helpers.two_hw_graphs ~overlap:false () in
+  check Alcotest.bool "disjoint slots compatible" true (Spec.static_compatible spec 0 1);
+  check Alcotest.bool "symmetric" true (Spec.static_compatible spec 1 0)
+
+let static_compat_overlapping () =
+  let spec, _, _ = Helpers.two_hw_graphs ~overlap:true () in
+  check Alcotest.bool "overlapping envelopes incompatible" false
+    (Spec.static_compatible spec 0 1)
+
+let static_compat_self () =
+  let spec, _, _ = Helpers.two_hw_graphs ~overlap:false () in
+  check Alcotest.bool "never compatible with itself" false
+    (Spec.static_compatible spec 0 0)
+
+let static_compat_declared_wins () =
+  (* Declared compatibility vectors override window analysis. *)
+  let b = Spec.Builder.create () in
+  let g1 = Spec.Builder.add_graph b ~name:"g1" ~period:1000 ~est:0 ~deadline:500 () in
+  let g2 =
+    Spec.Builder.add_graph b ~name:"g2" ~period:1000 ~est:0 ~deadline:500
+      ~compat_with:[ g1 ] ()
+  in
+  ignore (Spec.Builder.add_task b ~graph:g1 ~name:"x" ~exec:[| 1 |] ());
+  ignore (Spec.Builder.add_task b ~graph:g2 ~name:"y" ~exec:[| 1 |] ());
+  let spec = Spec.Builder.finish_exn b ~name:"declared" () in
+  check Alcotest.bool "declared although overlapping" true
+    (Spec.static_compatible spec 0 1)
+
+let static_compat_multirate () =
+  (* period 10ms slot [0,2ms) vs period 5ms slot [2.5ms, 4.5ms): the fast
+     graph hits [5,7) and [2.5,4.5)+5k... envelopes never intersect. *)
+  let b = Spec.Builder.create () in
+  let g1 = Spec.Builder.add_graph b ~name:"slow" ~period:10_000 ~est:0 ~deadline:2_000 () in
+  let g2 =
+    Spec.Builder.add_graph b ~name:"fast" ~period:5_000 ~est:2_500 ~deadline:2_000 ()
+  in
+  ignore (Spec.Builder.add_task b ~graph:g1 ~name:"x" ~exec:[| 10 |] ());
+  ignore (Spec.Builder.add_task b ~graph:g2 ~name:"y" ~exec:[| 10 |] ());
+  let spec = Spec.Builder.finish_exn b ~name:"mr" () in
+  check Alcotest.bool "multirate disjoint" true (Spec.static_compatible spec 0 1);
+  (* shifting the fast graph into the slow slot breaks it *)
+  let b2 = Spec.Builder.create () in
+  let h1 = Spec.Builder.add_graph b2 ~name:"slow" ~period:10_000 ~est:0 ~deadline:2_000 () in
+  let h2 =
+    Spec.Builder.add_graph b2 ~name:"fast" ~period:5_000 ~est:1_000 ~deadline:2_000 ()
+  in
+  ignore (Spec.Builder.add_task b2 ~graph:h1 ~name:"x" ~exec:[| 10 |] ());
+  ignore (Spec.Builder.add_task b2 ~graph:h2 ~name:"y" ~exec:[| 10 |] ());
+  let spec2 = Spec.Builder.finish_exn b2 ~name:"mr2" () in
+  check Alcotest.bool "multirate overlapping" false (Spec.static_compatible spec2 0 1)
+
+let topo_order_is_linear_extension =
+  (* random DAG via layered construction, check topological property *)
+  QCheck.Test.make ~name:"topological_order respects edges" ~count:100
+    QCheck.(pair small_int (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Crusade_util.Rng.create seed in
+      let edges = ref [] in
+      for d = 1 to n - 1 do
+        let s = Crusade_util.Rng.int rng d in
+        edges := (s, d) :: !edges
+      done;
+      let tasks = Array.init n (fun i -> mk_task ~id:i ()) in
+      let edges =
+        Array.of_list
+          (List.mapi (fun i (s, d) -> { Edge.id = i; src = s; dst = d; bytes = 1 }) !edges)
+      in
+      let g =
+        {
+          Graph.id = 0;
+          name = "dag";
+          period = 100;
+          est = 0;
+          deadline = 50;
+          tasks;
+          edges;
+          compat = None;
+          unavailability_budget = None;
+        }
+      in
+      let order = Graph.topological_order g in
+      let pos = Hashtbl.create n in
+      List.iteri (fun i (t : Task.t) -> Hashtbl.replace pos t.id i) order;
+      Array.for_all
+        (fun (e : Edge.t) -> Hashtbl.find pos e.src < Hashtbl.find pos e.dst)
+        g.Graph.edges)
+
+let suite =
+  [
+    Alcotest.test_case "exec_on" `Quick task_exec_on;
+    Alcotest.test_case "preference forbids" `Quick task_preference_forbids;
+    Alcotest.test_case "min/max exec" `Quick task_min_max_exec;
+    Alcotest.test_case "runs nowhere" `Quick task_runs_nowhere;
+    Alcotest.test_case "excludes" `Quick task_excludes;
+    Alcotest.test_case "memory total" `Quick task_memory_total;
+    Alcotest.test_case "validate ok" `Quick graph_validate_ok;
+    Alcotest.test_case "validate cycle" `Quick graph_validate_cycle;
+    Alcotest.test_case "validate bad edge" `Quick graph_validate_bad_edge;
+    Alcotest.test_case "validate bad period" `Quick graph_validate_bad_period;
+    Alcotest.test_case "topological order" `Quick graph_topological_order;
+    Alcotest.test_case "sources/sinks" `Quick graph_sources_sinks;
+    Alcotest.test_case "task deadline" `Quick graph_task_deadline;
+    Alcotest.test_case "builder roundtrip" `Quick builder_roundtrip;
+    Alcotest.test_case "cross-graph edge" `Quick builder_cross_graph_edge;
+    Alcotest.test_case "hyperperiod/copies" `Quick spec_hyperperiod;
+    Alcotest.test_case "boot requirement default" `Quick spec_boot_requirement_default;
+    Alcotest.test_case "static compat disjoint" `Quick static_compat_disjoint;
+    Alcotest.test_case "static compat overlap" `Quick static_compat_overlapping;
+    Alcotest.test_case "static compat self" `Quick static_compat_self;
+    Alcotest.test_case "static compat declared" `Quick static_compat_declared_wins;
+    Alcotest.test_case "static compat multirate" `Quick static_compat_multirate;
+    qcheck topo_order_is_linear_extension;
+  ]

@@ -1,0 +1,307 @@
+(* Unit and property tests for crusade_util. *)
+
+module Rng = Crusade_util.Rng
+module Pqueue = Crusade_util.Pqueue
+module Arith = Crusade_util.Arith
+module Intervals = Crusade_util.Intervals
+module Disjoint_set = Crusade_util.Disjoint_set
+module Vec = Crusade_util.Vec
+module Text_table = Crusade_util.Text_table
+module Stats = Crusade_util.Stats
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Rng --- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check Alcotest.bool "different seeds differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check Alcotest.bool "split differs from parent" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let x = Rng.int_in rng lo (lo + span) in
+      x >= lo && x <= lo + span)
+
+let rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float in [0, bound)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng 3.5 in
+      x >= 0.0 && x < 3.5)
+
+let rng_shuffle_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle permutes" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      let rng = Rng.create seed in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let rng_chance_extremes () =
+  let rng = Rng.create 3 in
+  check Alcotest.bool "p=0 never" false (Rng.chance rng 0.0);
+  check Alcotest.bool "p=1 always" true (Rng.chance rng 1.0)
+
+(* --- Pqueue --- *)
+
+let pqueue_basic () =
+  let q = Pqueue.create ~cmp:compare in
+  check Alcotest.bool "empty" true (Pqueue.is_empty q);
+  List.iter (Pqueue.add q) [ 5; 1; 4; 1; 3 ];
+  check Alcotest.int "length" 5 (Pqueue.length q);
+  check Alcotest.(option int) "peek" (Some 1) (Pqueue.peek q);
+  check Alcotest.(option int) "pop1" (Some 1) (Pqueue.pop q);
+  check Alcotest.(option int) "pop2" (Some 1) (Pqueue.pop q);
+  check Alcotest.(option int) "pop3" (Some 3) (Pqueue.pop q)
+
+let pqueue_pop_exn_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let pqueue_sorted_drain =
+  QCheck.Test.make ~name:"Pqueue drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (Pqueue.add q) xs;
+      let rec drain acc =
+        match Pqueue.pop q with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let pqueue_custom_order () =
+  let q = Pqueue.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Pqueue.add q) [ 1; 3; 2 ];
+  check Alcotest.(option int) "max first" (Some 3) (Pqueue.pop q)
+
+(* --- Arith --- *)
+
+let arith_gcd_lcm () =
+  check Alcotest.int "gcd" 6 (Arith.gcd 12 18);
+  check Alcotest.int "gcd with zero" 5 (Arith.gcd 5 0);
+  check Alcotest.int "lcm" 36 (Arith.lcm 12 18);
+  check Alcotest.int "lcm with zero" 0 (Arith.lcm 0 7);
+  check Alcotest.int "lcm_list" 24 (Arith.lcm_list [ 8; 12; 6 ])
+
+let arith_lcm_overflow () =
+  Alcotest.check_raises "hyperperiod overflow"
+    (Failure "Arith.lcm: hyperperiod overflow") (fun () ->
+      ignore (Arith.lcm (max_int - 1) (max_int - 2)))
+
+let arith_lcm_divisibility =
+  QCheck.Test.make ~name:"lcm divisible by both" ~count:300
+    QCheck.(pair (int_range 1 10000) (int_range 1 10000))
+    (fun (a, b) ->
+      let l = Arith.lcm a b in
+      l mod a = 0 && l mod b = 0)
+
+let arith_ceil_div () =
+  check Alcotest.int "exact" 3 (Arith.ceil_div 9 3);
+  check Alcotest.int "round up" 4 (Arith.ceil_div 10 3);
+  check Alcotest.int "zero" 0 (Arith.ceil_div 0 5)
+
+let arith_clamp () =
+  check Alcotest.int "below" 2 (Arith.clamp ~lo:2 ~hi:8 1);
+  check Alcotest.int "above" 8 (Arith.clamp ~lo:2 ~hi:8 9);
+  check Alcotest.int "inside" 5 (Arith.clamp ~lo:2 ~hi:8 5)
+
+(* --- Intervals --- *)
+
+let intervals_normalize () =
+  let t = Intervals.of_list [ (5, 8); (1, 3); (2, 4); (8, 9) ] in
+  check
+    Alcotest.(list (pair int int))
+    "merged and sorted"
+    [ (1, 4); (5, 9) ]
+    (Intervals.to_list t)
+
+let intervals_empty_dropped () =
+  let t = Intervals.of_list [ (3, 3); (1, 2) ] in
+  check Alcotest.(list (pair int int)) "empty dropped" [ (1, 2) ] (Intervals.to_list t)
+
+let intervals_invalid () =
+  Alcotest.check_raises "start > stop"
+    (Invalid_argument "Intervals.of_list: start > stop") (fun () ->
+      ignore (Intervals.of_list [ (3, 1) ]))
+
+let intervals_overlaps () =
+  let a = Intervals.of_list [ (0, 10); (20, 30) ] in
+  let b = Intervals.of_list [ (10, 20) ] in
+  let c = Intervals.of_list [ (5, 15) ] in
+  check Alcotest.bool "touching is disjoint" false (Intervals.overlaps a b);
+  check Alcotest.bool "crossing overlaps" true (Intervals.overlaps a c);
+  check Alcotest.bool "empty never overlaps" false (Intervals.overlaps a Intervals.empty)
+
+let intervals_overlap_symmetric =
+  let pairs_arb = QCheck.(small_list (pair (int_range 0 100) (int_range 0 100))) in
+  let build pairs =
+    Intervals.of_list (List.map (fun (a, b) -> (min a b, max a b)) pairs)
+  in
+  QCheck.Test.make ~name:"Intervals.overlaps symmetric" ~count:300
+    (QCheck.pair pairs_arb pairs_arb)
+    (fun (xs, ys) ->
+      let a = build xs and b = build ys in
+      Intervals.overlaps a b = Intervals.overlaps b a)
+
+let intervals_total_length () =
+  let t = Intervals.of_list [ (0, 5); (3, 8); (10, 12) ] in
+  check Alcotest.int "union length" 10 (Intervals.total_length t)
+
+let intervals_span () =
+  let t = Intervals.of_list [ (4, 6); (1, 2) ] in
+  check Alcotest.(option (pair int int)) "span" (Some (1, 6)) (Intervals.span t);
+  check Alcotest.(option (pair int int)) "empty span" None (Intervals.span Intervals.empty)
+
+let intervals_add_union () =
+  let t = Intervals.add Intervals.empty 1 4 in
+  let u = Intervals.union t (Intervals.of_list [ (2, 6) ]) in
+  check Alcotest.(list (pair int int)) "union merges" [ (1, 6) ] (Intervals.to_list u);
+  check Alcotest.bool "overlaps_interval" true (Intervals.overlaps_interval u 5 9);
+  check Alcotest.bool "overlaps_interval disjoint" false
+    (Intervals.overlaps_interval u 6 9)
+
+(* --- Disjoint_set --- *)
+
+let dsu_basic () =
+  let d = Disjoint_set.create 6 in
+  Disjoint_set.union d 0 1;
+  Disjoint_set.union d 2 3;
+  Disjoint_set.union d 1 2;
+  check Alcotest.bool "same" true (Disjoint_set.same d 0 3);
+  check Alcotest.bool "not same" false (Disjoint_set.same d 0 4);
+  check
+    Alcotest.(list (list int))
+    "groups"
+    [ [ 0; 1; 2; 3 ]; [ 4 ]; [ 5 ] ]
+    (Disjoint_set.groups d)
+
+let dsu_transitive =
+  QCheck.Test.make ~name:"union transitivity" ~count:200
+    QCheck.(small_list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let d = Disjoint_set.create 20 in
+      List.iter (fun (a, b) -> Disjoint_set.union d a b) pairs;
+      (* every group's members all find the same root *)
+      List.for_all
+        (fun group ->
+          match group with
+          | [] -> true
+          | root :: _ -> List.for_all (fun x -> Disjoint_set.same d root x) group)
+        (Disjoint_set.groups d))
+
+(* --- Vec --- *)
+
+let vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get" 84 (Vec.get v 42);
+  Vec.set v 42 0;
+  check Alcotest.int "set" 0 (Vec.get v 42);
+  check Alcotest.bool "exists" true (Vec.exists (fun x -> x = 198) v)
+
+let vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () -> ignore (Vec.get v 1))
+
+let vec_map_copy_independent () =
+  let v = Vec.create () in
+  Vec.push v (ref 1);
+  let w = Vec.map_copy (fun r -> ref !r) v in
+  Vec.get w 0 := 9;
+  check Alcotest.int "copy is deep" 1 !(Vec.get v 0)
+
+let vec_fold_to_list () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  check Alcotest.int "fold" 6 (Vec.fold ( + ) 0 v);
+  check Alcotest.(list int) "to_list" [ 1; 2; 3 ] (Vec.to_list v)
+
+(* --- Text_table / Stats --- *)
+
+let table_render () =
+  let out = Text_table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check Alcotest.bool "contains header" true
+    (String.length out > 0 && String.sub out 0 1 = "a")
+
+let fmt_dollars () =
+  check Alcotest.string "thousands" "26,245" (Text_table.fmt_dollars 26245.0);
+  check Alcotest.string "small" "42" (Text_table.fmt_dollars 42.4);
+  check Alcotest.string "million" "1,234,567" (Text_table.fmt_dollars 1234567.0)
+
+let stats_basic () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "mean empty" 0.0 (Stats.mean []);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "median" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    Alcotest.test_case "rng chance extremes" `Quick rng_chance_extremes;
+    qcheck rng_int_bounds;
+    qcheck rng_int_in_bounds;
+    qcheck rng_float_bounds;
+    qcheck rng_shuffle_permutation;
+    Alcotest.test_case "pqueue basics" `Quick pqueue_basic;
+    Alcotest.test_case "pqueue pop_exn empty" `Quick pqueue_pop_exn_empty;
+    Alcotest.test_case "pqueue custom order" `Quick pqueue_custom_order;
+    qcheck pqueue_sorted_drain;
+    Alcotest.test_case "gcd/lcm" `Quick arith_gcd_lcm;
+    Alcotest.test_case "lcm overflow" `Quick arith_lcm_overflow;
+    Alcotest.test_case "ceil_div" `Quick arith_ceil_div;
+    Alcotest.test_case "clamp" `Quick arith_clamp;
+    qcheck arith_lcm_divisibility;
+    Alcotest.test_case "intervals normalize" `Quick intervals_normalize;
+    Alcotest.test_case "intervals drop empty" `Quick intervals_empty_dropped;
+    Alcotest.test_case "intervals invalid" `Quick intervals_invalid;
+    Alcotest.test_case "intervals overlaps" `Quick intervals_overlaps;
+    Alcotest.test_case "intervals total length" `Quick intervals_total_length;
+    Alcotest.test_case "intervals span" `Quick intervals_span;
+    Alcotest.test_case "intervals add/union" `Quick intervals_add_union;
+    qcheck intervals_overlap_symmetric;
+    Alcotest.test_case "disjoint set basics" `Quick dsu_basic;
+    qcheck dsu_transitive;
+    Alcotest.test_case "vec push/get" `Quick vec_push_get;
+    Alcotest.test_case "vec bounds" `Quick vec_bounds;
+    Alcotest.test_case "vec deep copy" `Quick vec_map_copy_independent;
+    Alcotest.test_case "vec fold/to_list" `Quick vec_fold_to_list;
+    Alcotest.test_case "table render" `Quick table_render;
+    Alcotest.test_case "fmt dollars" `Quick fmt_dollars;
+    Alcotest.test_case "stats basics" `Quick stats_basic;
+  ]

@@ -1,0 +1,156 @@
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Graph = Crusade_taskgraph.Graph
+module W = Crusade_workloads.Comm_system
+module Ex = Crusade_workloads.Examples
+
+let check = Alcotest.check
+let lib = Helpers.stock_lib
+
+let small_params = W.scaled (W.preset "A1TR") 16.0
+
+let generator_deterministic () =
+  let a = W.generate lib small_params and b = W.generate lib small_params in
+  check Alcotest.int "same tasks" (Spec.n_tasks a) (Spec.n_tasks b);
+  check Alcotest.int "same edges" (Spec.n_edges a) (Spec.n_edges b);
+  Array.iteri
+    (fun i (t : Task.t) ->
+      check Alcotest.string "same names" t.name (Spec.task b i).Task.name)
+    a.Spec.tasks
+
+let generator_exact_task_count () =
+  let spec = W.generate lib small_params in
+  check Alcotest.int "task count honoured" small_params.W.n_tasks (Spec.n_tasks spec)
+
+let generator_presets_exist () =
+  check
+    Alcotest.(list string)
+    "paper order"
+    [ "A1TR"; "VDRTX"; "HROST"; "EST189A"; "HRXC"; "ADMR"; "B192G"; "NGXM" ]
+    W.preset_names;
+  List.iter
+    (fun name -> ignore (W.preset name))
+    W.preset_names
+
+let generator_preset_sizes () =
+  check Alcotest.int "A1TR" 1126 (W.preset "A1TR").W.n_tasks;
+  check Alcotest.int "NGXM" 7416 (W.preset "NGXM").W.n_tasks
+
+let generator_periods_harmonic () =
+  let spec = W.generate lib small_params in
+  Array.iter
+    (fun (g : Graph.t) ->
+      check Alcotest.bool "period in family" true
+        (List.mem g.period [ 8_000; 16_000; 32_000; 64_000 ]))
+    spec.Spec.graphs;
+  check Alcotest.bool "hyperperiod bounded" true (Spec.hyperperiod spec <= 64_000)
+
+let generator_hw_graphs_sloted () =
+  let spec = W.generate lib small_params in
+  let hw (g : Graph.t) = String.length g.name > 4 && String.sub g.name 5 2 = "hw" in
+  Array.iter
+    (fun (g : Graph.t) ->
+      if hw g then begin
+        (* hw windows are slot-aligned: est multiple of deadline *)
+        check Alcotest.int "slot width" 0 (g.est mod g.deadline);
+        check Alcotest.bool "slot fits period" true (g.est + g.deadline <= g.period)
+      end)
+    spec.Spec.graphs
+
+let generator_same_family_slots_compatible () =
+  let spec = W.generate lib small_params in
+  (* find two hw graphs with same period and different slots *)
+  let hw =
+    Array.to_list spec.Spec.graphs
+    |> List.filter (fun (g : Graph.t) ->
+           String.length g.name > 6 && String.sub g.name 5 2 = "hw")
+  in
+  let found = ref false in
+  List.iter
+    (fun (a : Graph.t) ->
+      List.iter
+        (fun (b : Graph.t) ->
+          if a.id < b.id && a.period = b.period && a.est <> b.est then begin
+            found := true;
+            check Alcotest.bool
+              (Printf.sprintf "%s compatible with %s" a.name b.name)
+              true
+              (Spec.static_compatible spec a.id b.id)
+          end)
+        hw)
+    hw;
+  check Alcotest.bool "at least one pair checked" true !found
+
+let generator_hw_tasks_have_area () =
+  let spec = W.generate lib small_params in
+  Array.iter
+    (fun (t : Task.t) ->
+      let g = Spec.graph_of_task spec t in
+      if String.sub g.Graph.name 5 2 = "hw" then begin
+        check Alcotest.bool "gates > 0" true (t.gates > 0);
+        check Alcotest.bool "no cpu mapping" true
+          (not (Task.can_run_on t 0))
+      end
+      else check Alcotest.bool "sw has memory" true (Task.total_bytes t.memory > 0))
+    spec.Spec.tasks
+
+let generator_ft_annotations () =
+  let spec = W.generate lib small_params in
+  let with_assert =
+    Array.to_list spec.Spec.tasks
+    |> List.filter (fun (t : Task.t) -> t.ft.Task.assertions <> [])
+  in
+  let share = float_of_int (List.length with_assert) /. float_of_int (Spec.n_tasks spec) in
+  check Alcotest.bool "roughly 65% have assertions" true (share > 0.4 && share < 0.9);
+  Array.iter
+    (fun (g : Graph.t) ->
+      check Alcotest.bool "availability budget set" true
+        (g.unavailability_budget <> None))
+    spec.Spec.graphs
+
+let generator_scaled () =
+  let p = W.scaled (W.preset "NGXM") 8.0 in
+  check Alcotest.int "scaled size" 927 p.W.n_tasks
+
+let figure2_shape () =
+  let spec = Ex.figure2 Helpers.small_lib in
+  check Alcotest.int "3 graphs" 3 (Spec.n_graphs spec);
+  check Alcotest.int "3 tasks" 3 (Spec.n_tasks spec);
+  (* pairwise compatible: the point of the figure *)
+  check Alcotest.bool "T1/T2" true (Spec.static_compatible spec 0 1);
+  check Alcotest.bool "T2/T3" true (Spec.static_compatible spec 1 2);
+  check Alcotest.bool "T1/T3" true (Spec.static_compatible spec 0 2)
+
+let figure4_shape () =
+  let spec = Ex.figure4 Helpers.small_lib in
+  check Alcotest.int "4 graphs" 4 (Spec.n_graphs spec);
+  (* C1 (graph 1) overlaps C3 (graph 3), C2 (graph 2) compatible with both *)
+  check Alcotest.bool "C1/C2 compatible" true (Spec.static_compatible spec 1 2);
+  check Alcotest.bool "C1/C3 overlap" false (Spec.static_compatible spec 1 3);
+  check Alcotest.bool "C2/C3 compatible" true (Spec.static_compatible spec 2 3)
+
+let multirate_shape () =
+  let spec = Ex.multirate lib in
+  check Alcotest.bool "rate spread 25us..60s" true
+    (Array.exists (fun (g : Graph.t) -> g.period = 25) spec.Spec.graphs
+    && Array.exists (fun (g : Graph.t) -> g.period = 60_000_000) spec.Spec.graphs);
+  (* the association array must be forced to extrapolate *)
+  check Alcotest.bool "copies exceed any explicit cap" true
+    (Spec.copies spec spec.Spec.graphs.(0) > 1000)
+
+let suite =
+  [
+    Alcotest.test_case "generator deterministic" `Quick generator_deterministic;
+    Alcotest.test_case "exact task count" `Quick generator_exact_task_count;
+    Alcotest.test_case "presets exist" `Quick generator_presets_exist;
+    Alcotest.test_case "preset sizes" `Quick generator_preset_sizes;
+    Alcotest.test_case "harmonic periods" `Quick generator_periods_harmonic;
+    Alcotest.test_case "hw graphs slotted" `Quick generator_hw_graphs_sloted;
+    Alcotest.test_case "family slots compatible" `Quick generator_same_family_slots_compatible;
+    Alcotest.test_case "hw tasks have area" `Quick generator_hw_tasks_have_area;
+    Alcotest.test_case "ft annotations" `Quick generator_ft_annotations;
+    Alcotest.test_case "scaled" `Quick generator_scaled;
+    Alcotest.test_case "figure2 shape" `Quick figure2_shape;
+    Alcotest.test_case "figure4 shape" `Quick figure4_shape;
+    Alcotest.test_case "multirate shape" `Quick multirate_shape;
+  ]
