@@ -6,11 +6,17 @@
      dune exec bench/main.exe -- table3          CRUSADE-FT with/without reconfiguration
      dune exec bench/main.exe -- figures         Fig. 2 / Fig. 4 walkthroughs
      dune exec bench/main.exe -- bench           Bechamel micro-benchmarks
-     dune exec bench/main.exe -- all [--scale N] everything (default)
+     dune exec bench/main.exe -- speedup         wall-clock scaling at jobs = 1, 2, 4, ...
+     dune exec bench/main.exe -- all [--scale N] everything except speedup (default)
 
    --scale N divides the task counts of the eight big examples by N
    (default 8; use --scale 1 to reproduce the full paper sizes, which
-   takes over an hour of single-core time). *)
+   takes over an hour of single-core time).
+
+   --jobs N runs every synthesis with N domains evaluating allocation
+   candidates and merge trials in parallel (results are bit-identical to
+   --jobs 1; also the CRUSADE_JOBS env var).  For the speedup subcommand
+   it sets the largest jobs count measured (default 4). *)
 
 module C = Crusade.Crusade_core
 module F = Crusade_fault.Ft
@@ -89,14 +95,14 @@ let table1 () =
   print_string (T.render ~header rows);
   print_newline ()
 
-let synth_row spec lib reconfig =
-  let options = { C.default_options with dynamic_reconfiguration = reconfig } in
+let synth_row ~jobs spec lib reconfig =
+  let options = { C.default_options with dynamic_reconfiguration = reconfig; jobs } in
   match C.synthesize ~options spec lib with
   | Ok r -> (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
-let ft_row spec lib reconfig =
-  let options = { C.default_options with dynamic_reconfiguration = reconfig } in
+let ft_row ~jobs spec lib reconfig =
+  let options = { C.default_options with dynamic_reconfiguration = reconfig; jobs } in
   match F.synthesize ~options spec lib with
   | Ok r ->
       ( r.F.n_pes_with_spares,
@@ -146,27 +152,30 @@ let comparison_table ~title ~paper ~scale ~row_of =
   print_string
     (T.render
        ~align:
-         [ Left; Right; Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+         [
+           Left; Right; Left; Right; Right; Right; Right; Right; Right; Right; Right;
+           Right; Left;
+         ]
        ~header rows);
   print_newline ()
 
-let table2 ~scale () =
+let table2 ~scale ~jobs () =
   comparison_table
     ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
-    ~paper:paper_table2 ~scale ~row_of:synth_row
+    ~paper:paper_table2 ~scale ~row_of:(synth_row ~jobs)
 
-let table3 ~scale () =
+let table3 ~scale ~jobs () =
   comparison_table
     ~title:
       "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
-    ~paper:paper_table3 ~scale ~row_of:ft_row
+    ~paper:paper_table3 ~scale ~row_of:(ft_row ~jobs)
 
 let figures () =
   print_endline "== Fig. 2 motivation example (small library) ==";
   let lib = Crusade_resource.Library.small () in
   let spec = Ex.figure2 lib in
-  let p0, l0, _, c0, _ = synth_row spec lib false in
-  let p1, l1, _, c1, _ = synth_row spec lib true in
+  let p0, l0, _, c0, _ = synth_row ~jobs:1 spec lib false in
+  let p1, l1, _, c1, _ = synth_row ~jobs:1 spec lib true in
   Printf.printf
     "  without reconfiguration: %d FPGAs, %d links, $%.0f\n\
     \  with    reconfiguration: %d FPGA,  %d links, $%.0f (one device, multiple modes)\n\
@@ -267,28 +276,97 @@ let ablation () =
        rows);
   print_newline ()
 
+(* Wall-clock scaling of one synthesis as the domain count doubles; the
+   cost/PE/link/image columns double as a visible determinism check —
+   every row must be identical to the jobs = 1 row. *)
+let speedup ~max_jobs () =
+  print_endline
+    "== Wall-clock speedup (A1TR at 1/8 scale, dynamic reconfiguration on) ==";
+  let lib = Crusade_resource.Library.stock () in
+  let spec = W.generate lib (W.scaled (W.preset "A1TR") 8.0) in
+  let rec doublings j acc = if j > max_jobs then List.rev acc else doublings (2 * j) (j :: acc) in
+  let runs =
+    List.map
+      (fun jobs ->
+        let options = { C.default_options with C.jobs } in
+        match C.synthesize ~options spec lib with
+        | Ok r -> (jobs, r)
+        | Error msg -> failwith msg)
+      (doublings 1 [])
+  in
+  let base_wall =
+    match runs with (_, r) :: _ -> r.C.wall_seconds | [] -> assert false
+  in
+  let rows =
+    List.map
+      (fun (jobs, r) ->
+        [
+          string_of_int jobs;
+          T.fmt_float ~decimals:2 r.C.wall_seconds;
+          T.fmt_float ~decimals:2 r.C.cpu_seconds;
+          T.fmt_float ~decimals:2 (base_wall /. r.C.wall_seconds) ^ "x";
+          string_of_int r.C.n_pes;
+          string_of_int r.C.n_links;
+          string_of_int r.C.n_modes;
+          T.fmt_dollars r.C.cost;
+        ])
+      runs
+  in
+  print_string
+    (T.render
+       ~align:[ Right; Right; Right; Right; Right; Right; Right; Right ]
+       ~header:
+         [ "jobs"; "wall (s)"; "cpu (s)"; "speedup"; "PEs"; "links"; "images"; "cost ($)" ]
+       rows);
+  let deterministic =
+    match runs with
+    | (_, first) :: rest ->
+        List.for_all
+          (fun (_, r) ->
+            r.C.cost = first.C.cost && r.C.n_pes = first.C.n_pes
+            && r.C.n_links = first.C.n_links && r.C.n_modes = first.C.n_modes)
+          rest
+    | [] -> true
+  in
+  Printf.printf "determinism across jobs: %s\n\n"
+    (if deterministic then "identical results" else "MISMATCH (bug!)")
+
 let () =
   let args = Array.to_list Sys.argv in
-  let scale =
+  let int_flag flag default =
     let rec find = function
-      | "--scale" :: n :: _ -> int_of_string n
+      | f :: n :: _ when f = flag -> (
+          match int_of_string_opt n with
+          | Some v when v >= 1 -> v
+          | _ ->
+              Printf.eprintf "%s expects a positive integer, got %S\n" flag n;
+              exit 2)
       | _ :: rest -> find rest
-      | [] -> 8
+      | [] -> default
     in
     find args
   in
+  let scale = int_flag "--scale" 8 in
+  let jobs = int_flag "--jobs" (Crusade_util.Pool.default_jobs ()) in
   let wants what =
     List.exists (fun a -> a = what) args
     || not
          (List.exists
             (fun a ->
               List.mem a
-                [ "table1"; "table2"; "table3"; "figures"; "bench"; "ablation" ])
+                [
+                  "table1"; "table2"; "table3"; "figures"; "bench"; "ablation";
+                  "speedup";
+                ])
             args)
   in
   if wants "figures" then figures ();
   if wants "table1" then table1 ();
-  if wants "table2" then table2 ~scale ();
-  if wants "table3" then table3 ~scale ();
+  if wants "table2" then table2 ~scale ~jobs ();
+  if wants "table3" then table3 ~scale ~jobs ();
   if wants "ablation" then ablation ();
-  if wants "bench" then bechamel_benches ()
+  if wants "bench" then bechamel_benches ();
+  (* speedup re-runs the same synthesis at every jobs count, so it only
+     runs when asked for explicitly. *)
+  if List.mem "speedup" args then
+    speedup ~max_jobs:(int_flag "--jobs" 4) ()

@@ -28,13 +28,30 @@ type link_inst = {
 
 type site = { s_pe : int; s_mode : int }
 
+type levels_cache = {
+  lc_spec : Crusade_taskgraph.Spec.t;
+  lc_clustering : Clustering.t;
+  lc_levels : int array;
+}
+
 type t = {
   lib : Library.t;
   pes : pe_inst Vec.t;
   links : link_inst Vec.t;
   sites : (int, site) Hashtbl.t;
   mutable interface_cost : float option;
+  links_cache : (int * int, link_inst list) Hashtbl.t;
+  mutable levels_cache : levels_cache option;
 }
+
+(* Cache invalidation: [links_cache] memoizes {!links_between} and dies
+   with any connectivity change; the priority-levels cache additionally
+   depends on placements, so every architecture mutation clears it. *)
+let touch_levels t = t.levels_cache <- None
+
+let touch_links t =
+  Hashtbl.reset t.links_cache;
+  t.levels_cache <- None
 
 let prom_dollars_per_kbyte = 0.35
 
@@ -46,7 +63,15 @@ let prom_dollars_per_kbyte = 0.35
 let default_bits_per_us = 80
 
 let create lib =
-  { lib; pes = Vec.create (); links = Vec.create (); sites = Hashtbl.create 64; interface_cost = None }
+  {
+    lib;
+    pes = Vec.create ();
+    links = Vec.create ();
+    sites = Hashtbl.create 64;
+    interface_cost = None;
+    links_cache = Hashtbl.create 64;
+    levels_cache = None;
+  }
 
 let copy t =
   let copy_mode m =
@@ -68,6 +93,12 @@ let copy t =
     links = Vec.map_copy copy_link t.links;
     sites = Hashtbl.copy t.sites;
     interface_cost = t.interface_cost;
+    (* The link memo holds [link_inst] values of the source architecture;
+       carrying it over would alias stale records, so the copy starts
+       cold.  The levels cache is a plain int array valid for the copied
+       placement, so it transfers (any later mutation clears it). *)
+    links_cache = Hashtbl.create 64;
+    levels_cache = t.levels_cache;
   }
 
 let add_pe t (ptype : Pe.t) =
@@ -86,6 +117,7 @@ let add_pe t (ptype : Pe.t) =
     }
   in
   Vec.push t.pes pe;
+  touch_levels t;
   pe
 
 let add_mode _t pe =
@@ -99,14 +131,16 @@ let add_mode _t pe =
 let add_link t (ltype : Link.t) =
   let link = { l_id = Vec.length t.links; ltype; attached = [] } in
   Vec.push t.links link;
+  touch_links t;
   link
 
-let attach _t link pe =
+let attach t link pe =
   if List.mem pe.p_id link.attached then Ok ()
   else if List.length link.attached >= link.ltype.Link.max_ports then
     Error (Printf.sprintf "link %s is full" link.ltype.Link.name)
   else begin
     link.attached <- pe.p_id :: link.attached;
+    touch_links t;
     Ok ()
   end
 
@@ -164,6 +198,7 @@ let place_cluster t spec (clustering : Clustering.t) (cluster : Clustering.clust
       mode.m_pins <- mode.m_pins + cluster.pins;
       pe.used_memory <- pe.used_memory + cluster.memory_bytes;
       Hashtbl.replace t.sites cluster.cid { s_pe = pe.p_id; s_mode = mode.m_id };
+      touch_levels t;
       Ok ()
     end
   end
@@ -179,7 +214,8 @@ let unplace_cluster t (clustering : Clustering.t) (cluster : Clustering.cluster)
       mode.m_pins <- mode.m_pins - cluster.pins;
       pe.used_memory <- pe.used_memory - cluster.memory_bytes;
       ignore clustering;
-      Hashtbl.remove t.sites cluster.cid
+      Hashtbl.remove t.sites cluster.cid;
+      touch_levels t
 
 let detach_unused t =
   let hosting = Hashtbl.create 16 in
@@ -191,7 +227,8 @@ let detach_unused t =
   Vec.iter
     (fun (l : link_inst) ->
       l.attached <- List.filter (fun pe_id -> Hashtbl.mem hosting pe_id) l.attached)
-    t.links
+    t.links;
+  touch_links t
 
 let memory_banks pe =
   match pe.ptype.Pe.pe_class with
@@ -244,9 +281,25 @@ let cost t =
   +. Option.value ~default:0.0 t.interface_cost
 
 let links_between t pe_a pe_b =
-  List.filter
-    (fun (l : link_inst) -> List.mem pe_a l.attached && List.mem pe_b l.attached)
-    (Vec.to_list t.links)
+  let key = if pe_a < pe_b then (pe_a, pe_b) else (pe_b, pe_a) in
+  match Hashtbl.find_opt t.links_cache key with
+  | Some ls -> ls
+  | None ->
+      let ls =
+        List.filter
+          (fun (l : link_inst) -> List.mem pe_a l.attached && List.mem pe_b l.attached)
+          (Vec.to_list t.links)
+      in
+      Hashtbl.replace t.links_cache key ls;
+      ls
+
+let cached_levels t spec clustering =
+  match t.levels_cache with
+  | Some c when c.lc_spec == spec && c.lc_clustering == clustering -> Some c.lc_levels
+  | Some _ | None -> None
+
+let set_cached_levels t spec clustering levels =
+  t.levels_cache <- Some { lc_spec = spec; lc_clustering = clustering; lc_levels = levels }
 
 let n_pes t =
   Vec.fold (fun acc pe -> if resident_clusters pe = [] then acc else acc + 1) 0 t.pes

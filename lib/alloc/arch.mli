@@ -33,6 +33,14 @@ type link_inst = {
 type site = { s_pe : int; s_mode : int }
 (** Where a cluster lives: PE instance id and mode id on that PE. *)
 
+type levels_cache = {
+  lc_spec : Crusade_taskgraph.Spec.t;
+  lc_clustering : Crusade_cluster.Clustering.t;
+  lc_levels : int array;
+}
+(** Memoized priority levels (see {!cached_levels}), valid for exactly
+    the (spec, clustering) pair they were computed against. *)
+
 type t = {
   lib : Crusade_resource.Library.t;
   pes : pe_inst Crusade_util.Vec.t;
@@ -42,6 +50,12 @@ type t = {
       (** reconfiguration-controller + image-storage cost once interface
           synthesis has run; [None] until then, in which case {!cost}
           uses a per-image PROM estimate *)
+  links_cache : (int * int, link_inst list) Hashtbl.t;
+      (** {!links_between} memo, shared by every [Schedule.run] against
+          this architecture; cleared on any connectivity change and left
+          cold by {!copy} (its values alias the source's link records) *)
+  mutable levels_cache : levels_cache option;
+      (** last priority-levels computation; cleared on any mutation *)
 }
 
 val create : Crusade_resource.Library.t -> t
@@ -109,7 +123,23 @@ val cost : t -> float
 val prom_dollars_per_kbyte : float
 
 val links_between : t -> int -> int -> link_inst list
-(** Link instances to which both PEs are attached. *)
+(** Link instances to which both PEs are attached.  Memoized per PE pair
+    until the architecture's connectivity changes, so the scheduler's
+    hot path pays the link scan once per architecture, not once per
+    [Schedule.run].  Callers must treat the returned list as read-only. *)
+
+val cached_levels :
+  t -> Crusade_taskgraph.Spec.t -> Crusade_cluster.Clustering.t -> int array option
+(** Priority levels cached by the last {!set_cached_levels} for
+    physically this (spec, clustering) pair, or [None] after any
+    mutation.  Lets [Schedule.priorities] be recomputed only when the
+    architecture actually changed — e.g. the allocation loop commits a
+    candidate whose levels were already computed when it was evaluated,
+    and the next iteration reuses them.  The array is shared: callers
+    must not mutate it. *)
+
+val set_cached_levels :
+  t -> Crusade_taskgraph.Spec.t -> Crusade_cluster.Clustering.t -> int array -> unit
 
 val n_pes : t -> int
 val n_links : t -> int

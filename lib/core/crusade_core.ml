@@ -8,6 +8,7 @@ module Schedule = Crusade_sched.Schedule
 module Merge = Crusade_reconfig.Merge
 module Interface = Crusade_reconfig.Interface
 module Vec = Crusade_util.Vec
+module Pool = Crusade_util.Pool
 
 type options = {
   dynamic_reconfiguration : bool;
@@ -17,6 +18,7 @@ type options = {
   eval_window : int;
   merge_trials_per_pass : int;
   allow_new_pes : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -28,6 +30,7 @@ let default_options =
     eval_window = 24;
     merge_trials_per_pass = 400;
     allow_new_pes = true;
+    jobs = Pool.default_jobs ();
   }
 
 type result = {
@@ -41,9 +44,15 @@ type result = {
   n_modes : int;
   deadlines_met : bool;
   cpu_seconds : float;
+  wall_seconds : float;
   merge_stats : Merge.stats option;
   chosen_interface : Interface.option_t option;
 }
+
+(* Wall clock for the [wall_seconds] report: [Sys.time] sums processor
+   time over every domain, so it overstates elapsed time as soon as
+   [jobs > 1]. *)
+let wall_now () = Unix.gettimeofday ()
 
 let n_modes arch =
   Vec.fold
@@ -53,7 +62,17 @@ let n_modes arch =
 
 (* Allocate one cluster: evaluate the allocation array in increasing-cost
    order; commit the first allocation whose schedule meets all deadlines,
-   falling back to the least-tardy evaluated option. *)
+   falling back to the least-tardy evaluated option.
+
+   With [opts.jobs > 1] the candidates are evaluated speculatively in
+   index-ordered batches on the domain pool — each evaluation works on
+   its own [Arch.copy], so they are independent — and the batch results
+   are then consumed in index order through exactly the sequential
+   search's state machine (window guard, first-feasible commit, least-
+   tardy fallback).  The committed candidate is therefore the one the
+   sequential search would have committed, bit for bit; parallelism only
+   changes how many candidates past the commit point were (wastefully)
+   evaluated. *)
 let allocate_cluster ~opts spec clustering arch cluster =
   let candidates =
     Options.enumerate arch spec clustering cluster
@@ -67,44 +86,72 @@ let allocate_cluster ~opts spec clustering arch cluster =
          cluster.Clustering.graph)
   else begin
     let debug = Sys.getenv_opt "CRUSADE_DEBUG" <> None in
-    let best_fallback = ref None in
-    let rec evaluate tried = function
-      | [] -> (
-          match !best_fallback with
-          | Some (score, trial) ->
-              if debug then
-                Printf.eprintf
-                  "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
-                  cluster.Clustering.cid cluster.Clustering.graph (fst score) tried;
-              Ok trial
-          | None ->
-              Error
-                (Printf.sprintf "no applicable allocation for cluster %d"
-                   cluster.Clustering.cid))
-      | option :: rest when tried < opts.eval_window || !best_fallback = None -> (
-          let trial = Arch.copy arch in
-          match Options.apply trial spec clustering cluster option with
-          | Error _ -> evaluate tried rest
-          | Ok () -> (
-              match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
-              | Error _ -> evaluate (tried + 1) rest
-              | Ok sched ->
-                  if sched.Schedule.deadlines_met then Ok trial
-                  else begin
-                    let score = (sched.Schedule.total_tardiness, Arch.cost trial) in
-                    (match !best_fallback with
-                    | Some (best_score, _) when best_score <= score -> ()
-                    | _ -> best_fallback := Some (score, trial));
-                    evaluate (tried + 1) rest
-                  end))
-      | _ :: _ -> (
-          (* Evaluation window exhausted: settle for the least-tardy
-             option seen. *)
-          match !best_fallback with
-          | Some (_, trial) -> Ok trial
-          | None -> assert false)
+    let candidates = Array.of_list candidates in
+    let n = Array.length candidates in
+    let jobs = max 1 opts.jobs in
+    let pool = Pool.global () in
+    (* Pure w.r.t. [arch]: every evaluation mutates only its own copy. *)
+    let evaluate_candidate i =
+      let trial = Arch.copy arch in
+      match Options.apply trial spec clustering cluster candidates.(i) with
+      | Error _ -> `Inapplicable
+      | Ok () -> (
+          match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
+          | Error _ -> `Unschedulable
+          | Ok sched ->
+              if sched.Schedule.deadlines_met then `Feasible trial
+              else
+                `Tardy (trial, (sched.Schedule.total_tardiness, Arch.cost trial)))
     in
-    evaluate 0 candidates
+    let best_fallback = ref None in
+    let tried = ref 0 in
+    let window_open () = !tried < opts.eval_window || !best_fallback = None in
+    let exception Commit of Arch.t in
+    let consume = function
+      | `Inapplicable -> ()
+      | `Unschedulable -> incr tried
+      | `Feasible trial -> raise (Commit trial)
+      | `Tardy (trial, score) ->
+          (match !best_fallback with
+          | Some (best_score, _) when best_score <= score -> ()
+          | _ -> best_fallback := Some (score, trial));
+          incr tried
+    in
+    match
+      let i = ref 0 in
+      while !i < n && window_open () do
+        let base = !i in
+        let batch = min jobs (n - base) in
+        let results = Pool.map_n ~jobs pool (fun k -> evaluate_candidate (base + k)) batch in
+        (* In-order consumption; once the window closes mid-batch the
+           remaining speculative results are discarded, as the sequential
+           search would never have evaluated them. *)
+        Array.iter (fun r -> if window_open () then consume r) results;
+        i := base + batch
+      done;
+      if !i >= n then begin
+        match !best_fallback with
+        | Some (score, trial) ->
+            if debug then
+              Printf.eprintf
+                "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
+                cluster.Clustering.cid cluster.Clustering.graph (fst score) !tried;
+            Ok trial
+        | None ->
+            Error
+              (Printf.sprintf "no applicable allocation for cluster %d"
+                 cluster.Clustering.cid)
+      end
+      else begin
+        (* Evaluation window exhausted: settle for the least-tardy
+           option seen. *)
+        match !best_fallback with
+        | Some (_, trial) -> Ok trial
+        | None -> assert false
+      end
+    with
+    | result -> result
+    | exception Commit trial -> Ok trial
   end
 
 (* The synthesis flow proper, shared by [synthesize] (fresh architecture)
@@ -112,7 +159,7 @@ let allocate_cluster ~opts spec clustering arch cluster =
    cluster not yet placed and not skipped, repair residual tardiness,
    run dynamic-reconfiguration generation, synthesize the programming
    interface and assemble the result. *)
-let run_flow ~opts ~t0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
+let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
   ignore lib;
   let arch = ref arch0 in
   let total = Array.length clustering.Clustering.clusters in
@@ -223,7 +270,8 @@ let run_flow ~opts ~t0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~sk
         if opts.dynamic_reconfiguration then begin
           match
             Merge.optimize ~copy_cap:opts.copy_cap
-              ~max_trials_per_pass:opts.merge_trials_per_pass spec clustering !arch
+              ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs spec
+              clustering !arch
           with
           | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
           | Error msg -> Error msg
@@ -266,6 +314,7 @@ let run_flow ~opts ~t0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~sk
               n_modes = n_modes final_arch;
               deadlines_met = !sched.Schedule.deadlines_met;
               cpu_seconds = Sys.time () -. t0;
+              wall_seconds = wall_now () -. w0;
               merge_stats;
               chosen_interface;
             })
@@ -273,6 +322,7 @@ let run_flow ~opts ~t0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~sk
 let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
     (spec : Spec.t) lib =
   let t0 = Sys.time () in
+  let w0 = wall_now () in
   let opts = options in
   (* Pre-processing: every task must be mappable somewhere. *)
   let unmappable =
@@ -294,16 +344,17 @@ let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
           Clustering.run ~max_cluster_size:opts.max_cluster_size spec lib
         else Clustering.singletons spec lib
       in
-      run_flow ~opts ~t0 spec lib clustering (Arch.create lib)
+      run_flow ~opts ~t0 ~w0 spec lib clustering (Arch.create lib)
         ~skip:(fun (c : Clustering.cluster) -> not (include_graph c.graph))
 
 let continue_allocation ?(options = default_options) (base : result) =
   let t0 = Sys.time () in
+  let w0 = wall_now () in
   let arch = Arch.copy base.arch in
   (* The interface chosen for the partial architecture is re-synthesized
      at the end of the extended flow. *)
   arch.Arch.interface_cost <- None;
-  run_flow ~opts:options ~t0 base.spec base.arch.Arch.lib base.clustering arch
+  run_flow ~opts:options ~t0 ~w0 base.spec base.arch.Arch.lib base.clustering arch
     ~skip:(fun _ -> false)
 
 let pp_report fmt r =
@@ -326,7 +377,8 @@ let pp_report fmt r =
   | Some option ->
       Format.fprintf fmt "programming  : %s@," (Interface.describe option)
   | None -> ());
-  Format.fprintf fmt "cpu time     : %.2f s@," r.cpu_seconds;
+  Format.fprintf fmt "cpu time     : %.2f s (wall %.2f s)@," r.cpu_seconds
+    r.wall_seconds;
   let pes = ref [] in
   Vec.iter
     (fun (pe : Arch.pe_inst) ->

@@ -21,6 +21,12 @@ type options = {
       (** false restricts allocation to the existing PEs (plus new modes
           on programmable devices) — the field-upgrade scenario of
           Section 3, where features are added by reprogramming alone *)
+  jobs : int;
+      (** domains used for speculative candidate evaluation (allocation
+          inner loop and merge trials); results are bit-identical to
+          [jobs = 1] — the lowest-indexed candidate the sequential search
+          would commit always wins.  Defaults to the [CRUSADE_JOBS]
+          environment variable (clamped to the machine), else 1. *)
 }
 
 val default_options : options
@@ -36,6 +42,9 @@ type result = {
   n_modes : int;  (** configuration images across all PPEs *)
   deadlines_met : bool;
   cpu_seconds : float;
+      (** [Sys.time] delta: processor time summed over every domain, so
+          it exceeds elapsed time when [options.jobs > 1] *)
+  wall_seconds : float;  (** elapsed wall-clock time of the synthesis *)
   merge_stats : Crusade_reconfig.Merge.stats option;
   chosen_interface : Crusade_reconfig.Interface.option_t option;
 }

@@ -7,6 +7,7 @@ module Arch = Crusade_alloc.Arch
 module Connect = Crusade_alloc.Connect
 module Schedule = Crusade_sched.Schedule
 module Vec = Crusade_util.Vec
+module Pool = Crusade_util.Pool
 
 type stats = {
   merges_accepted : int;
@@ -101,8 +102,10 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
 
 let feasible schedule = schedule.Schedule.deadlines_met
 
-let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400) spec
-    clustering arch =
+let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
+    ?(jobs = 1) spec clustering arch =
+  let jobs = max 1 jobs in
+  let pool = Pool.global () in
   let run_schedule a = Schedule.run ~copy_cap spec clustering a in
   match run_schedule arch with
   | Error _ as e -> e
@@ -145,36 +148,69 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
               ppes)
           ppes;
         let sorted =
-          List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates
+          Array.of_list (List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates)
         in
+        (* Merge trials, evaluated in index-ordered batches of [jobs] on
+           the domain pool; every trial in a batch works on its own copy
+           of the same base architecture.  Results are consumed strictly
+           in trial order, and the first improving feasible merge is
+           accepted, after which the rest of the batch is discarded and
+           collection restarts just past the accepted pair — those trials
+           were speculated against a base that no longer exists, exactly
+           the candidates the sequential loop would have re-examined
+           against the updated architecture.  Pairs gone stale at
+           collection time are skipped without counting, as before, so
+           trial counts and accepted merges match [jobs = 1] exactly. *)
+        let n_candidates = Array.length sorted in
         let trials = ref 0 in
-        List.iter
-          (fun (_, src_id, dst_id) ->
-            if !trials < max_trials_per_pass then begin
-              (* The pair may be stale after an accepted merge. *)
-              let src = Vec.get !current.Arch.pes src_id
-              and dst = Vec.get !current.Arch.pes dst_id in
-              if
-                Arch.n_images src > 0 && Arch.n_images dst > 0
-                && modes_fit src dst clustering
-              then begin
-                incr trials;
-                incr merges_tried;
-                match try_merge spec clustering !current ~src_id ~dst_id with
-                | Error _ -> ()
-                | Ok trial -> (
-                    match run_schedule trial with
-                    | Error _ -> ()
-                    | Ok sched ->
-                        if feasible sched && Arch.cost trial < Arch.cost !current then begin
-                          current := trial;
-                          current_sched := sched;
-                          incr merges_accepted;
-                          improved := true
-                        end)
-              end
-            end)
-          sorted;
+        let pos = ref 0 in
+        while !pos < n_candidates && !trials < max_trials_per_pass do
+          let batch = ref [] and collected = ref 0 in
+          let want = min jobs (max_trials_per_pass - !trials) in
+          while !collected < want && !pos < n_candidates do
+            let _, src_id, dst_id = sorted.(!pos) in
+            (* The pair may be stale after an accepted merge. *)
+            let src = Vec.get !current.Arch.pes src_id
+            and dst = Vec.get !current.Arch.pes dst_id in
+            if
+              Arch.n_images src > 0 && Arch.n_images dst > 0
+              && modes_fit src dst clustering
+            then begin
+              batch := (!pos, src_id, dst_id) :: !batch;
+              incr collected
+            end;
+            incr pos
+          done;
+          let batch = Array.of_list (List.rev !batch) in
+          let base = !current in
+          let evaluate k =
+            let _, src_id, dst_id = batch.(k) in
+            match try_merge spec clustering base ~src_id ~dst_id with
+            | Error _ -> None
+            | Ok trial -> (
+                match run_schedule trial with
+                | Error _ -> None
+                | Ok sched -> Some (trial, sched, Arch.cost trial))
+          in
+          let results = Pool.map_n ~jobs pool evaluate (Array.length batch) in
+          let k = ref 0 and accepted = ref false in
+          while (not !accepted) && !k < Array.length batch do
+            incr trials;
+            incr merges_tried;
+            (match results.(!k) with
+            | Some (trial, sched, trial_cost)
+              when feasible sched && trial_cost < Arch.cost !current ->
+                current := trial;
+                current_sched := sched;
+                incr merges_accepted;
+                improved := true;
+                accepted := true;
+                let accepted_pos, _, _ = batch.(!k) in
+                pos := accepted_pos + 1
+            | Some _ | None -> ());
+            incr k
+          done
+        done;
         (* Mode-combining pass on each multi-image device. *)
         Vec.iter
           (fun (pe : Arch.pe_inst) ->

@@ -23,9 +23,15 @@ val merge_potential : Crusade_alloc.Arch.t -> int
 val optimize :
   ?copy_cap:int ->
   ?max_trials_per_pass:int ->
+  ?jobs:int ->
   Crusade_taskgraph.Spec.t ->
   Crusade_cluster.Clustering.t ->
   Crusade_alloc.Arch.t ->
   (Crusade_alloc.Arch.t * Crusade_sched.Schedule.t * stats, string) result
 (** Returns the improved architecture with its final schedule.  The input
-    architecture is not mutated (work happens on copies). *)
+    architecture is not mutated (work happens on copies).
+
+    [jobs] (default 1) evaluates the merge trials of a pass in
+    index-ordered batches on the {!Crusade_util.Pool} domain pool,
+    accepting in deterministic trial order: results — including the
+    [stats] counters — are bit-identical to the sequential loop. *)

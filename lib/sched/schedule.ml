@@ -38,7 +38,7 @@ let default_copy_cap = 64
    communication with computation (Section 2.2). *)
 let cpu_copy_bytes_per_us = 256
 
-let priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+let compute_priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
   let exec_time (task : Task.t) =
     match Arch.task_site arch clustering task.id with
     | Some site ->
@@ -72,6 +72,18 @@ let priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
     end
   in
   Priority.compute spec ~exec_time ~comm_time
+
+(* Levels only change when the architecture does, and the same
+   architecture is scheduled several times per synthesis (candidate
+   evaluation, repair, merge validation, interface synthesis), so the
+   last computation is cached on the architecture itself. *)
+let priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+  match Arch.cached_levels arch spec clustering with
+  | Some levels -> levels
+  | None ->
+      let levels = compute_priorities spec clustering arch in
+      Arch.set_cached_levels arch spec clustering levels;
+      levels
 
 (* Per-PPE configuration-window bookkeeping. *)
 type ppe_state = {
@@ -188,47 +200,40 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
     (fun task_id _ -> site_of.(task_id) <- Arch.task_site arch clustering task_id)
     site_of;
   let placed task_id = site_of.(task_id) <> None in
-  (* Resources. *)
-  let cpu_timelines = Hashtbl.create 16 in
+  (* Resources: dense arrays indexed by instance id (p_id/l_id are the
+     Vec positions), created on first touch.  [links_between] goes
+     straight to the architecture's own memo. *)
+  let cpu_timelines = Array.make (Vec.length arch.Arch.pes) None in
   let cpu_timeline pe_id =
-    match Hashtbl.find_opt cpu_timelines pe_id with
+    match cpu_timelines.(pe_id) with
     | Some tl -> tl
     | None ->
         let tl = Timeline.create () in
-        Hashtbl.replace cpu_timelines pe_id tl;
+        cpu_timelines.(pe_id) <- Some tl;
         tl
   in
-  let link_timelines = Hashtbl.create 16 in
+  let link_timelines = Array.make (Vec.length arch.Arch.links) None in
   let link_timeline l_id =
-    match Hashtbl.find_opt link_timelines l_id with
+    match link_timelines.(l_id) with
     | Some tl -> tl
     | None ->
         let tl = Timeline.create () in
-        Hashtbl.replace link_timelines l_id tl;
+        link_timelines.(l_id) <- Some tl;
         tl
   in
-  let ppe_states = Hashtbl.create 16 in
+  let ppe_states = Array.make (Vec.length arch.Arch.pes) None in
   let ppe_state (pe : Arch.pe_inst) =
-    match Hashtbl.find_opt ppe_states pe.Arch.p_id with
+    match ppe_states.(pe.Arch.p_id) with
     | Some st -> st
     | None ->
         let boots =
           Array.of_list (List.map (fun m -> Arch.mode_boot_us pe m) pe.Arch.modes)
         in
         let st = { windows = []; boot_by_mode = boots } in
-        Hashtbl.replace ppe_states pe.Arch.p_id st;
+        ppe_states.(pe.Arch.p_id) <- Some st;
         st
   in
-  let links_memo = Hashtbl.create 64 in
-  let links_between a b =
-    let key = if a < b then (a, b) else (b, a) in
-    match Hashtbl.find_opt links_memo key with
-    | Some ls -> ls
-    | None ->
-        let ls = Arch.links_between arch a b in
-        Hashtbl.replace links_memo key ls;
-        ls
-  in
+  let links_between a b = Arch.links_between arch a b in
   (* Activity windows per graph (explicit copies). *)
   let graph_activity = Array.make n_graphs [] in
   let note_activity graph start stop =
@@ -391,8 +396,11 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
           graph_activity
       in
       let mode_switches = Array.make (Vec.length arch.pes) 0 in
-      Hashtbl.iter
-        (fun pe_id st -> mode_switches.(pe_id) <- count_switches st)
+      Array.iteri
+        (fun pe_id st ->
+          match st with
+          | Some st -> mode_switches.(pe_id) <- count_switches st
+          | None -> ())
         ppe_states;
       Ok
         {

@@ -1,0 +1,51 @@
+(** Deterministic work pool over OCaml 5 domains.
+
+    Worker domains are spawned once (lazily, on first parallel call) and
+    reused; jobs are index-ordered and results are returned in index
+    order, so a parallel map is observably identical to its sequential
+    counterpart.  When an exception escapes a job, the exception of the
+    {e lowest} job index is re-raised in the caller — again matching what
+    the sequential loop would have raised first.
+
+    With [jobs <= 1] (or a single element) every entry point degrades to
+    a plain inline loop in the calling domain: no domains are spawned,
+    no locks are taken, and single-core behaviour is untouched. *)
+
+type t
+
+val create : unit -> t
+(** A fresh pool with no workers; workers are spawned on demand by the
+    parallel entry points, up to the requested [jobs] minus the calling
+    domain (which always participates). *)
+
+val global : unit -> t
+(** The shared process-wide pool used by the synthesis hot loops.  Its
+    workers are joined automatically at exit. *)
+
+val recommended_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: the parallelism
+    the machine can actually deliver while leaving a core for the
+    caller's bookkeeping. *)
+
+val default_jobs : unit -> int
+(** Value of the [CRUSADE_JOBS] environment variable clamped to
+    [1 .. recommended_jobs ()]; [1] when unset or unparsable. *)
+
+val map_n : ?jobs:int -> t -> (int -> 'a) -> int -> 'a array
+(** [map_n ~jobs t f n] computes [|f 0; f 1; ...; f (n-1)|] with up to
+    [jobs] domains (default {!recommended_jobs}).  Results are in index
+    order; the lowest-index exception is re-raised. *)
+
+val parallel_map : ?jobs:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Element-wise {!map_n} over an array. *)
+
+val parallel_find_first : ?jobs:int -> t -> (int -> 'a option) -> int -> 'a option
+(** [parallel_find_first ~jobs t f n] returns [f i] for the {e smallest}
+    [i < n] with [f i <> None], evaluating candidates in index-ordered
+    batches of [jobs]; later batches are not evaluated once an earlier
+    batch produced a hit.  Deterministic: the winner never depends on
+    relative domain speed. *)
+
+val shutdown : t -> unit
+(** Joins all workers.  The pool remains usable afterwards only
+    sequentially ([jobs <= 1] paths); parallel calls respawn workers. *)

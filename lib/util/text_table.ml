@@ -8,7 +8,15 @@ let pad align width s =
     match align with Left -> s ^ fill | Right -> fill ^ s
 
 let render ?(align = []) ~header rows =
-  let ncols = List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows in
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row > ncols then
+        invalid_arg
+          (Printf.sprintf
+             "Text_table.render: row %d has %d cells but the header has %d columns" i
+             (List.length row) ncols))
+    rows;
   let get_align i = match List.nth_opt align i with Some a -> a | None -> Left in
   let cell row i = match List.nth_opt row i with Some s -> s | None -> "" in
   let all = header :: rows in

@@ -9,7 +9,10 @@ val render :
   string
 (** [render ~header rows] lays out a table with one separator line under
     the header.  Columns default to left alignment; [align] overrides
-    per-column (missing entries default to [Left]). *)
+    per-column (missing entries pad with [Left]).  Rows shorter than the
+    header pad with empty cells.
+    @raise Invalid_argument on a row wider than the header, which would
+    otherwise silently misalign the whole table. *)
 
 val fmt_float : ?decimals:int -> float -> string
 (** Fixed-point formatting, default 1 decimal. *)

@@ -8,6 +8,7 @@ module Disjoint_set = Crusade_util.Disjoint_set
 module Vec = Crusade_util.Vec
 module Text_table = Crusade_util.Text_table
 module Stats = Crusade_util.Stats
+module Pool = Crusade_util.Pool
 
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
@@ -268,6 +269,66 @@ let stats_basic () =
   check (Alcotest.float 1e-9) "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
   check (Alcotest.float 1e-9) "median" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ])
 
+let table_wide_row_raises () =
+  Alcotest.check_raises "wider row rejected"
+    (Invalid_argument
+       "Text_table.render: row 1 has 3 cells but the header has 2 columns")
+    (fun () ->
+      ignore
+        (Text_table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2"; "3" ] ]))
+
+(* --- Pool --- *)
+
+let pool_map_ordering () =
+  let pool = Pool.create () in
+  let squares = Pool.map_n ~jobs:4 pool (fun i -> i * i) 100 in
+  Array.iteri (fun i v -> check Alcotest.int "index order" (i * i) v) squares;
+  let incremented =
+    Pool.parallel_map ~jobs:3 pool (fun x -> x + 1) (Array.init 10 Fun.id)
+  in
+  Array.iteri (fun i v -> check Alcotest.int "parallel_map order" (i + 1) v) incremented;
+  check Alcotest.int "empty input" 0 (Array.length (Pool.map_n ~jobs:4 pool Fun.id 0));
+  (* jobs = 1 must not involve any worker domain *)
+  let seq = Pool.map_n ~jobs:1 pool (fun i -> 2 * i) 5 in
+  check Alcotest.(array int) "sequential fallback" [| 0; 2; 4; 6; 8 |] seq;
+  Pool.shutdown pool
+
+let pool_exception_propagation () =
+  let pool = Pool.create () in
+  (try
+     ignore
+       (Pool.map_n ~jobs:4 pool
+          (fun i -> if i = 11 || i = 37 then failwith (string_of_int i) else i)
+          64);
+     Alcotest.fail "expected an exception"
+   with Failure msg ->
+     (* the lowest failing index wins, as in a sequential loop *)
+     check Alcotest.string "lowest index raised" "11" msg);
+  (* the pool survives a failed map *)
+  let again = Pool.map_n ~jobs:4 pool Fun.id 8 in
+  check Alcotest.int "pool still usable" 8 (Array.length again);
+  Pool.shutdown pool
+
+let pool_find_first () =
+  let pool = Pool.create () in
+  check
+    Alcotest.(option int)
+    "lowest hit wins" (Some 13)
+    (Pool.parallel_find_first ~jobs:4 pool
+       (fun i -> if i >= 13 then Some i else None)
+       100);
+  check
+    Alcotest.(option int)
+    "no hit" None
+    (Pool.parallel_find_first ~jobs:4 pool (fun _ -> None) 50);
+  check
+    Alcotest.(option int)
+    "sequential path" (Some 2)
+    (Pool.parallel_find_first ~jobs:1 pool
+       (fun i -> if i = 2 then Some i else None)
+       10);
+  Pool.shutdown pool
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick rng_deterministic;
@@ -302,6 +363,10 @@ let suite =
     Alcotest.test_case "vec deep copy" `Quick vec_map_copy_independent;
     Alcotest.test_case "vec fold/to_list" `Quick vec_fold_to_list;
     Alcotest.test_case "table render" `Quick table_render;
+    Alcotest.test_case "table wide row raises" `Quick table_wide_row_raises;
     Alcotest.test_case "fmt dollars" `Quick fmt_dollars;
     Alcotest.test_case "stats basics" `Quick stats_basic;
+    Alcotest.test_case "pool map ordering" `Quick pool_map_ordering;
+    Alcotest.test_case "pool exception propagation" `Quick pool_exception_propagation;
+    Alcotest.test_case "pool find first" `Quick pool_find_first;
   ]
