@@ -16,7 +16,18 @@
    --jobs N runs every synthesis with N domains evaluating allocation
    candidates and merge trials in parallel (results are bit-identical to
    --jobs 1; also the CRUSADE_JOBS env var).  For the speedup subcommand
-   it sets the largest jobs count measured (default 4). *)
+   it sets the largest jobs count measured (default 4).
+
+   --no-prune / --no-memo disable the two evaluator stages (the stage-1
+   tardiness lower bound, the stage-2 schedule memo table); results are
+   bit-identical either way, only the timings move.
+
+   --only NAME[,NAME] restricts table2/table3 to the named examples.
+
+   Alongside the text tables, every synthesis run is appended to a
+   machine-readable BENCH.json (per-workload wall/cpu seconds, cost,
+   prune/memo-hit counters, jobs); --bench-out PATH overrides the
+   destination. *)
 
 module C = Crusade.Crusade_core
 module F = Crusade_fault.Ft
@@ -95,16 +106,85 @@ let table1 () =
   print_string (T.render ~header rows);
   print_newline ()
 
-let synth_row ~jobs spec lib reconfig =
-  let options = { C.default_options with dynamic_reconfiguration = reconfig; jobs } in
+(* --- machine-readable run log (BENCH.json) --- *)
+
+type bench_record = {
+  br_table : string;
+  br_example : string;
+  br_variant : string;  (* "plain" or "reconfig" *)
+  br_jobs : int;
+  br_wall : float;
+  br_cpu : float;
+  br_cost : float;
+  br_met : bool;
+  br_stats : C.eval_stats;
+}
+
+let bench_records : bench_record list ref = ref []
+
+let record_run ~table ~example ~variant ~jobs ~cost (r : C.result) =
+  bench_records :=
+    {
+      br_table = table;
+      br_example = example;
+      br_variant = variant;
+      br_jobs = jobs;
+      br_wall = r.C.wall_seconds;
+      br_cpu = r.C.cpu_seconds;
+      br_cost = cost;
+      br_met = r.C.deadlines_met;
+      br_stats = r.C.eval_stats;
+    }
+    :: !bench_records
+
+let write_bench_json ~prune ~memo path =
+  let entries = List.rev !bench_records in
+  let oc = open_out path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"crusade-bench-1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"prune\": %b,\n" prune);
+  Buffer.add_string b (Printf.sprintf "  \"memo\": %b,\n" memo);
+  Buffer.add_string b "  \"entries\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"table\": %S, \"example\": %S, \"variant\": %S, \"jobs\": %d, \
+            \"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, \"cost\": %.3f, \
+            \"deadlines_met\": %b, \"pruned\": %d, \"memo_hits\": %d, \
+            \"memo_misses\": %d, \"rollbacks\": %d}"
+           e.br_table e.br_example e.br_variant e.br_jobs e.br_wall e.br_cpu
+           e.br_cost e.br_met e.br_stats.C.pruned e.br_stats.C.memo_hits
+           e.br_stats.C.memo_misses e.br_stats.C.rollbacks))
+    entries;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path (List.length entries)
+
+let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
+  let options =
+    { C.default_options with dynamic_reconfiguration = reconfig; jobs; prune; memo }
+  in
   match C.synthesize ~options spec lib with
-  | Ok r -> (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
+  | Ok r ->
+      record_run ~table ~example
+        ~variant:(if reconfig then "reconfig" else "plain")
+        ~jobs ~cost:r.C.cost r;
+      (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
-let ft_row ~jobs spec lib reconfig =
-  let options = { C.default_options with dynamic_reconfiguration = reconfig; jobs } in
+let ft_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
+  let options =
+    { C.default_options with dynamic_reconfiguration = reconfig; jobs; prune; memo }
+  in
   match F.synthesize ~options spec lib with
   | Ok r ->
+      record_run ~table ~example
+        ~variant:(if reconfig then "reconfig" else "plain")
+        ~jobs ~cost:r.F.total_cost r.F.core;
       ( r.F.n_pes_with_spares,
         r.F.core.C.n_links,
         r.F.core.C.cpu_seconds,
@@ -112,7 +192,7 @@ let ft_row ~jobs spec lib reconfig =
         r.F.core.C.deadlines_met )
   | Error msg -> failwith msg
 
-let comparison_table ~title ~paper ~scale ~row_of =
+let comparison_table ~title ~paper ~scale ~only ~row_of =
   Printf.printf "== %s (examples scaled 1/%d) ==\n%!" title scale;
   let header =
     [
@@ -121,13 +201,18 @@ let comparison_table ~title ~paper ~scale ~row_of =
     ]
   in
   let lib = Crusade_resource.Library.stock () in
+  let names =
+    match only with
+    | [] -> W.preset_names
+    | picked -> List.filter (fun n -> List.mem n picked) W.preset_names
+  in
   let rows =
     List.concat_map
       (fun name ->
         let params = W.scaled (W.preset name) (float_of_int scale) in
         let spec = W.generate lib params in
-        let p0, l0, t0, c0, ok0 = row_of spec lib false in
-        let p1, l1, t1, c1, ok1 = row_of spec lib true in
+        let p0, l0, t0, c0, ok0 = row_of ~example:name spec lib false in
+        let p1, l1, t1, c1, ok1 = row_of ~example:name spec lib true in
         let savings = (c0 -. c1) /. c0 *. 100.0 in
         let (pp0, pl0, pt0, pc0), (pp1, pl1, pt1, pc1, psav) =
           List.assoc name paper
@@ -147,7 +232,7 @@ let comparison_table ~title ~paper ~scale ~row_of =
             (if ok0 && ok1 then "met" else "MISSED");
           ];
         ])
-      W.preset_names
+      names
   in
   print_string
     (T.render
@@ -159,23 +244,26 @@ let comparison_table ~title ~paper ~scale ~row_of =
        ~header rows);
   print_newline ()
 
-let table2 ~scale ~jobs () =
+let table2 ~scale ~jobs ~prune ~memo ~only () =
   comparison_table
     ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
-    ~paper:paper_table2 ~scale ~row_of:(synth_row ~jobs)
+    ~paper:paper_table2 ~scale ~only
+    ~row_of:(synth_row ~jobs ~prune ~memo ~table:"table2")
 
-let table3 ~scale ~jobs () =
+let table3 ~scale ~jobs ~prune ~memo ~only () =
   comparison_table
     ~title:
       "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
-    ~paper:paper_table3 ~scale ~row_of:(ft_row ~jobs)
+    ~paper:paper_table3 ~scale ~only
+    ~row_of:(ft_row ~jobs ~prune ~memo ~table:"table3")
 
-let figures () =
+let figures ~prune ~memo () =
   print_endline "== Fig. 2 motivation example (small library) ==";
   let lib = Crusade_resource.Library.small () in
   let spec = Ex.figure2 lib in
-  let p0, l0, _, c0, _ = synth_row ~jobs:1 spec lib false in
-  let p1, l1, _, c1, _ = synth_row ~jobs:1 spec lib true in
+  let fig_row = synth_row ~jobs:1 ~prune ~memo ~table:"figures" ~example:"figure2" in
+  let p0, l0, _, c0, _ = fig_row spec lib false in
+  let p1, l1, _, c1, _ = fig_row spec lib true in
   Printf.printf
     "  without reconfiguration: %d FPGAs, %d links, $%.0f\n\
     \  with    reconfiguration: %d FPGA,  %d links, $%.0f (one device, multiple modes)\n\
@@ -184,9 +272,14 @@ let figures () =
     ((c0 -. c1) /. c0 *. 100.0);
   print_endline "== Fig. 4 allocation walk-through (small library) ==";
   let spec4 = Ex.figure4 lib in
-  let options = { C.default_options with dynamic_reconfiguration = true } in
+  let options =
+    { C.default_options with dynamic_reconfiguration = true; prune; memo }
+  in
   (match C.synthesize ~options spec4 lib with
-  | Ok r -> Format.printf "%a@.@." C.pp_report r
+  | Ok r ->
+      record_run ~table:"figures" ~example:"figure4" ~variant:"reconfig" ~jobs:1
+        ~cost:r.C.cost r;
+      Format.printf "%a@.@." C.pp_report r
   | Error msg -> Printf.printf "  FAILED: %s\n" msg)
 
 (* One Bechamel micro-benchmark per table: the Table 1 place-and-route
@@ -346,8 +439,34 @@ let () =
     in
     find args
   in
+  let string_flag flag default =
+    let rec find = function
+      | f :: v :: _ when f = flag -> v
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
   let scale = int_flag "--scale" 8 in
   let jobs = int_flag "--jobs" (Crusade_util.Pool.default_jobs ()) in
+  let prune = not (List.mem "--no-prune" args) in
+  let memo = not (List.mem "--no-memo" args) in
+  let only =
+    match string_flag "--only" "" with
+    | "" -> []
+    | names ->
+        let picked = String.split_on_char ',' names in
+        List.iter
+          (fun n ->
+            if not (List.mem n W.preset_names) then begin
+              Printf.eprintf "--only: unknown example %S (known: %s)\n" n
+                (String.concat ", " W.preset_names);
+              exit 2
+            end)
+          picked;
+        picked
+  in
+  let bench_out = string_flag "--bench-out" "BENCH.json" in
   let wants what =
     List.exists (fun a -> a = what) args
     || not
@@ -360,13 +479,14 @@ let () =
                 ])
             args)
   in
-  if wants "figures" then figures ();
+  if wants "figures" then figures ~prune ~memo ();
   if wants "table1" then table1 ();
-  if wants "table2" then table2 ~scale ~jobs ();
-  if wants "table3" then table3 ~scale ~jobs ();
+  if wants "table2" then table2 ~scale ~jobs ~prune ~memo ~only ();
+  if wants "table3" then table3 ~scale ~jobs ~prune ~memo ~only ();
   if wants "ablation" then ablation ();
   if wants "bench" then bechamel_benches ();
   (* speedup re-runs the same synthesis at every jobs count, so it only
      runs when asked for explicitly. *)
   if List.mem "speedup" args then
-    speedup ~max_jobs:(int_flag "--jobs" 4) ()
+    speedup ~max_jobs:(int_flag "--jobs" 4) ();
+  if !bench_records <> [] then write_bench_json ~prune ~memo bench_out

@@ -12,7 +12,7 @@ module Ex = Crusade_workloads.Examples
 
 open Cmdliner
 
-let spec_of_name name scale =
+let spec_of_name ?seed name scale =
   let lib = Crusade_resource.Library.stock () in
   let small = Crusade_resource.Library.small () in
   match name with
@@ -21,7 +21,12 @@ let spec_of_name name scale =
   | "multirate" -> Ok (Ex.multirate lib, lib)
   | _ -> (
       match W.preset name with
-      | params -> Ok (W.generate lib (W.scaled params scale), lib)
+      | params ->
+          let params = W.scaled params scale in
+          let params =
+            match seed with Some s -> { params with W.seed = s } | None -> params
+          in
+          Ok (W.generate lib params, lib)
       | exception Not_found ->
           Error
             (Printf.sprintf
@@ -39,15 +44,68 @@ let reconfig_arg =
   let doc = "Disable dynamic reconfiguration (single configuration per device)." in
   Arg.(value & flag & info [ "no-reconfig" ] ~doc)
 
-let synth_run name scale no_reconfig =
-  match spec_of_name name scale with
+(* Integer converters that reject non-numeric and out-of-range values
+   with a message naming the flag, instead of failing deep in the flow. *)
+let int_conv ~flag ~ok ~expects =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when ok v -> Ok v
+    | Some v ->
+        Error (`Msg (Printf.sprintf "%s must be %s (got %d)" flag expects v))
+    | None ->
+        Error (`Msg (Printf.sprintf "%s expects an integer (got %s)" flag s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_int flag = int_conv ~flag ~ok:(fun v -> v > 0) ~expects:"positive"
+
+let non_negative_int flag =
+  int_conv ~flag ~ok:(fun v -> v >= 0) ~expects:"non-negative"
+
+let copy_cap_arg =
+  let doc =
+    "Cap on explicit association-array copies per graph (positive)."
+  in
+  Arg.(
+    value
+    & opt (some (positive_int "--copy-cap")) None
+    & info [ "copy-cap" ] ~docv:"N" ~doc)
+
+let eval_window_arg =
+  let doc =
+    "Allocation candidates evaluated per cluster before falling back to the \
+     least-tardy one (positive)."
+  in
+  Arg.(
+    value
+    & opt (some (positive_int "--eval-window")) None
+    & info [ "eval-window" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Override the workload generator seed (generated examples only)." in
+  Arg.(
+    value
+    & opt (some (non_negative_int "--seed")) None
+    & info [ "seed" ] ~docv:"N" ~doc)
+
+let options_with ~no_reconfig ~copy_cap ~eval_window =
+  let opts =
+    { C.default_options with dynamic_reconfiguration = not no_reconfig }
+  in
+  let opts =
+    match copy_cap with Some v -> { opts with C.copy_cap = v } | None -> opts
+  in
+  match eval_window with
+  | Some v -> { opts with C.eval_window = v }
+  | None -> opts
+
+let synth_run name scale no_reconfig copy_cap eval_window seed =
+  match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok (spec, lib) -> (
-      let options =
-        { C.default_options with dynamic_reconfiguration = not no_reconfig }
-      in
+      let options = options_with ~no_reconfig ~copy_cap ~eval_window in
       match C.synthesize ~options spec lib with
       | Ok r ->
           Format.printf "%a@." C.pp_report r;
@@ -56,15 +114,13 @@ let synth_run name scale no_reconfig =
           prerr_endline msg;
           1)
 
-let ft_run name scale no_reconfig =
-  match spec_of_name name scale with
+let ft_run name scale no_reconfig copy_cap eval_window seed =
+  match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok (spec, lib) -> (
-      let options =
-        { C.default_options with dynamic_reconfiguration = not no_reconfig }
-      in
+      let options = options_with ~no_reconfig ~copy_cap ~eval_window in
       match F.synthesize ~options spec lib with
       | Ok r ->
           Format.printf "%a@." C.pp_report r.F.core;
@@ -117,12 +173,16 @@ let list_run () =
 let synth_cmd =
   let doc = "co-synthesize an architecture for a workload" in
   Cmd.v (Cmd.info "synth" ~doc)
-    Term.(const synth_run $ name_arg $ scale_arg $ reconfig_arg)
+    Term.(
+      const synth_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
+      $ eval_window_arg $ seed_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
-    Term.(const ft_run $ name_arg $ scale_arg $ reconfig_arg)
+    Term.(
+      const ft_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
+      $ eval_window_arg $ seed_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

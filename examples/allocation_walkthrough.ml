@@ -25,7 +25,7 @@ let () =
       Format.printf "Cluster placements:@.";
       Crusade_util.Vec.iter
         (fun (pe : Arch.pe_inst) ->
-          List.iter
+          Crusade_util.Vec.iter
             (fun (m : Arch.mode) ->
               if m.Arch.m_clusters <> [] then
                 Format.printf "  %s (PE %d) mode %d: clusters %s@."

@@ -15,7 +15,7 @@ type mode = {
 type pe_inst = {
   p_id : int;
   ptype : Pe.t;
-  mutable modes : mode list;
+  modes : mode Vec.t;
   mutable used_memory : int;
   mutable boot_full_us : int;
 }
@@ -42,7 +42,24 @@ type t = {
   mutable interface_cost : float option;
   links_cache : (int * int, link_inst list) Hashtbl.t;
   mutable levels_cache : levels_cache option;
+  (* Undo journal (trial architectures without deep copies): while at
+     least one checkpoint is open, every mutating operation pushes a
+     thunk that restores the pre-operation state; [rollback] pops and
+     runs them back to the checkpoint.  [conn_epoch] counts
+     connectivity-affecting operations so a rollback knows whether the
+     [links_cache] may hold entries computed against trial connectivity
+     (in which case it is reset; otherwise the warm memo survives the
+     trial). *)
+  mutable journal : (unit -> unit) list;
+  mutable journal_len : int;
+  mutable journal_depth : int;
+  mutable conn_epoch : int;
 }
+
+type checkpoint = { ck_pos : int; ck_levels : levels_cache option; ck_conn : int }
+
+let rollback_counter = Atomic.make 0
+let rollbacks () = Atomic.get rollback_counter
 
 (* Cache invalidation: [links_cache] memoizes {!links_between} and dies
    with any connectivity change; the priority-levels cache additionally
@@ -52,6 +69,49 @@ let touch_levels t = t.levels_cache <- None
 let touch_links t =
   Hashtbl.reset t.links_cache;
   t.levels_cache <- None
+
+let journaling t = t.journal_depth > 0
+
+let record t undo =
+  if journaling t then begin
+    t.journal <- undo :: t.journal;
+    t.journal_len <- t.journal_len + 1
+  end
+
+let note_conn t = if journaling t then t.conn_epoch <- t.conn_epoch + 1
+
+let checkpoint t =
+  t.journal_depth <- t.journal_depth + 1;
+  { ck_pos = t.journal_len; ck_levels = t.levels_cache; ck_conn = t.conn_epoch }
+
+let rollback t ck =
+  Atomic.incr rollback_counter;
+  while t.journal_len > ck.ck_pos do
+    match t.journal with
+    | undo :: rest ->
+        undo ();
+        t.journal <- rest;
+        t.journal_len <- t.journal_len - 1
+    | [] -> assert false
+  done;
+  t.journal_depth <- t.journal_depth - 1;
+  if t.conn_epoch > ck.ck_conn then begin
+    (* The trial changed connectivity (or instantiated resources), so
+       the link memo may hold entries computed against it. *)
+    Hashtbl.reset t.links_cache;
+    t.conn_epoch <- ck.ck_conn
+  end;
+  (* The levels memo saved at the checkpoint is valid again for the
+     restored placement. *)
+  t.levels_cache <- ck.ck_levels
+
+let commit t ck =
+  ignore ck.ck_pos;
+  t.journal_depth <- t.journal_depth - 1;
+  if t.journal_depth = 0 then begin
+    t.journal <- [];
+    t.journal_len <- 0
+  end
 
 let prom_dollars_per_kbyte = 0.35
 
@@ -71,6 +131,10 @@ let create lib =
     interface_cost = None;
     links_cache = Hashtbl.create 64;
     levels_cache = None;
+    journal = [];
+    journal_len = 0;
+    journal_depth = 0;
+    conn_epoch = 0;
   }
 
 let copy t =
@@ -81,7 +145,7 @@ let copy t =
     {
       p_id = p.p_id;
       ptype = p.ptype;
-      modes = List.map copy_mode p.modes;
+      modes = Vec.map_copy copy_mode p.modes;
       used_memory = p.used_memory;
       boot_full_us = p.boot_full_us;
     }
@@ -99,7 +163,15 @@ let copy t =
        placement, so it transfers (any later mutation clears it). *)
     links_cache = Hashtbl.create 64;
     levels_cache = t.levels_cache;
+    (* Copies are independent trial states: they never inherit the
+       source's open checkpoints. *)
+    journal = [];
+    journal_len = 0;
+    journal_depth = 0;
+    conn_epoch = 0;
   }
+
+let fresh_mode m_id = { m_id; m_clusters = []; m_gates = 0; m_pins = 0 }
 
 let add_pe t (ptype : Pe.t) =
   let boot_full_us =
@@ -107,30 +179,30 @@ let add_pe t (ptype : Pe.t) =
     | Pe.Programmable info -> info.config_bits / default_bits_per_us
     | Pe.General_purpose _ | Pe.Asic_pe _ -> 0
   in
-  let pe =
-    {
-      p_id = Vec.length t.pes;
-      ptype;
-      modes = [ { m_id = 0; m_clusters = []; m_gates = 0; m_pins = 0 } ];
-      used_memory = 0;
-      boot_full_us;
-    }
-  in
+  let modes = Vec.create () in
+  Vec.push modes (fresh_mode 0);
+  let pe = { p_id = Vec.length t.pes; ptype; modes; used_memory = 0; boot_full_us } in
   Vec.push t.pes pe;
+  record t (fun () -> ignore (Vec.pop t.pes));
+  (* A rolled-back PE frees its [p_id] for the next trial; link-memo
+     entries mentioning it must not survive into that trial. *)
+  note_conn t;
   touch_levels t;
   pe
 
-let add_mode _t pe =
+let add_mode t pe =
   if not (Pe.is_programmable pe.ptype) then
     invalid_arg "Arch.add_mode: only programmable PEs have multiple modes";
-  let m_id = List.length pe.modes in
-  let mode = { m_id; m_clusters = []; m_gates = 0; m_pins = 0 } in
-  pe.modes <- pe.modes @ [ mode ];
+  let mode = fresh_mode (Vec.length pe.modes) in
+  Vec.push pe.modes mode;
+  record t (fun () -> ignore (Vec.pop pe.modes));
   mode
 
 let add_link t (ltype : Link.t) =
   let link = { l_id = Vec.length t.links; ltype; attached = [] } in
   Vec.push t.links link;
+  record t (fun () -> ignore (Vec.pop t.links));
+  note_conn t;
   touch_links t;
   link
 
@@ -139,7 +211,10 @@ let attach t link pe =
   else if List.length link.attached >= link.ltype.Link.max_ports then
     Error (Printf.sprintf "link %s is full" link.ltype.Link.name)
   else begin
-    link.attached <- pe.p_id :: link.attached;
+    let before = link.attached in
+    link.attached <- pe.p_id :: before;
+    record t (fun () -> link.attached <- before);
+    note_conn t;
     touch_links t;
     Ok ()
   end
@@ -153,9 +228,9 @@ let pe_of_cluster t cid =
 
 let mode_of_site t site =
   let pe = Vec.get t.pes site.s_pe in
-  List.nth pe.modes site.s_mode
+  Vec.get pe.modes site.s_mode
 
-let resident_clusters pe = List.concat_map (fun m -> m.m_clusters) pe.modes
+let pe_in_use pe = Vec.exists (fun m -> m.m_clusters <> []) pe.modes
 
 (* Exclusion vectors forbid two tasks from sharing a PE, whatever the
    mode. *)
@@ -171,6 +246,25 @@ let exclusion_conflict t (spec : Crusade_taskgraph.Spec.t) (clustering : Cluster
       let task = Crusade_taskgraph.Spec.task spec member in
       List.exists on_this_pe task.Crusade_taskgraph.Task.exclusion)
     cluster.members
+
+(* Snapshot a (mode, pe) occupancy plus the cluster's placement-map entry
+   for the journal. *)
+let record_occupancy t (mode : mode) (pe : pe_inst) cid =
+  if journaling t then begin
+    let clusters = mode.m_clusters
+    and gates = mode.m_gates
+    and pins = mode.m_pins
+    and memory = pe.used_memory
+    and site = Hashtbl.find_opt t.sites cid in
+    record t (fun () ->
+        mode.m_clusters <- clusters;
+        mode.m_gates <- gates;
+        mode.m_pins <- pins;
+        pe.used_memory <- memory;
+        match site with
+        | Some s -> Hashtbl.replace t.sites cid s
+        | None -> Hashtbl.remove t.sites cid)
+  end
 
 let place_cluster t spec (clustering : Clustering.t) (cluster : Clustering.cluster) ~pe
     ~mode =
@@ -193,6 +287,7 @@ let place_cluster t spec (clustering : Clustering.t) (cluster : Clustering.clust
     in
     if not capacity_ok then Error "insufficient capacity"
     else begin
+      record_occupancy t mode pe cluster.cid;
       mode.m_clusters <- cluster.cid :: mode.m_clusters;
       mode.m_gates <- mode.m_gates + cluster.gates;
       mode.m_pins <- mode.m_pins + cluster.pins;
@@ -208,7 +303,8 @@ let unplace_cluster t (clustering : Clustering.t) (cluster : Clustering.cluster)
   | None -> ()
   | Some site ->
       let pe = Vec.get t.pes site.s_pe in
-      let mode = List.nth pe.modes site.s_mode in
+      let mode = Vec.get pe.modes site.s_mode in
+      record_occupancy t mode pe cluster.cid;
       mode.m_clusters <- List.filter (fun cid -> cid <> cluster.cid) mode.m_clusters;
       mode.m_gates <- mode.m_gates - cluster.gates;
       mode.m_pins <- mode.m_pins - cluster.pins;
@@ -219,15 +315,17 @@ let unplace_cluster t (clustering : Clustering.t) (cluster : Clustering.cluster)
 
 let detach_unused t =
   let hosting = Hashtbl.create 16 in
-  Vec.iter
-    (fun pe ->
-      if List.exists (fun m -> m.m_clusters <> []) pe.modes then
-        Hashtbl.replace hosting pe.p_id ())
-    t.pes;
+  Vec.iter (fun pe -> if pe_in_use pe then Hashtbl.replace hosting pe.p_id ()) t.pes;
   Vec.iter
     (fun (l : link_inst) ->
-      l.attached <- List.filter (fun pe_id -> Hashtbl.mem hosting pe_id) l.attached)
+      let before = l.attached in
+      let after = List.filter (fun pe_id -> Hashtbl.mem hosting pe_id) before in
+      if after != before then begin
+        l.attached <- after;
+        record t (fun () -> l.attached <- before)
+      end)
     t.links;
+  note_conn t;
   touch_links t
 
 let memory_banks pe =
@@ -238,7 +336,7 @@ let memory_banks pe =
   | Pe.Asic_pe _ | Pe.Programmable _ -> 0
 
 let n_images pe =
-  List.length (List.filter (fun m -> m.m_clusters <> []) pe.modes)
+  Vec.fold (fun acc m -> if m.m_clusters <> [] then acc + 1 else acc) 0 pe.modes
 
 let mode_boot_us pe mode =
   match pe.ptype.Pe.pe_class with
@@ -252,7 +350,7 @@ let mode_boot_us pe mode =
 
 let cost t =
   let pe_cost acc pe =
-    if resident_clusters pe = [] then acc
+    if not (pe_in_use pe) then acc
     else begin
       let base = pe.ptype.Pe.cost in
       let memory =
@@ -301,8 +399,7 @@ let cached_levels t spec clustering =
 let set_cached_levels t spec clustering levels =
   t.levels_cache <- Some { lc_spec = spec; lc_clustering = clustering; lc_levels = levels }
 
-let n_pes t =
-  Vec.fold (fun acc pe -> if resident_clusters pe = [] then acc else acc + 1) 0 t.pes
+let n_pes t = Vec.fold (fun acc pe -> if pe_in_use pe then acc + 1 else acc) 0 t.pes
 
 let n_links t =
   Vec.fold

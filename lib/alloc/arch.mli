@@ -17,7 +17,8 @@ type mode = {
 type pe_inst = {
   p_id : int;
   ptype : Crusade_resource.Pe.t;
-  mutable modes : mode list;  (** non-programmable PEs have exactly one *)
+  modes : mode Crusade_util.Vec.t;
+      (** indexed by [m_id]; non-programmable PEs have exactly one *)
   mutable used_memory : int;  (** CPU: bytes of DRAM consumed *)
   mutable boot_full_us : int;
       (** time to reprogram the whole device with the current programming
@@ -56,13 +57,52 @@ type t = {
           cold by {!copy} (its values alias the source's link records) *)
   mutable levels_cache : levels_cache option;
       (** last priority-levels computation; cleared on any mutation *)
+  mutable journal : (unit -> unit) list;
+      (** undo thunks, newest first; populated only between
+          {!checkpoint} and the matching {!rollback}/{!commit} *)
+  mutable journal_len : int;
+  mutable journal_depth : int;  (** open checkpoints *)
+  mutable conn_epoch : int;
+      (** connectivity-affecting operations recorded since the journal
+          opened; lets {!rollback} keep the warm [links_cache] when a
+          trial only moved clusters around *)
 }
 
 val create : Crusade_resource.Library.t -> t
 
 val copy : t -> t
-(** Deep copy; the allocation inner loop copies, mutates and either
-    commits or discards. *)
+(** Deep copy (the parallel evaluation path gives every domain disjoint
+    state).  The copy never inherits open checkpoints. *)
+
+(** {2 Undo journal}
+
+    The sequential evaluation path trials candidate mutations directly on
+    the base architecture instead of deep-copying it: [checkpoint] opens
+    a journal scope, every mutating operation ({!place_cluster},
+    {!unplace_cluster}, {!add_pe}, {!add_mode}, {!add_link}, {!attach},
+    {!detach_unused}) logs its inverse, and [rollback] runs the log
+    backwards, restoring the base bit-for-bit — including the
+    [links_cache]/[levels_cache] memo state: the levels memo saved at the
+    checkpoint is reinstated, and the link memo is reset only when the
+    trial actually touched connectivity.  Checkpoints nest (LIFO); each
+    must be consumed by exactly one [rollback] or [commit]. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Opens a journal scope; mutations are recorded until the matching
+    {!rollback} or {!commit}. *)
+
+val rollback : t -> checkpoint -> unit
+(** Undoes every operation recorded since the checkpoint. *)
+
+val commit : t -> checkpoint -> unit
+(** Accepts the operations recorded since the checkpoint (outer
+    checkpoints, if any, can still undo them). *)
+
+val rollbacks : unit -> int
+(** Process-wide count of {!rollback} calls (for the evaluator
+    statistics of synthesis results). *)
 
 val add_pe : t -> Crusade_resource.Pe.t -> pe_inst
 (** Instantiates a PE with one (empty) mode. *)
@@ -103,6 +143,11 @@ val site_of_cluster : t -> int -> site option
 val pe_of_cluster : t -> int -> pe_inst option
 
 val mode_of_site : t -> site -> mode
+(** O(1): modes are indexed by [m_id]. *)
+
+val pe_in_use : pe_inst -> bool
+(** Does any mode hold a cluster?  Allocation-free short-circuit used by
+    the cost and counting hot paths. *)
 
 val memory_banks : pe_inst -> int
 (** DRAM banks a CPU instance needs for its resident clusters. *)

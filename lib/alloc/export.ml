@@ -4,8 +4,7 @@ module Caps = Crusade_resource.Caps
 module Clustering = Crusade_cluster.Clustering
 module Vec = Crusade_util.Vec
 
-let used (pe : Arch.pe_inst) =
-  List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes
+let used = Arch.pe_in_use
 
 let to_dot ?(title = "architecture") (clustering : Clustering.t) ~t_arch:(arch : Arch.t)
     =
@@ -19,7 +18,7 @@ let to_dot ?(title = "architecture") (clustering : Clustering.t) ~t_arch:(arch :
     (fun (pe : Arch.pe_inst) ->
       if used pe then begin
         let modes =
-          pe.Arch.modes
+          Vec.to_list pe.Arch.modes
           |> List.filter (fun (m : Arch.mode) -> m.Arch.m_clusters <> [])
           |> List.map (fun (m : Arch.mode) ->
                  Printf.sprintf "mode %d: C%s" m.Arch.m_id
@@ -62,14 +61,14 @@ let inventory (arch : Arch.t) =
               pe.Arch.ptype.Pe.name (Arch.memory_banks pe) (pe.Arch.used_memory / 1024);
             ignore cpu
         | Pe.Asic_pe a ->
-            let mode = List.hd pe.Arch.modes in
+            let mode = Vec.get pe.Arch.modes 0 in
             out "pe%-3d %-14s ASIC  %d/%d area units, %d/%d pins\n" pe.Arch.p_id
               pe.Arch.ptype.Pe.name mode.Arch.m_gates a.Pe.gates mode.Arch.m_pins
               a.Pe.pins
         | Pe.Programmable _ ->
             let images = Arch.n_images pe in
             let cap = Caps.usable_pfus pe.Arch.ptype in
-            List.iter
+            Vec.iter
               (fun (m : Arch.mode) ->
                 if m.Arch.m_clusters <> [] then
                   out "pe%-3d %-14s %s image %d: %d/%d PFUs, %d pins (%d images total)\n"

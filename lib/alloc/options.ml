@@ -72,12 +72,15 @@ let enumerate arch spec clustering (cluster : Clustering.cluster) ~allow_new_mod
          mode.Arch.m_clusters)
   in
   let mode_of_own_graph (pe : Arch.pe_inst) =
-    List.find_opt
-      (fun m -> List.mem cluster.graph (mode_graphs m))
-      pe.Arch.modes
+    Vec.fold
+      (fun acc (m : Arch.mode) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if List.mem cluster.graph (mode_graphs m) then Some m else None)
+      None pe.Arch.modes
   in
   let other_modes_compatible (pe : Arch.pe_inst) (mode_id : int) =
-    List.for_all
+    Vec.for_all
       (fun (m : Arch.mode) ->
         m.Arch.m_id = mode_id
         || List.for_all
@@ -91,7 +94,7 @@ let enumerate arch spec clustering (cluster : Clustering.cluster) ~allow_new_mod
         let affinity = affinity_of arch spec clustering cluster pe.Arch.p_id in
         let programmable = Pe.is_programmable pe.Arch.ptype in
         let own_mode = if programmable then mode_of_own_graph pe else None in
-        List.iter
+        Vec.iter
           (fun (mode : Arch.mode) ->
             let mode_allowed =
               (not programmable)
@@ -186,9 +189,10 @@ let apply arch spec clustering (cluster : Clustering.cluster) option =
         Arch.place_cluster arch spec clustering cluster ~pe ~mode
     | New_pe pe_type ->
         let pe = Arch.add_pe arch (Library.pe arch.Arch.lib pe_type) in
-        (match pe.Arch.modes with
-        | [ mode ] -> Arch.place_cluster arch spec clustering cluster ~pe ~mode
-        | _ -> Error "fresh PE must have exactly one mode")
+        if Vec.length pe.Arch.modes = 1 then
+          Arch.place_cluster arch spec clustering cluster ~pe
+            ~mode:(Vec.get pe.Arch.modes 0)
+        else Error "fresh PE must have exactly one mode"
   in
   match placed with
   | Error _ as e -> e

@@ -5,6 +5,7 @@ module Clustering = Crusade_cluster.Clustering
 module Arch = Crusade_alloc.Arch
 module Options = Crusade_alloc.Options
 module Schedule = Crusade_sched.Schedule
+module Memo = Crusade_sched.Memo
 module Merge = Crusade_reconfig.Merge
 module Interface = Crusade_reconfig.Interface
 module Vec = Crusade_util.Vec
@@ -19,6 +20,8 @@ type options = {
   merge_trials_per_pass : int;
   allow_new_pes : bool;
   jobs : int;
+  prune : bool;
+  memo : bool;
 }
 
 let default_options =
@@ -31,7 +34,16 @@ let default_options =
     merge_trials_per_pass = 400;
     allow_new_pes = true;
     jobs = Pool.default_jobs ();
+    prune = true;
+    memo = true;
   }
+
+type eval_stats = {
+  pruned : int;
+  memo_hits : int;
+  memo_misses : int;
+  rollbacks : int;
+}
 
 type result = {
   spec : Spec.t;
@@ -47,6 +59,7 @@ type result = {
   wall_seconds : float;
   merge_stats : Merge.stats option;
   chosen_interface : Interface.option_t option;
+  eval_stats : eval_stats;
 }
 
 (* Wall clock for the [wall_seconds] report: [Sys.time] sums processor
@@ -64,15 +77,32 @@ let n_modes arch =
    order; commit the first allocation whose schedule meets all deadlines,
    falling back to the least-tardy evaluated option.
 
-   With [opts.jobs > 1] the candidates are evaluated speculatively in
-   index-ordered batches on the domain pool — each evaluation works on
-   its own [Arch.copy], so they are independent — and the batch results
-   are then consumed in index order through exactly the sequential
-   search's state machine (window guard, first-feasible commit, least-
-   tardy fallback).  The committed candidate is therefore the one the
-   sequential search would have committed, bit for bit; parallelism only
-   changes how many candidates past the commit point were (wastefully)
-   evaluated. *)
+   Candidate evaluation is two-staged.  Stage 1 is the admissible bound
+   [Schedule.estimate]: a candidate whose bound is already positive
+   cannot be feasible, and when the bound paired with the candidate's
+   exact cost does not beat the incumbent fallback score either, the
+   full schedule can change nothing — the candidate is dropped without
+   timeline construction (counted against the window exactly like its
+   full evaluation would have been).  Stage 2 is the memoized scheduler
+   [Memo.run].  Both stages preserve the committed candidate bit for
+   bit; [opts.prune]/[opts.memo] switch them off for A/B runs.
+
+   With [opts.jobs = 1] candidates are trialled directly on the base
+   architecture under the undo journal (checkpoint, mutate, schedule,
+   rollback), sparing a deep [Arch.copy] per candidate; the winner is
+   re-applied to the pristine base, which reproduces the deep-copy
+   path's architecture exactly because rollback restores the base bit
+   for bit.  With [opts.jobs > 1] the candidates are evaluated
+   speculatively in index-ordered batches on the domain pool — each
+   evaluation works on its own [Arch.copy], so they are independent —
+   and the batch results are then consumed in index order through
+   exactly the sequential search's state machine (window guard,
+   first-feasible commit, least-tardy fallback).  The committed
+   candidate is therefore the one the sequential search would have
+   committed; parallelism only changes how many candidates past the
+   commit point were (wastefully) evaluated, and its stage-1 incumbent
+   is snapshotted at batch dispatch, which can only prune less than the
+   sequential search, never differently. *)
 let allocate_cluster ~opts spec clustering arch cluster =
   let candidates =
     Options.enumerate arch spec clustering cluster
@@ -89,69 +119,176 @@ let allocate_cluster ~opts spec clustering arch cluster =
     let candidates = Array.of_list candidates in
     let n = Array.length candidates in
     let jobs = max 1 opts.jobs in
-    let pool = Pool.global () in
-    (* Pure w.r.t. [arch]: every evaluation mutates only its own copy. *)
-    let evaluate_candidate i =
-      let trial = Arch.copy arch in
-      match Options.apply trial spec clustering cluster candidates.(i) with
-      | Error _ -> `Inapplicable
-      | Ok () -> (
-          match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
-          | Error _ -> `Unschedulable
-          | Ok sched ->
-              if sched.Schedule.deadlines_met then `Feasible trial
-              else
-                `Tardy (trial, (sched.Schedule.total_tardiness, Arch.cost trial)))
+    (* Stage 1 on an applied candidate: [Some] iff the bound alone
+       settles it — [`Unschedulable] when the disconnection check
+       matches [run]'s failure, [`Dominated] when the bound proves the
+       candidate infeasible and no better than the incumbent score. *)
+    let stage1 incumbent trial =
+      (* Without an incumbent the bound cannot settle anything (an
+         infeasible candidate must still be evaluated to seed the
+         least-tardy fallback), so it isn't worth computing. *)
+      match incumbent with
+      | None -> None
+      | Some best_score when opts.prune -> (
+          match Schedule.estimate ~copy_cap:opts.copy_cap spec clustering trial with
+          | Error _ ->
+              Memo.note_prune ();
+              Some `Unschedulable
+          | Ok lb ->
+              if lb > 0 && best_score <= (lb, Arch.cost trial) then begin
+                Memo.note_prune ();
+                Some `Dominated
+              end
+              else None)
+      | Some _ -> None
     in
-    let best_fallback = ref None in
-    let tried = ref 0 in
-    let window_open () = !tried < opts.eval_window || !best_fallback = None in
-    let exception Commit of Arch.t in
-    let consume = function
-      | `Inapplicable -> ()
-      | `Unschedulable -> incr tried
-      | `Feasible trial -> raise (Commit trial)
-      | `Tardy (trial, score) ->
-          (match !best_fallback with
-          | Some (best_score, _) when best_score <= score -> ()
-          | _ -> best_fallback := Some (score, trial));
-          incr tried
+    let schedule_trial trial =
+      Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering trial
     in
-    match
-      let i = ref 0 in
-      while !i < n && window_open () do
-        let base = !i in
-        let batch = min jobs (n - base) in
-        let results = Pool.map_n ~jobs pool (fun k -> evaluate_candidate (base + k)) batch in
-        (* In-order consumption; once the window closes mid-batch the
-           remaining speculative results are discarded, as the sequential
-           search would never have evaluated them. *)
-        Array.iter (fun r -> if window_open () then consume r) results;
-        i := base + batch
-      done;
-      if !i >= n then begin
-        match !best_fallback with
-        | Some (score, trial) ->
-            if debug then
-              Printf.eprintf
-                "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
-                cluster.Clustering.cid cluster.Clustering.graph (fst score) !tried;
-            Ok trial
-        | None ->
-            Error
-              (Printf.sprintf "no applicable allocation for cluster %d"
-                 cluster.Clustering.cid)
-      end
-      else begin
-        (* Evaluation window exhausted: settle for the least-tardy
-           option seen. *)
-        match !best_fallback with
-        | Some (_, trial) -> Ok trial
-        | None -> assert false
-      end
-    with
-    | result -> result
-    | exception Commit trial -> Ok trial
+    if jobs = 1 then begin
+      (* Sequential path: journaled trials on the base architecture.
+         The fallback holds the candidate *index* — re-applying it to
+         the rolled-back base reproduces the winning architecture. *)
+      let best_fallback = ref None in
+      let tried = ref 0 in
+      let window_open () = !tried < opts.eval_window || !best_fallback = None in
+      let exception Commit in
+      let reapply idx =
+        match Options.apply arch spec clustering cluster candidates.(idx) with
+        | Ok () -> Ok arch
+        | Error msg -> Error msg
+      in
+      match
+        let i = ref 0 in
+        while !i < n && window_open () do
+          let ck = Arch.checkpoint arch in
+          (match Options.apply arch spec clustering cluster candidates.(!i) with
+          | Error _ -> Arch.rollback arch ck
+          | Ok () -> (
+              match stage1 (Option.map fst !best_fallback) arch with
+              | Some (`Unschedulable | `Dominated) ->
+                  Arch.rollback arch ck;
+                  incr tried
+              | None -> (
+                  match schedule_trial arch with
+                  | Error _ ->
+                      Arch.rollback arch ck;
+                      incr tried
+                  | Ok sched ->
+                      if sched.Schedule.deadlines_met then begin
+                        Arch.commit arch ck;
+                        raise Commit
+                      end
+                      else begin
+                        let score =
+                          (sched.Schedule.total_tardiness, Arch.cost arch)
+                        in
+                        (match !best_fallback with
+                        | Some (best_score, _) when best_score <= score -> ()
+                        | _ -> best_fallback := Some (score, !i));
+                        Arch.rollback arch ck;
+                        incr tried
+                      end)));
+          incr i
+        done;
+        if !i >= n then begin
+          match !best_fallback with
+          | Some (score, idx) ->
+              if debug then
+                Printf.eprintf
+                  "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
+                  cluster.Clustering.cid cluster.Clustering.graph (fst score) !tried;
+              reapply idx
+          | None ->
+              Error
+                (Printf.sprintf "no applicable allocation for cluster %d"
+                   cluster.Clustering.cid)
+        end
+        else begin
+          (* Evaluation window exhausted: settle for the least-tardy
+             option seen. *)
+          match !best_fallback with
+          | Some (_, idx) -> reapply idx
+          | None -> assert false
+        end
+      with
+      | result -> result
+      | exception Commit -> Ok arch
+    end
+    else begin
+      let pool = Pool.global () in
+      let best_fallback = ref None in
+      let tried = ref 0 in
+      let window_open () = !tried < opts.eval_window || !best_fallback = None in
+      (* Pure w.r.t. [arch]: every evaluation mutates only its own copy. *)
+      let evaluate_candidate incumbent i =
+        let trial = Arch.copy arch in
+        match Options.apply trial spec clustering cluster candidates.(i) with
+        | Error _ -> `Inapplicable
+        | Ok () -> (
+            match stage1 incumbent trial with
+            | Some (`Unschedulable | `Dominated) -> `Pruned
+            | None -> (
+                match schedule_trial trial with
+                | Error _ -> `Unschedulable
+                | Ok sched ->
+                    if sched.Schedule.deadlines_met then `Feasible trial
+                    else
+                      `Tardy
+                        (trial, (sched.Schedule.total_tardiness, Arch.cost trial))))
+      in
+      let exception Commit of Arch.t in
+      let consume = function
+        | `Inapplicable -> ()
+        | `Unschedulable | `Pruned -> incr tried
+        | `Feasible trial -> raise (Commit trial)
+        | `Tardy (trial, score) ->
+            (match !best_fallback with
+            | Some (best_score, _) when best_score <= score -> ()
+            | _ -> best_fallback := Some (score, trial));
+            incr tried
+      in
+      match
+        let i = ref 0 in
+        while !i < n && window_open () do
+          let base = !i in
+          let batch = min jobs (n - base) in
+          let incumbent = Option.map fst !best_fallback in
+          let results =
+            Pool.map_n ~jobs pool
+              (fun k -> evaluate_candidate incumbent (base + k))
+              batch
+          in
+          (* In-order consumption; once the window closes mid-batch the
+             remaining speculative results are discarded, as the sequential
+             search would never have evaluated them. *)
+          Array.iter (fun r -> if window_open () then consume r) results;
+          i := base + batch
+        done;
+        if !i >= n then begin
+          match !best_fallback with
+          | Some (score, trial) ->
+              if debug then
+                Printf.eprintf
+                  "fallback commit: cluster %d (graph %d) tardiness %d after %d evals\n%!"
+                  cluster.Clustering.cid cluster.Clustering.graph (fst score) !tried;
+              Ok trial
+          | None ->
+              Error
+                (Printf.sprintf "no applicable allocation for cluster %d"
+                   cluster.Clustering.cid)
+        end
+        else begin
+          (* Evaluation window exhausted: settle for the least-tardy
+             option seen. *)
+          match !best_fallback with
+          | Some (_, trial) -> Ok trial
+          | None -> assert false
+        end
+      with
+      | result -> result
+      | exception Commit trial -> Ok trial
+    end
   end
 
 (* The synthesis flow proper, shared by [synthesize] (fresh architecture)
@@ -161,6 +298,12 @@ let allocate_cluster ~opts spec clustering arch cluster =
    interface and assemble the result. *)
 let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
   ignore lib;
+  (* Evaluator counters are process-wide; the flow reports its own share
+     by snapshot difference. *)
+  let pruned0 = Memo.prunes () in
+  let hits0 = Memo.hits () in
+  let misses0 = Memo.misses () in
+  let rollbacks0 = Arch.rollbacks () in
   let arch = ref arch0 in
   let total = Array.length clustering.Clustering.clusters in
   let allocated = Array.make total false in
@@ -222,7 +365,7 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
             | None -> ()
             | Some site ->
                 let pe = Vec.get !arch.Arch.pes site.Arch.s_pe in
-                List.iter
+                Vec.iter
                   (fun (m : Arch.mode) ->
                     List.iter (fun other -> if other <> cid then note other (late / 2))
                       m.Arch.m_clusters)
@@ -233,9 +376,32 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       |> List.sort (fun a b -> compare (fst b) (fst a))
       |> List.map snd
     in
+    (* Does [trial] strictly beat the current schedule?  Stage 1 first:
+       acceptance needs strictly lower tardiness, so a bound already at
+       or above the incumbent tardiness — or a disconnection, which is
+       exactly [run]'s failure — rejects without a full schedule. *)
+    let improves (sched : Schedule.t) trial =
+      let verdict =
+        if not opts.prune then None
+        else begin
+          match Schedule.estimate ~copy_cap:opts.copy_cap spec clustering trial with
+          | Error _ -> Some false
+          | Ok lb -> if lb >= sched.Schedule.total_tardiness then Some false else None
+        end
+      in
+      match verdict with
+      | Some v ->
+          Memo.note_prune ();
+          v
+      | None -> (
+          match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering trial with
+          | Ok after ->
+              after.Schedule.total_tardiness < sched.Schedule.total_tardiness
+          | Error _ -> false)
+    in
     let rec attempt k =
       if k > 0 then begin
-        match Schedule.run ~copy_cap:opts.copy_cap spec clustering !arch with
+        match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering !arch with
         | Error _ -> ()
         | Ok sched ->
             if not sched.Schedule.deadlines_met then begin
@@ -244,17 +410,26 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
               | cid :: _ ->
                   Hashtbl.replace blacklist cid ();
                   let cluster = clustering.Clustering.clusters.(cid) in
-                  let saved = Arch.copy !arch in
-                  Arch.unplace_cluster !arch clustering cluster;
-                  (match allocate_cluster ~opts spec clustering !arch cluster with
-                  | Ok trial -> (
-                      match Schedule.run ~copy_cap:opts.copy_cap spec clustering trial with
-                      | Ok after
-                        when after.Schedule.total_tardiness
-                             < sched.Schedule.total_tardiness ->
-                          arch := trial
-                      | Ok _ | Error _ -> arch := saved)
-                  | Error _ -> arch := saved);
+                  if opts.jobs <= 1 then begin
+                    (* Sequential path: rip-up and retry under the undo
+                       journal instead of a deep safety copy. *)
+                    let ck = Arch.checkpoint !arch in
+                    Arch.unplace_cluster !arch clustering cluster;
+                    match allocate_cluster ~opts spec clustering !arch cluster with
+                    | Ok trial ->
+                        (* [trial == !arch]: the sequential allocator
+                           commits into the base it was handed. *)
+                        if improves sched trial then Arch.commit !arch ck
+                        else Arch.rollback !arch ck
+                    | Error _ -> Arch.rollback !arch ck
+                  end
+                  else begin
+                    let saved = Arch.copy !arch in
+                    Arch.unplace_cluster !arch clustering cluster;
+                    match allocate_cluster ~opts spec clustering !arch cluster with
+                    | Ok trial -> if improves sched trial then arch := trial else arch := saved
+                    | Error _ -> arch := saved
+                  end;
                   attempt (k - 1)
             end
       end
@@ -270,14 +445,14 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
         if opts.dynamic_reconfiguration then begin
           match
             Merge.optimize ~copy_cap:opts.copy_cap
-              ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs spec
-              clustering !arch
+              ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs
+              ~prune:opts.prune ~memo:opts.memo spec clustering !arch
           with
           | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
           | Error msg -> Error msg
         end
         else begin
-          match Schedule.run ~copy_cap:opts.copy_cap spec clustering !arch with
+          match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering !arch with
           | Ok sched -> Ok (!arch, sched, None)
           | Error msg -> Error msg
         end
@@ -290,7 +465,7 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
              breaking deadlines. *)
           let sched = ref sched in
           let validate a =
-            match Schedule.run ~copy_cap:opts.copy_cap spec clustering a with
+            match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering a with
             | Ok s when s.Schedule.deadlines_met || not !sched.Schedule.deadlines_met ->
                 sched := s;
                 true
@@ -317,6 +492,13 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
               wall_seconds = wall_now () -. w0;
               merge_stats;
               chosen_interface;
+              eval_stats =
+                {
+                  pruned = Memo.prunes () - pruned0;
+                  memo_hits = Memo.hits () - hits0;
+                  memo_misses = Memo.misses () - misses0;
+                  rollbacks = Arch.rollbacks () - rollbacks0;
+                };
             })
 
 let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
@@ -383,7 +565,7 @@ let pp_report fmt r =
   Vec.iter
     (fun (pe : Arch.pe_inst) ->
       let images = Arch.n_images pe in
-      if List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes then
+      if Arch.pe_in_use pe then
         pes := (pe.Arch.ptype.Pe.name, images) :: !pes)
     r.arch.Arch.pes;
   let tally = Hashtbl.create 8 in

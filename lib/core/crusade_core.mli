@@ -27,9 +27,32 @@ type options = {
           [jobs = 1] — the lowest-indexed candidate the sequential search
           would commit always wins.  Defaults to the [CRUSADE_JOBS]
           environment variable (clamped to the machine), else 1. *)
+  prune : bool;
+      (** stage-1 candidate evaluation (default true): consult the
+          admissible tardiness lower bound
+          {!Crusade_sched.Schedule.estimate} before scheduling a
+          candidate, and skip the full schedule when the bound already
+          proves the candidate infeasible and no better than the
+          incumbent.  Synthesis results are bit-identical with pruning
+          on or off. *)
+  memo : bool;
+      (** stage-2 candidate evaluation (default true): serve repeated
+          schedules of structurally identical architectures from the
+          bounded {!Crusade_sched.Memo} table. *)
 }
 
 val default_options : options
+
+type eval_stats = {
+  pruned : int;
+      (** candidates rejected by the stage-1 bound without a schedule *)
+  memo_hits : int;  (** schedules served from the memo table *)
+  memo_misses : int;  (** schedules actually computed *)
+  rollbacks : int;  (** journaled trial mutations undone in place *)
+}
+(** Two-stage-evaluator counters for one synthesis flow (snapshot
+    difference of the process-wide counters, so concurrent synthesis
+    flows in one process attribute work approximately). *)
 
 type result = {
   spec : Crusade_taskgraph.Spec.t;
@@ -47,6 +70,7 @@ type result = {
   wall_seconds : float;  (** elapsed wall-clock time of the synthesis *)
   merge_stats : Crusade_reconfig.Merge.stats option;
   chosen_interface : Crusade_reconfig.Interface.option_t option;
+  eval_stats : eval_stats;
 }
 
 val synthesize :

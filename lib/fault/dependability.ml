@@ -54,7 +54,7 @@ let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
   let type_count = Hashtbl.create 8 in
   Vec.iter
     (fun (pe : Arch.pe_inst) ->
-      if List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes then begin
+      if Arch.pe_in_use pe then begin
         let cur = Option.value ~default:0 (Hashtbl.find_opt type_count pe.Arch.ptype.Pe.id) in
         Hashtbl.replace type_count pe.Arch.ptype.Pe.id (cur + 1)
       end)

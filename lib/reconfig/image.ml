@@ -83,7 +83,7 @@ let manifest (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
   Vec.iter
     (fun (pe : Arch.pe_inst) ->
       if Pe.is_programmable pe.Arch.ptype then
-        List.iter
+        Vec.iter
           (fun (mode : Arch.mode) ->
             if mode.Arch.m_clusters <> [] then
               images := build spec clustering pe mode :: !images)

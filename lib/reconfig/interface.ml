@@ -51,8 +51,7 @@ let ppes_of arch =
 let has_cpu arch =
   Vec.exists
     (fun (pe : Arch.pe_inst) ->
-      Pe.is_cpu pe.Arch.ptype
-      && List.exists (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes)
+      Pe.is_cpu pe.Arch.ptype && Arch.pe_in_use pe)
     arch.Arch.pes
 
 let interface_cost option arch =
@@ -114,7 +113,7 @@ let boot_requirement_met arch requirement =
     (fun acc (pe : Arch.pe_inst) ->
       acc
       && (Arch.n_images pe <= 1
-         || List.for_all
+         || Vec.for_all
               (fun (m : Arch.mode) ->
                 m.Arch.m_clusters = [] || Arch.mode_boot_us pe m <= requirement)
               pe.Arch.modes))

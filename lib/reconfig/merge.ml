@@ -6,6 +6,7 @@ module Clustering = Crusade_cluster.Clustering
 module Arch = Crusade_alloc.Arch
 module Connect = Crusade_alloc.Connect
 module Schedule = Crusade_sched.Schedule
+module Memo = Crusade_sched.Memo
 module Vec = Crusade_util.Vec
 module Pool = Crusade_util.Pool
 
@@ -26,14 +27,17 @@ let merge_potential (arch : Arch.t) =
   ppes + Arch.n_links arch
 
 let occupied_modes (pe : Arch.pe_inst) =
-  List.filter (fun (m : Arch.mode) -> m.Arch.m_clusters <> []) pe.Arch.modes
+  List.filter
+    (fun (m : Arch.mode) -> m.Arch.m_clusters <> [])
+    (Vec.to_list pe.Arch.modes)
 
 let graphs_of_pe (clustering : Clustering.t) (pe : Arch.pe_inst) =
   List.sort_uniq compare
-    (List.concat_map
-       (fun (m : Arch.mode) ->
-         List.map (fun cid -> clustering.clusters.(cid).Clustering.graph) m.Arch.m_clusters)
-       pe.Arch.modes)
+    (Vec.fold
+       (fun acc (m : Arch.mode) ->
+         List.map (fun cid -> clustering.clusters.(cid).Clustering.graph) m.Arch.m_clusters
+         @ acc)
+       [] pe.Arch.modes)
 
 (* Can every mode of [src] move (as a whole) onto a fresh mode of
    [dst]'s device type? *)
@@ -87,8 +91,8 @@ let try_merge spec clustering arch ~src_id ~dst_id =
 let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
   let trial = Arch.copy arch in
   let pe = Vec.get trial.Arch.pes pe_id in
-  let target = List.nth pe.Arch.modes mode_a in
-  let source = List.nth pe.Arch.modes mode_b in
+  let target = Vec.get pe.Arch.modes mode_a in
+  let source = Vec.get pe.Arch.modes mode_b in
   List.fold_left
     (fun acc cid ->
       match acc with
@@ -103,10 +107,26 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
 let feasible schedule = schedule.Schedule.deadlines_met
 
 let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
-    ?(jobs = 1) spec clustering arch =
+    ?(jobs = 1) ?(prune = true) ?(memo = true) spec clustering arch =
   let jobs = max 1 jobs in
   let pool = Pool.global () in
-  let run_schedule a = Schedule.run ~copy_cap spec clustering a in
+  let run_schedule a = Memo.run ~memo ~copy_cap spec clustering a in
+  (* Stage-1 rejection of a trial against the base it was built from:
+     acceptance needs a feasible schedule at [base_cost] or better
+     ([strict] for device merges, non-strict for mode combines), so an
+     exact cost excess, a positive tardiness lower bound, or the bound's
+     disconnection failure (exactly [Schedule.run]'s) all reject the
+     trial without building a schedule. *)
+  let rejectable ~base_cost ~strict trial =
+    prune
+    &&
+    let trial_cost = Arch.cost trial in
+    (if strict then trial_cost >= base_cost else trial_cost > base_cost)
+    ||
+    match Schedule.estimate ~copy_cap spec clustering trial with
+    | Error _ -> true
+    | Ok lb -> lb > 0
+  in
   match run_schedule arch with
   | Error _ as e -> e
   | Ok initial_sched ->
@@ -183,14 +203,21 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
           done;
           let batch = Array.of_list (List.rev !batch) in
           let base = !current in
+          let base_cost = Arch.cost base in
           let evaluate k =
             let _, src_id, dst_id = batch.(k) in
             match try_merge spec clustering base ~src_id ~dst_id with
             | Error _ -> None
-            | Ok trial -> (
-                match run_schedule trial with
-                | Error _ -> None
-                | Ok sched -> Some (trial, sched, Arch.cost trial))
+            | Ok trial ->
+                if rejectable ~base_cost ~strict:true trial then begin
+                  Memo.note_prune ();
+                  None
+                end
+                else begin
+                  match run_schedule trial with
+                  | Error _ -> None
+                  | Ok sched -> Some (trial, sched, Arch.cost trial)
+                end
           in
           let results = Pool.map_n ~jobs pool evaluate (Array.length batch) in
           let k = ref 0 and accepted = ref false in
@@ -229,17 +256,21 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
                           ~mode_a:a.Arch.m_id ~mode_b:b.Arch.m_id
                       with
                       | Error _ -> ()
-                      | Ok trial -> (
-                          match run_schedule trial with
-                          | Error _ -> ()
-                          | Ok sched ->
-                              if feasible sched && Arch.cost trial <= Arch.cost !current
-                              then begin
-                                current := trial;
-                                current_sched := sched;
-                                incr modes_combined;
-                                improved := true
-                              end)
+                      | Ok trial ->
+                          if rejectable ~base_cost:(Arch.cost !current) ~strict:false trial
+                          then Memo.note_prune ()
+                          else begin
+                            match run_schedule trial with
+                            | Error _ -> ()
+                            | Ok sched ->
+                                if feasible sched && Arch.cost trial <= Arch.cost !current
+                                then begin
+                                  current := trial;
+                                  current_sched := sched;
+                                  incr modes_combined;
+                                  improved := true
+                                end
+                          end
                     end)
                   rest
             | _ -> ())

@@ -24,6 +24,8 @@ val optimize :
   ?copy_cap:int ->
   ?max_trials_per_pass:int ->
   ?jobs:int ->
+  ?prune:bool ->
+  ?memo:bool ->
   Crusade_taskgraph.Spec.t ->
   Crusade_cluster.Clustering.t ->
   Crusade_alloc.Arch.t ->
@@ -34,4 +36,10 @@ val optimize :
     [jobs] (default 1) evaluates the merge trials of a pass in
     index-ordered batches on the {!Crusade_util.Pool} domain pool,
     accepting in deterministic trial order: results — including the
-    [stats] counters — are bit-identical to the sequential loop. *)
+    [stats] counters — are bit-identical to the sequential loop.
+
+    [prune] (default true) rejects trials whose exact cost or
+    {!Crusade_sched.Schedule.estimate} tardiness bound already rules out
+    acceptance, without scheduling them; [memo] (default true) serves
+    repeated schedules from {!Crusade_sched.Memo}.  Both leave the
+    accepted architectures and the [stats] counters bit-identical. *)

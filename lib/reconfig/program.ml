@@ -58,9 +58,9 @@ let extract (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t)
         in
         let windows = coalesce [] sorted in
         let boot mode_id =
-          match List.nth_opt pe.Arch.modes mode_id with
-          | Some mode -> Arch.mode_boot_us pe mode
-          | None -> 0
+          if mode_id >= 0 && mode_id < Vec.length pe.Arch.modes then
+            Arch.mode_boot_us pe (Vec.get pe.Arch.modes mode_id)
+          else 0
         in
         let steps =
           List.map

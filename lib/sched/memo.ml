@@ -1,0 +1,171 @@
+module Spec = Crusade_taskgraph.Spec
+module Clustering = Crusade_cluster.Clustering
+module Library = Crusade_resource.Library
+module Arch = Crusade_alloc.Arch
+module Vec = Crusade_util.Vec
+
+(* Structural fingerprint of every [Schedule.run] input.
+
+   The scheduler reads, besides the spec/clustering/library (guarded by
+   physical identity below) and the copy cap:
+   - per PE: the type (exec times, CPU preemption and communication
+     properties), the full-device boot time (interface synthesis mutates
+     it), and each mode's PFU usage (partial reconfiguration scales the
+     boot time by it);
+   - per link: the type and the attached PE set (connectivity and the
+     port count in the transfer-time model);
+   - the placement map (cluster -> PE/mode).
+   Mode occupancy lists, memory accounting and costs do not influence
+   the schedule, so they stay out of the key. *)
+type key = {
+  k_copy_cap : int;
+  k_pes : (int * int * int list) array;  (* (type id, boot_full_us, m_gates) *)
+  k_links : (int * int list) array;  (* (type id, sorted attached) *)
+  k_sites : (int * int * int) list;  (* (cluster, pe, mode), by cluster *)
+}
+
+(* Candidate architectures from one synthesis share long common
+   prefixes, and the default [Hashtbl.hash] samples only a few nodes of
+   a value — keying the store on the raw key would collapse most keys
+   into a handful of buckets and turn every probe into a deep structural
+   comparison along the chain.  So the full-depth hash is computed once
+   at fingerprint time and stored with the key; equality short-circuits
+   on it. *)
+type hashed_key = { kh : int; kd : key }
+
+module Key = struct
+  type t = hashed_key
+
+  let equal a b = a.kh = b.kh && a.kd = b.kd
+  let hash a = a.kh
+end
+
+module Store = Hashtbl.Make (Key)
+
+type entry = {
+  e_spec : Spec.t;
+  e_clustering : Clustering.t;
+  e_lib : Library.t;
+  e_result : (Schedule.t, string) result;
+  mutable e_stamp : int;
+}
+
+(* Small on purpose: an entry retains a full schedule (instance arrays
+   grow with tasks x copies), and the hits come from the short-range
+   revisits of repair, merge and interface synthesis, not from the
+   essentially unique allocation candidates. *)
+let capacity = 64
+
+type table = {
+  mutable tick : int;
+  store : entry Store.t;
+  lock : Mutex.t;
+}
+
+let table = { tick = 0; store = Store.create capacity; lock = Mutex.create () }
+let hit_counter = Atomic.make 0
+let miss_counter = Atomic.make 0
+let prune_counter = Atomic.make 0
+let hits () = Atomic.get hit_counter
+let misses () = Atomic.get miss_counter
+let prunes () = Atomic.get prune_counter
+let note_prune () = Atomic.incr prune_counter
+
+let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
+  let k_pes =
+    Array.init (Vec.length arch.Arch.pes) (fun i ->
+        let pe = Vec.get arch.Arch.pes i in
+        let gates =
+          List.rev
+            (Vec.fold (fun acc (m : Arch.mode) -> m.Arch.m_gates :: acc) []
+               pe.Arch.modes)
+        in
+        (pe.Arch.ptype.Crusade_resource.Pe.id, pe.Arch.boot_full_us, gates))
+  in
+  let k_links =
+    Array.init (Vec.length arch.Arch.links) (fun i ->
+        let l = Vec.get arch.Arch.links i in
+        ( l.Arch.ltype.Crusade_resource.Link.id,
+          List.sort_uniq compare l.Arch.attached ))
+  in
+  let k_sites =
+    let all = ref [] in
+    Array.iter
+      (fun (c : Clustering.cluster) ->
+        match Arch.site_of_cluster arch c.Clustering.cid with
+        | Some site ->
+            all := (c.Clustering.cid, site.Arch.s_pe, site.Arch.s_mode) :: !all
+        | None -> ())
+      clustering.Clustering.clusters;
+    List.rev !all
+  in
+  let kd = { k_copy_cap = copy_cap; k_pes; k_links; k_sites } in
+  (* Traversal limits far above any real key size: the hash must see the
+     whole structure or same-prefix keys collide. *)
+  { kh = Hashtbl.hash_param 4096 65536 kd; kd }
+
+let evict_lru () =
+  (* Called with the lock held, only when full: a linear scan of the
+     bounded store is noise next to the [Schedule.run] it avoids. *)
+  let victim = ref None in
+  Store.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, stamp) when stamp <= entry.e_stamp -> ()
+      | _ -> victim := Some (key, entry.e_stamp))
+    table.store;
+  match !victim with
+  | Some (key, _) -> Store.remove table.store key
+  | None -> ()
+
+let lookup key spec clustering lib =
+  Mutex.lock table.lock;
+  let found =
+    match Store.find_opt table.store key with
+    | Some e when e.e_spec == spec && e.e_clustering == clustering && e.e_lib == lib
+      ->
+        table.tick <- table.tick + 1;
+        e.e_stamp <- table.tick;
+        Some e.e_result
+    | Some _ | None -> None
+  in
+  Mutex.unlock table.lock;
+  found
+
+let insert key spec clustering lib result =
+  Mutex.lock table.lock;
+  (match Store.find_opt table.store key with
+  | Some _ -> Store.remove table.store key
+  | None -> if Store.length table.store >= capacity then evict_lru ());
+  table.tick <- table.tick + 1;
+  Store.replace table.store key
+    {
+      e_spec = spec;
+      e_clustering = clustering;
+      e_lib = lib;
+      e_result = result;
+      e_stamp = table.tick;
+    };
+  Mutex.unlock table.lock
+
+let run ?(memo = true) ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  if not memo then Schedule.run ~copy_cap spec clustering arch
+  else begin
+    let key = fingerprint ~copy_cap clustering arch in
+    match lookup key spec clustering arch.Arch.lib with
+    | Some result ->
+        Atomic.incr hit_counter;
+        result
+    | None ->
+        Atomic.incr miss_counter;
+        let result = Schedule.run ~copy_cap spec clustering arch in
+        insert key spec clustering arch.Arch.lib result;
+        result
+  end
+
+let clear () =
+  Mutex.lock table.lock;
+  Store.reset table.store;
+  table.tick <- 0;
+  Mutex.unlock table.lock

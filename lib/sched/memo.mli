@@ -1,0 +1,44 @@
+(** Stage-2 evaluator: a bounded, thread-safe memo table over
+    {!Schedule.run}.
+
+    Synthesis schedules structurally identical architectures many times
+    over — the allocation loop re-evaluates its committed winner, merge
+    trials revisit rejected shapes, repair re-runs the baseline — so
+    full scheduling results are cached under a structural fingerprint of
+    everything the scheduler reads: the placement map, the PE table
+    (type, boot time, per-mode PFU usage), the link table (type,
+    attached PE set) and the copy cap, with the spec, clustering and
+    library guarded by physical identity.
+
+    The table is a process-wide LRU of 512 entries behind a mutex (the
+    parallel evaluation path calls it from several domains; scheduling
+    itself runs outside the lock).  Cached {!Schedule.t} values are
+    shared — callers must treat them as read-only, which every caller in
+    this repository already does. *)
+
+val run :
+  ?memo:bool ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (Schedule.t, string) result
+(** Exactly {!Schedule.run}, but consulting the memo table first.
+    [~memo:false] bypasses the table entirely (no lookup, no counter
+    traffic) — the synthesis options use it to switch stage 2 off. *)
+
+val hits : unit -> int
+(** Process-wide memo hits (schedules served from the table). *)
+
+val misses : unit -> int
+(** Process-wide memo misses (schedules actually computed via {!run}). *)
+
+val prunes : unit -> int
+(** Process-wide count of candidates rejected by the stage-1 bound
+    ({!Schedule.estimate}) without any full schedule; incremented by the
+    evaluation loops via {!note_prune}. *)
+
+val note_prune : unit -> unit
+
+val clear : unit -> unit
+(** Empties the table (tests; isolates benchmark configurations). *)

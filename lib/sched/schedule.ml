@@ -39,6 +39,10 @@ let default_copy_cap = 64
 let cpu_copy_bytes_per_us = 256
 
 let compute_priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+  let link_ports =
+    Array.init (Vec.length arch.Arch.links) (fun i ->
+        max 2 (List.length (Vec.get arch.Arch.links i).Arch.attached))
+  in
   let exec_time (task : Task.t) =
     match Arch.task_site arch clustering task.id with
     | Some site ->
@@ -62,8 +66,7 @@ let compute_priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.
               List.fold_left
                 (fun acc (l : Arch.link_inst) ->
                   let time =
-                    Link.comm_time l.ltype
-                      ~ports:(max 2 (List.length l.attached))
+                    Link.comm_time l.ltype ~ports:link_ports.(l.Arch.l_id)
                       ~bytes:e.bytes
                   in
                   min acc time)
@@ -85,50 +88,116 @@ let priorities (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
       Arch.set_cached_levels arch spec clustering levels;
       levels
 
-(* Per-PPE configuration-window bookkeeping. *)
+(* Per-PPE configuration-window bookkeeping.  Windows are kept in three
+   parallel int arrays sorted by start; the former (mode, start, stop)
+   list rebuilt an O(n) prefix on every commit and was a scheduler
+   hot spot on large workloads. *)
 type ppe_state = {
-  mutable windows : (int * int * int) list;  (* (mode, start, stop), by start *)
+  mutable w_modes : int array;
+  mutable w_starts : int array;
+  mutable w_stops : int array;
+  mutable w_n : int;
   boot_by_mode : int array;
 }
 
 let ppe_find_start state ~mode ~ready ~duration =
   let boot_self = state.boot_by_mode.(mode) in
-  let rec scan t = function
-    | [] -> t
-    | (md, s, e) :: rest ->
-        if md = mode then scan t rest
-        else begin
-          let boot_next = state.boot_by_mode.(md) in
-          (* Our window [t, t+duration) must leave room to boot into any
-             other-mode window after it, and must itself start a boot
-             after any other-mode window before it. *)
-          if t + duration + boot_next > s && t < e + boot_self then
-            scan (max t (e + boot_self)) rest
-          else scan t rest
-        end
-  in
-  scan ready state.windows
+  let t = ref ready in
+  for i = 0 to state.w_n - 1 do
+    let md = state.w_modes.(i) in
+    if md <> mode then begin
+      let s = state.w_starts.(i) and e = state.w_stops.(i) in
+      let boot_next = state.boot_by_mode.(md) in
+      (* Our window [t, t+duration) must leave room to boot into any
+         other-mode window after it, and must itself start a boot
+         after any other-mode window before it.  The scan stays linear:
+         stops are not monotone in start order (same-mode windows may
+         overlap), so no bisection is possible. *)
+      if !t + duration + boot_next > s && !t < e + boot_self then
+        if e + boot_self > !t then t := e + boot_self
+    end
+  done;
+  !t
 
 let ppe_commit state ~mode ~start ~stop =
-  let rec ins = function
-    | [] -> [ (mode, start, stop) ]
-    | (md, s, e) :: rest when s <= start -> (md, s, e) :: ins rest
-    | rest -> (mode, start, stop) :: rest
-  in
-  state.windows <- ins state.windows
+  if state.w_n = Array.length state.w_starts then begin
+    let ncap = if state.w_n = 0 then 16 else 2 * state.w_n in
+    let grow a = Array.init ncap (fun i -> if i < state.w_n then a.(i) else 0) in
+    state.w_modes <- grow state.w_modes;
+    state.w_starts <- grow state.w_starts;
+    state.w_stops <- grow state.w_stops
+  end;
+  (* Insert after every window with an equal-or-earlier start. *)
+  let lo = ref 0 and hi = ref state.w_n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if state.w_starts.(mid) <= start then lo := mid + 1 else hi := mid
+  done;
+  let pos = !lo in
+  let tail = state.w_n - pos in
+  if tail > 0 then begin
+    Array.blit state.w_modes pos state.w_modes (pos + 1) tail;
+    Array.blit state.w_starts pos state.w_starts (pos + 1) tail;
+    Array.blit state.w_stops pos state.w_stops (pos + 1) tail
+  end;
+  state.w_modes.(pos) <- mode;
+  state.w_starts.(pos) <- start;
+  state.w_stops.(pos) <- stop;
+  state.w_n <- state.w_n + 1
 
 let count_switches state =
-  (* Merge overlapping same-mode windows, then count mode alternations. *)
-  let rec walk current acc = function
-    | [] -> acc
-    | (md, _, _) :: rest ->
-        if md = current then walk current acc rest else walk md (acc + 1) rest
-  in
-  match state.windows with
-  | [] -> 0
-  | (first, _, _) :: rest -> walk first 0 rest
+  (* Count mode alternations along the start-sorted windows. *)
+  if state.w_n = 0 then 0
+  else begin
+    let acc = ref 0 in
+    for i = 1 to state.w_n - 1 do
+      if state.w_modes.(i) <> state.w_modes.(i - 1) then incr acc
+    done;
+    !acc
+  end
 
 exception Disconnected of int * int
+
+(* Spec-derived data reused by every [run]/[estimate] call of a
+   synthesis: each graph's topological order and the worst-case
+   downstream path per task (the effective-deadline slack — an interior
+   task must leave room for the worst-case completion of the chain below
+   it).  Shared by [run] and [estimate] so their effective deadlines
+   agree exactly.  One spec dominates a synthesis flow, so a
+   single-entry cache keyed by physical identity suffices; the [Atomic]
+   keeps concurrent evaluation domains safe (a race merely recomputes
+   the same immutable value). *)
+type spec_static = {
+  ss_spec : Spec.t;
+  ss_topo : Task.t list array;  (* indexed by graph id *)
+  ss_downstream : int array;  (* indexed by task id *)
+}
+
+let spec_static_cache : spec_static option Atomic.t = Atomic.make None
+
+let spec_static (spec : Spec.t) =
+  match Atomic.get spec_static_cache with
+  | Some s when s.ss_spec == spec -> s
+  | _ ->
+      let topo = Array.map Graph.topological_order spec.graphs in
+      let downstream = Array.make (Spec.n_tasks spec) 0 in
+      Array.iter
+        (fun (g : Graph.t) ->
+          List.iter
+            (fun (task : Task.t) ->
+              downstream.(task.id) <-
+                List.fold_left
+                  (fun acc (e : Edge.t) ->
+                    max acc
+                      (Task.max_exec (Spec.task spec e.dst) + downstream.(e.dst)))
+                  0 spec.succs.(task.id))
+            (List.rev topo.(g.id)))
+        spec.graphs;
+      let s = { ss_spec = spec; ss_topo = topo; ss_downstream = downstream } in
+      Atomic.set spec_static_cache (Some s);
+      s
+
+let downstream_times (spec : Spec.t) = (spec_static spec).ss_downstream
 
 let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.t)
     (arch : Arch.t) =
@@ -158,19 +227,7 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
      allocation can legally squeeze the chain until the sink has no slack
      left.  Worst-case times match the paper's use of worst-case
      execution vectors in priority levels. *)
-  let downstream = Array.make (Spec.n_tasks spec) 0 in
-  Array.iter
-    (fun (g : Graph.t) ->
-      let order = List.rev (Graph.topological_order g) in
-      List.iter
-        (fun (task : Task.t) ->
-          downstream.(task.id) <-
-            List.fold_left
-              (fun acc (e : Edge.t) ->
-                max acc (Task.max_exec (Spec.task spec e.dst) + downstream.(e.dst)))
-              0 spec.succs.(task.id))
-        order)
-    spec.graphs;
+  let downstream = downstream_times spec in
   let instances =
     Array.make !total
       { i_task = 0; i_copy = 0; arrival = 0; abs_deadline = 0; start = 0; finish = 0 }
@@ -194,12 +251,14 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
           g.tasks
       done)
     spec.graphs;
-  (* Placement lookups per task. *)
-  let site_of = Array.map (fun _ -> None) (Array.make (Spec.n_tasks spec) ()) in
-  Array.iteri
-    (fun task_id _ -> site_of.(task_id) <- Arch.task_site arch clustering task_id)
-    site_of;
-  let placed task_id = site_of.(task_id) <> None in
+  (* Placement lookups per task; the bool mirror keeps the hot
+     [placed] checks off the polymorphic option equality. *)
+  let site_of =
+    Array.init (Spec.n_tasks spec) (fun task_id ->
+        Arch.task_site arch clustering task_id)
+  in
+  let is_placed = Array.map Option.is_some site_of in
+  let placed task_id = is_placed.(task_id) in
   (* Resources: dense arrays indexed by instance id (p_id/l_id are the
      Vec positions), created on first touch.  [links_between] goes
      straight to the architecture's own memo. *)
@@ -227,13 +286,35 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
     | Some st -> st
     | None ->
         let boots =
-          Array.of_list (List.map (fun m -> Arch.mode_boot_us pe m) pe.Arch.modes)
+          Array.init (Vec.length pe.Arch.modes) (fun i ->
+              Arch.mode_boot_us pe (Vec.get pe.Arch.modes i))
         in
-        let st = { windows = []; boot_by_mode = boots } in
+        let st =
+          { w_modes = [||]; w_starts = [||]; w_stops = [||]; w_n = 0;
+            boot_by_mode = boots }
+        in
         ppe_states.(pe.Arch.p_id) <- Some st;
         st
   in
-  let links_between a b = Arch.links_between arch a b in
+  (* Dense per-run view of [Arch.links_between]: connectivity is fixed
+     for the duration of one run, and the architecture-level cache pays
+     a tuple allocation plus a generic hash per probe. *)
+  let n_pe_insts = Vec.length arch.Arch.pes in
+  let links_cache = Array.make (n_pe_insts * n_pe_insts) None in
+  let links_between a b =
+    let idx = (a * n_pe_insts) + b in
+    match links_cache.(idx) with
+    | Some ls -> ls
+    | None ->
+        let ls = Arch.links_between arch a b in
+        links_cache.(idx) <- Some ls;
+        ls
+  in
+  (* Port counts are fixed for the duration of one run. *)
+  let link_ports =
+    Array.init (Vec.length arch.Arch.links) (fun i ->
+        max 2 (List.length (Vec.get arch.Arch.links i).Arch.attached))
+  in
   (* Activity windows per graph (explicit copies). *)
   let graph_activity = Array.make n_graphs [] in
   let note_activity graph start stop =
@@ -258,12 +339,12 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
      effective deadline already folds arrival, the task deadline and the
      worst-case downstream path); levels break ties within a deadline. *)
   let cmp a b =
-    if instances.(a).abs_deadline <> instances.(b).abs_deadline then
-      compare instances.(a).abs_deadline instances.(b).abs_deadline
+    let da = instances.(a).abs_deadline and db = instances.(b).abs_deadline in
+    if da <> db then Int.compare da db
     else begin
       let ta = instances.(a).i_task and tb = instances.(b).i_task in
-      if levels.(ta) <> levels.(tb) then compare levels.(tb) levels.(ta)
-      else compare a b
+      let la = levels.(ta) and lb = levels.(tb) in
+      if la <> lb then Int.compare lb la else Int.compare a b
     end
   in
   let queue = Pqueue.create ~cmp in
@@ -298,8 +379,7 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
                     List.fold_left
                       (fun best (l : Arch.link_inst) ->
                         let comm =
-                          Link.comm_time l.ltype
-                            ~ports:(max 2 (List.length l.Arch.attached))
+                          Link.comm_time l.ltype ~ports:link_ports.(l.Arch.l_id)
                             ~bytes:e.bytes
                         in
                         let _, fin =
@@ -412,3 +492,170 @@ let run ?(copy_cap = default_copy_cap) (spec : Spec.t) (clustering : Clustering.
           mode_switches;
           scheduled_tasks = !scheduled_tasks;
         }
+
+(* Stage-1 evaluator: an admissible lower bound on [run]'s total
+   tardiness, O(V + E + I log I) with no timeline construction.
+
+   Two bounds, both provable against the list scheduler above, combined
+   by [max]:
+
+   - Critical-path bound.  For a placed task t, every instance finishes
+     no earlier than its arrival plus
+       path(t) = exec(t) + max(0, max over placed preds of
+                                    comm_lb(edge) + path(src))
+     where exec is the placement's execution time (the same
+     [Task.exec_on] default the scheduler uses) and comm_lb is zero for
+     same-PE edges and the cheapest connecting link's transfer time
+     otherwise — the scheduler can only pick a link at least that slow,
+     and gap-search/preemption/mode reboots only push starts later.
+     Since an instance's arrival and effective deadline shift together by
+     copy * period, the per-instance lateness max 0 (path(t) - slack(t))
+     is copy-independent and multiplies by the explicit copy count.
+
+   - CPU-load bound.  A general-purpose PE is a serial resource: all the
+     work of its resident instances occupies disjoint time.  For any
+     prefix of its instances sorted by effective deadline, some instance
+     finishes no earlier than (earliest arrival in prefix) + (total work
+     of prefix) and has a deadline no later than the prefix's last, so
+     the prefix lateness is a valid tardiness witness; distinct PEs have
+     distinct witnesses, so per-PE maxima sum.  Work includes the
+     deterministic copy-in overhead of inter-PE input edges on CPUs
+     without a communication processor (exactly the scheduler's
+     [copy_overhead]).  ASICs run in parallel and PPE same-mode windows
+     may overlap, so only CPUs contribute.
+
+   Returns [Error] exactly when [run] would: two communicating placed
+   tasks on PEs with no connecting link. *)
+let estimate ?(copy_cap = default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  let n_tasks = Spec.n_tasks spec in
+  let site_of = Array.init n_tasks (fun tid -> Arch.task_site arch clustering tid) in
+  (* Exact disconnection check: [run] computes the ready time of every
+     placed instance, so it raises iff some placed-placed edge crosses
+     unconnected PEs. *)
+  let disconnected = ref None in
+  Array.iter
+    (fun (g : Graph.t) ->
+      Array.iter
+        (fun (e : Edge.t) ->
+          if Option.is_none !disconnected then
+            match (site_of.(e.src), site_of.(e.dst)) with
+            | Some a, Some b
+              when a.Arch.s_pe <> b.Arch.s_pe
+                   && Arch.links_between arch a.Arch.s_pe b.Arch.s_pe = [] ->
+                disconnected := Some (a.Arch.s_pe, b.Arch.s_pe)
+            | _ -> ())
+        g.edges)
+    spec.graphs;
+  match !disconnected with
+  | Some (a, b) -> Error (Printf.sprintf "no link between PE %d and PE %d" a b)
+  | None ->
+      let static = spec_static spec in
+      let downstream = static.ss_downstream in
+      let exec_on_site (task : Task.t) (site : Arch.site) =
+        let pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+        Option.value ~default:0 (Task.exec_on task pe.Arch.ptype.Pe.id)
+      in
+      let link_ports =
+        Array.init (Vec.length arch.Arch.links) (fun i ->
+            max 2 (List.length (Vec.get arch.Arch.links i).Arch.attached))
+      in
+      let comm_lb (e : Edge.t) (src_site : Arch.site) (dst_site : Arch.site) =
+        if src_site.Arch.s_pe = dst_site.Arch.s_pe then 0
+        else
+          List.fold_left
+            (fun acc (l : Arch.link_inst) ->
+              min acc
+                (Link.comm_time l.ltype ~ports:link_ports.(l.Arch.l_id)
+                   ~bytes:e.bytes))
+            max_int
+            (Arch.links_between arch src_site.Arch.s_pe dst_site.Arch.s_pe)
+      in
+      let path = Array.make n_tasks 0 in
+      let path_bound = ref 0 in
+      Array.iter
+        (fun (g : Graph.t) ->
+          let explicit = min (Spec.copies spec g) copy_cap in
+          List.iter
+            (fun (task : Task.t) ->
+              match site_of.(task.id) with
+              | None -> ()
+              | Some site ->
+                  let chain =
+                    List.fold_left
+                      (fun acc (e : Edge.t) ->
+                        match site_of.(e.src) with
+                        | Some src_site ->
+                            max acc (path.(e.src) + comm_lb e src_site site)
+                        | None -> acc)
+                      0 spec.preds.(task.id)
+                  in
+                  path.(task.id) <- chain + exec_on_site task site;
+                  let slack = Graph.task_deadline g task - downstream.(task.id) in
+                  let late = path.(task.id) - slack in
+                  if late > 0 then path_bound := !path_bound + (explicit * late))
+            static.ss_topo.(g.id))
+        spec.graphs;
+      (* Serial-resource load bound per CPU: one pass over the tasks,
+         bucketing (deadline, arrival, work) items by hosting PE, so the
+         cost is O(tasks + sorting) instead of O(PEs * tasks). *)
+      let buckets = Array.make (Vec.length arch.Arch.pes) [] in
+      Array.iter
+        (fun (g : Graph.t) ->
+          let explicit = min (Spec.copies spec g) copy_cap in
+          Array.iter
+            (fun (task : Task.t) ->
+              match site_of.(task.id) with
+              | None -> ()
+              | Some site -> (
+                  let pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+                  match pe.Arch.ptype.Pe.pe_class with
+                  | Pe.Asic_pe _ | Pe.Programmable _ -> ()
+                  | Pe.General_purpose cpu ->
+                      let overhead =
+                        if cpu.Pe.has_communication_processor then 0
+                        else
+                          List.fold_left
+                            (fun acc (e : Edge.t) ->
+                              match site_of.(e.src) with
+                              | Some s when s.Arch.s_pe <> site.Arch.s_pe ->
+                                  acc
+                                  + Crusade_util.Arith.ceil_div e.bytes
+                                      cpu_copy_bytes_per_us
+                              | _ -> acc)
+                            0 spec.preds.(task.id)
+                      in
+                      let work = exec_on_site task site + overhead in
+                      let slack = Graph.task_deadline g task - downstream.(task.id) in
+                      for copy = 0 to explicit - 1 do
+                        let arrival = g.est + (copy * g.period) in
+                        buckets.(site.Arch.s_pe) <-
+                          (arrival + slack, arrival, work)
+                          :: buckets.(site.Arch.s_pe)
+                      done))
+            g.tasks)
+        spec.graphs;
+      let cpu_bound = ref 0 in
+      Array.iter
+        (fun items ->
+          if items <> [] then begin
+            let sorted =
+              List.sort
+                (fun ((d1, a1, w1) : int * int * int) (d2, a2, w2) ->
+                  if d1 <> d2 then Int.compare d1 d2
+                  else if a1 <> a2 then Int.compare a1 a2
+                  else Int.compare w1 w2)
+                items
+            in
+            let worst = ref 0 and work_sum = ref 0 and arr_min = ref max_int in
+            List.iter
+              (fun (deadline, arrival, work) ->
+                work_sum := !work_sum + work;
+                if arrival < !arr_min then arr_min := arrival;
+                let late = !arr_min + !work_sum - deadline in
+                if late > !worst then worst := late)
+              sorted;
+            cpu_bound := !cpu_bound + !worst
+          end)
+        buckets;
+      Ok (max !path_bound !cpu_bound)

@@ -54,6 +54,23 @@ val run :
     Fails only when two communicating placed tasks sit on PEs with no
     connecting link (a broken allocation). *)
 
+val estimate :
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (int, string) result
+(** Stage-1 evaluator: an admissible lower bound on {!run}'s
+    [total_tardiness] for the same placement, in O(V + E + I log I)
+    without building any timeline.  Guarantees, for every architecture:
+    - [estimate] never exceeds [run]'s total tardiness, so a positive
+      bound proves the placement misses deadlines and a bound that
+      already loses to the incumbent proves the candidate cannot win;
+    - [estimate] is [Error] exactly when [run] is (two communicating
+      placed tasks on unconnected PEs).
+    Candidate evaluation consults it before paying for a full schedule;
+    see DESIGN.md "Two-stage candidate evaluation". *)
+
 val priorities :
   Crusade_taskgraph.Spec.t ->
   Crusade_cluster.Clustering.t ->

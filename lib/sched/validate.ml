@@ -134,9 +134,9 @@ let check (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t)
                 else begin
                   (* boot gap between consecutive windows of different modes *)
                   let boot m =
-                    match List.nth_opt pe.Arch.modes m with
-                    | Some mode -> Arch.mode_boot_us pe mode
-                    | None -> 0
+                    if m >= 0 && m < Vec.length pe.Arch.modes then
+                      Arch.mode_boot_us pe (Vec.get pe.Arch.modes m)
+                    else 0
                   in
                   List.iter
                     (fun (sa, ea) ->

@@ -40,8 +40,17 @@ let fold f init t =
   done;
   !acc
 
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop: empty vector";
+  t.size <- t.size - 1;
+  t.data.(t.size)
+
 let exists p t =
   let rec scan i = i < t.size && (p t.data.(i) || scan (i + 1)) in
+  scan 0
+
+let for_all p t =
+  let rec scan i = i >= t.size || (p t.data.(i) && scan (i + 1)) in
   scan 0
 
 let to_list t =

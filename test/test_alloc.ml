@@ -20,7 +20,7 @@ let arch_add_pe () =
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 3) in
   check Alcotest.int "id" 0 pe.Arch.p_id;
-  check Alcotest.int "one mode" 1 (List.length pe.Arch.modes);
+  check Alcotest.int "one mode" 1 (Vec.length pe.Arch.modes);
   check Alcotest.bool "boot time set" true (pe.Arch.boot_full_us > 0);
   let cpu = Arch.add_pe arch (Library.pe lib 0) in
   check Alcotest.int "cpu boot" 0 cpu.Arch.boot_full_us
@@ -41,7 +41,7 @@ let arch_place_and_unplace () =
   let spec, clustering, t1, _ = fixture () in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode = List.hd pe.Arch.modes in
+  let mode = Vec.get pe.Arch.modes 0 in
   let cluster = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   (match Arch.place_cluster arch spec clustering cluster ~pe ~mode with
   | Ok () -> ()
@@ -59,7 +59,7 @@ let arch_capacity_rejection () =
   let arch = Arch.create lib in
   (* F1 usable = 140 PFUs; two 80-gate clusters cannot share a mode. *)
   let pe = Arch.add_pe arch (Library.pe lib 3) in
-  let mode = List.hd pe.Arch.modes in
+  let mode = Vec.get pe.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   let c2 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t2)) in
   check Alcotest.bool "first fits" true
@@ -71,7 +71,7 @@ let arch_wrong_type_rejected () =
   let spec, clustering, t1, _ = fixture () in
   let arch = Arch.create lib in
   let cpu = Arch.add_pe arch (Library.pe lib 0) in
-  let mode = List.hd cpu.Arch.modes in
+  let mode = Vec.get cpu.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   check Alcotest.bool "hw cluster on cpu rejected" true
     (Result.is_error (Arch.place_cluster arch spec clustering c1 ~pe:cpu ~mode))
@@ -88,7 +88,7 @@ let arch_exclusion_rejected () =
   let clustering = Clustering.singletons spec lib in
   let arch = Arch.create lib in
   let cpu = Arch.add_pe arch (Library.pe lib 0) in
-  let mode = List.hd cpu.Arch.modes in
+  let mode = Vec.get cpu.Arch.modes 0 in
   let c0 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t0)) in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   check Alcotest.bool "first ok" true
@@ -105,7 +105,7 @@ let arch_cost_accounting () =
   let pe = Arch.add_pe arch (Library.pe lib 4) in
   (* unused PEs do not count *)
   check (Alcotest.float 1e-9) "unused PE free" 0.0 (Arch.cost arch);
-  let mode = List.hd pe.Arch.modes in
+  let mode = Vec.get pe.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   (match Arch.place_cluster arch spec clustering c1 ~pe ~mode with
   | Ok () -> ()
@@ -127,7 +127,7 @@ let arch_copy_independent () =
   let spec, clustering, t1, _ = fixture () in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode = List.hd pe.Arch.modes in
+  let mode = Vec.get pe.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   (match Arch.place_cluster arch spec clustering c1 ~pe ~mode with
   | Ok () -> ()
@@ -137,19 +137,19 @@ let arch_copy_independent () =
   check Alcotest.bool "copy keeps placement" true
     (Arch.site_of_cluster snapshot c1.cid <> None);
   check Alcotest.int "copy keeps gates" 80
-    (List.hd (Vec.get snapshot.Arch.pes 0).Arch.modes).Arch.m_gates
+    (Vec.get (Vec.get snapshot.Arch.pes 0).Arch.modes 0).Arch.m_gates
 
 let arch_mode_boot_partial () =
   let arch = Arch.create lib in
   (* f2 is partially reconfigurable in the small library *)
   let f2 = Arch.add_pe arch (Library.pe lib 4) in
-  let mode = List.hd f2.Arch.modes in
+  let mode = Vec.get f2.Arch.modes 0 in
   mode.Arch.m_gates <- 36 (* a tenth of 360 PFUs *);
   let partial_boot = Arch.mode_boot_us f2 mode in
   check Alcotest.bool "partial boot cheaper than full" true
     (partial_boot < f2.Arch.boot_full_us);
   let f1 = Arch.add_pe arch (Library.pe lib 3) in
-  let m1 = List.hd f1.Arch.modes in
+  let m1 = Vec.get f1.Arch.modes 0 in
   m1.Arch.m_gates <- 10;
   check Alcotest.int "non-partial boots fully" f1.Arch.boot_full_us
     (Arch.mode_boot_us f1 m1)
@@ -215,7 +215,7 @@ let options_same_graph_same_mode () =
   let clustering = Clustering.singletons spec lib in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode0 = List.hd pe.Arch.modes in
+  let mode0 = Vec.get pe.Arch.modes 0 in
   let c0 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t0)) in
   (match Arch.place_cluster arch spec clustering c0 ~pe ~mode:mode0 with
   | Ok () -> ()
@@ -237,7 +237,7 @@ let options_compat_gates_new_mode () =
   let spec, clustering, t1, t2 = fixture ~overlap:true () in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode0 = List.hd pe.Arch.modes in
+  let mode0 = Vec.get pe.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   (match Arch.place_cluster arch spec clustering c1 ~pe ~mode:mode0 with
   | Ok () -> ()
@@ -255,7 +255,7 @@ let options_new_mode_for_compatible () =
   let spec, clustering, t1, t2 = fixture ~overlap:false () in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode0 = List.hd pe.Arch.modes in
+  let mode0 = Vec.get pe.Arch.modes 0 in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   (match Arch.place_cluster arch spec clustering c1 ~pe ~mode:mode0 with
   | Ok () -> ()

@@ -14,6 +14,7 @@ let () =
       ("fault", Test_fault.suite);
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
+      ("evaluator", Test_evaluator.suite);
       ("extras", Test_extras.suite);
       ("properties", Test_properties.suite);
     ]

@@ -20,7 +20,7 @@ let two_device_arch ?(overlap = false) () =
   let place t =
     let pe = Arch.add_pe arch (Library.pe lib 3) in
     let c = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t)) in
-    match Arch.place_cluster arch spec clustering c ~pe ~mode:(List.hd pe.Arch.modes) with
+    match Arch.place_cluster arch spec clustering c ~pe ~mode:(Vec.get pe.Arch.modes 0) with
     | Ok () -> ()
     | Error m -> Alcotest.fail m
   in
@@ -112,7 +112,7 @@ let interface_synthesize_meets_requirement () =
       Vec.iter
         (fun (pe : Arch.pe_inst) ->
           if Arch.n_images pe > 1 then
-            List.iter
+            Vec.iter
               (fun m ->
                 check Alcotest.bool "boot within budget" true
                   (Arch.mode_boot_us pe m <= spec.Spec.boot_time_requirement))

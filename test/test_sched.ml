@@ -236,7 +236,7 @@ let schedule_hw_concurrency () =
   let clustering = Clustering.singletons spec lib in
   let arch = Arch.create lib in
   let pe = Arch.add_pe arch (Library.pe lib 4) in
-  let mode = List.hd pe.Arch.modes in
+  let mode = Crusade_util.Vec.get pe.Arch.modes 0 in
   Array.iter
     (fun (c : Clustering.cluster) ->
       match Arch.place_cluster arch spec clustering c ~pe ~mode with
@@ -261,7 +261,7 @@ let schedule_mode_serialization_with_boot () =
   let pe = Arch.add_pe arch (Library.pe lib 3) in
   (* force a noticeable boot time *)
   pe.Arch.boot_full_us <- 6_000;
-  let mode0 = List.hd pe.Arch.modes in
+  let mode0 = Crusade_util.Vec.get pe.Arch.modes 0 in
   let mode1 = Arch.add_mode arch pe in
   let c1 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t1)) in
   let c2 = clustering.Clustering.clusters.(clustering.Clustering.of_task.(t2)) in
@@ -294,8 +294,8 @@ let schedule_disconnected_edge_error () =
   let c0 = clustering.Clustering.clusters.(0) in
   let c1 = clustering.Clustering.clusters.(1) in
   (match
-     ( Arch.place_cluster arch spec clustering c0 ~pe:a ~mode:(List.hd a.Arch.modes),
-       Arch.place_cluster arch spec clustering c1 ~pe:b ~mode:(List.hd b.Arch.modes) )
+     ( Arch.place_cluster arch spec clustering c0 ~pe:a ~mode:(Crusade_util.Vec.get a.Arch.modes 0),
+       Arch.place_cluster arch spec clustering c1 ~pe:b ~mode:(Crusade_util.Vec.get b.Arch.modes 0) )
    with
   | Ok (), Ok () -> ()
   | Error m, _ | _, Error m -> Alcotest.fail m);
@@ -311,8 +311,8 @@ let schedule_comm_on_link_delays () =
   let b = Arch.add_pe arch (Library.pe lib 0) in
   let c0 = clustering.Clustering.clusters.(0) in
   let c1 = clustering.Clustering.clusters.(1) in
-  ignore (Arch.place_cluster arch spec clustering c0 ~pe:a ~mode:(List.hd a.Arch.modes));
-  ignore (Arch.place_cluster arch spec clustering c1 ~pe:b ~mode:(List.hd b.Arch.modes));
+  ignore (Arch.place_cluster arch spec clustering c0 ~pe:a ~mode:(Crusade_util.Vec.get a.Arch.modes 0));
+  ignore (Arch.place_cluster arch spec clustering c1 ~pe:b ~mode:(Crusade_util.Vec.get b.Arch.modes 0));
   let bus = Arch.add_link arch (Library.link lib 0) in
   ignore (Arch.attach arch bus a);
   ignore (Arch.attach arch bus b);
