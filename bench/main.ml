@@ -27,7 +27,12 @@
    Alongside the text tables, every synthesis run is appended to a
    machine-readable BENCH.json (per-workload wall/cpu seconds, cost,
    prune/memo-hit counters, jobs); --bench-out PATH overrides the
-   destination. *)
+   destination.
+
+   --trace FILE writes a Chrome trace_event JSON profile covering every
+   synthesis run of the invocation (one shared sink; load the file in
+   chrome://tracing or Perfetto).  Tracing never changes the synthesized
+   results, only adds the recording overhead to the timings. *)
 
 module C = Crusade.Crusade_core
 module F = Crusade_fault.Ft
@@ -36,6 +41,10 @@ module Ex = Crusade_workloads.Examples
 module T = Crusade_util.Text_table
 
 let erufs = [ 0.70; 0.75; 0.80; 0.85; 0.90; 0.95; 1.00 ]
+
+(* Shared sink for --trace: every table's syntheses record into it, and
+   main writes the file once at exit. *)
+let trace_sink : Crusade_util.Trace.t option ref = ref None
 
 (* Paper values for side-by-side comparison. *)
 let paper_table1 =
@@ -166,7 +175,14 @@ let write_bench_json ~prune ~memo path =
 
 let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
   let options =
-    { C.default_options with dynamic_reconfiguration = reconfig; jobs; prune; memo }
+    {
+      C.default_options with
+      dynamic_reconfiguration = reconfig;
+      jobs;
+      prune;
+      memo;
+      trace = !trace_sink;
+    }
   in
   match C.synthesize ~options spec lib with
   | Ok r ->
@@ -178,7 +194,14 @@ let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
 
 let ft_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
   let options =
-    { C.default_options with dynamic_reconfiguration = reconfig; jobs; prune; memo }
+    {
+      C.default_options with
+      dynamic_reconfiguration = reconfig;
+      jobs;
+      prune;
+      memo;
+      trace = !trace_sink;
+    }
   in
   match F.synthesize ~options spec lib with
   | Ok r ->
@@ -273,7 +296,13 @@ let figures ~prune ~memo () =
   print_endline "== Fig. 4 allocation walk-through (small library) ==";
   let spec4 = Ex.figure4 lib in
   let options =
-    { C.default_options with dynamic_reconfiguration = true; prune; memo }
+    {
+      C.default_options with
+      dynamic_reconfiguration = true;
+      prune;
+      memo;
+      trace = !trace_sink;
+    }
   in
   (match C.synthesize ~options spec4 lib with
   | Ok r ->
@@ -467,6 +496,10 @@ let () =
         picked
   in
   let bench_out = string_flag "--bench-out" "BENCH.json" in
+  let trace_out =
+    match string_flag "--trace" "" with "" -> None | path -> Some path
+  in
+  if trace_out <> None then trace_sink := Some (Crusade_util.Trace.create ());
   let wants what =
     List.exists (fun a -> a = what) args
     || not
@@ -489,4 +522,10 @@ let () =
      runs when asked for explicitly. *)
   if List.mem "speedup" args then
     speedup ~max_jobs:(int_flag "--jobs" 4) ();
-  if !bench_records <> [] then write_bench_json ~prune ~memo bench_out
+  if !bench_records <> [] then write_bench_json ~prune ~memo bench_out;
+  match (trace_out, !trace_sink) with
+  | Some path, Some t ->
+      Crusade_util.Trace.write_file t path;
+      Printf.printf "wrote %s (%d trace events)\n%!" path
+        (Crusade_util.Trace.n_events t)
+  | _ -> ()

@@ -88,39 +88,62 @@ let seed_arg =
     & opt (some (non_negative_int "--seed")) None
     & info [ "seed" ] ~docv:"N" ~doc)
 
-let options_with ~no_reconfig ~copy_cap ~eval_window =
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON profile of the synthesis phases to \
+     $(docv) (load it in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let options_with ~no_reconfig ~copy_cap ~eval_window ~trace =
   let opts =
     { C.default_options with dynamic_reconfiguration = not no_reconfig }
   in
   let opts =
     match copy_cap with Some v -> { opts with C.copy_cap = v } | None -> opts
   in
-  match eval_window with
-  | Some v -> { opts with C.eval_window = v }
-  | None -> opts
+  let opts =
+    match eval_window with
+    | Some v -> { opts with C.eval_window = v }
+    | None -> opts
+  in
+  { opts with C.trace }
 
-let synth_run name scale no_reconfig copy_cap eval_window seed =
+(* The sink is flushed to disk even when synthesis fails: a trace of the
+   failing run is exactly what the flag is for. *)
+let with_trace trace_file k =
+  let trace = Option.map (fun _ -> Crusade_util.Trace.create ()) trace_file in
+  Fun.protect
+    ~finally:(fun () ->
+      match (trace_file, trace) with
+      | Some path, Some t -> Crusade_util.Trace.write_file t path
+      | _ -> ())
+    (fun () -> k trace)
+
+let synth_run name scale no_reconfig copy_cap eval_window seed trace_file =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok (spec, lib) -> (
-      let options = options_with ~no_reconfig ~copy_cap ~eval_window in
-      match C.synthesize ~options spec lib with
-      | Ok r ->
-          Format.printf "%a@." C.pp_report r;
-          if r.C.deadlines_met then 0 else 2
-      | Error msg ->
-          prerr_endline msg;
-          1)
+  | Ok (spec, lib) ->
+      with_trace trace_file (fun trace ->
+          let options = options_with ~no_reconfig ~copy_cap ~eval_window ~trace in
+          match C.synthesize ~options spec lib with
+          | Ok r ->
+              Format.printf "%a@." C.pp_report r;
+              if r.C.deadlines_met then 0 else 2
+          | Error msg ->
+              prerr_endline msg;
+              1)
 
-let ft_run name scale no_reconfig copy_cap eval_window seed =
+let ft_run name scale no_reconfig copy_cap eval_window seed trace_file =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok (spec, lib) -> (
-      let options = options_with ~no_reconfig ~copy_cap ~eval_window in
+  | Ok (spec, lib) ->
+      with_trace trace_file (fun trace ->
+      let options = options_with ~no_reconfig ~copy_cap ~eval_window ~trace in
       match F.synthesize ~options spec lib with
       | Ok r ->
           Format.printf "%a@." C.pp_report r.F.core;
@@ -175,14 +198,14 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const synth_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg)
+      $ eval_window_arg $ seed_arg $ trace_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
     Term.(
       const ft_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg)
+      $ eval_window_arg $ seed_arg $ trace_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

@@ -58,9 +58,6 @@ type t = {
 
 type checkpoint = { ck_pos : int; ck_levels : levels_cache option; ck_conn : int }
 
-let rollback_counter = Atomic.make 0
-let rollbacks () = Atomic.get rollback_counter
-
 (* Cache invalidation: [links_cache] memoizes {!links_between} and dies
    with any connectivity change; the priority-levels cache additionally
    depends on placements, so every architecture mutation clears it. *)
@@ -85,7 +82,6 @@ let checkpoint t =
   { ck_pos = t.journal_len; ck_levels = t.levels_cache; ck_conn = t.conn_epoch }
 
 let rollback t ck =
-  Atomic.incr rollback_counter;
   while t.journal_len > ck.ck_pos do
     match t.journal with
     | undo :: rest ->

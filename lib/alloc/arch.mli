@@ -100,10 +100,6 @@ val commit : t -> checkpoint -> unit
 (** Accepts the operations recorded since the checkpoint (outer
     checkpoints, if any, can still undo them). *)
 
-val rollbacks : unit -> int
-(** Process-wide count of {!rollback} calls (for the evaluator
-    statistics of synthesis results). *)
-
 val add_pe : t -> Crusade_resource.Pe.t -> pe_inst
 (** Instantiates a PE with one (empty) mode. *)
 

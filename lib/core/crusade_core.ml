@@ -10,6 +10,7 @@ module Merge = Crusade_reconfig.Merge
 module Interface = Crusade_reconfig.Interface
 module Vec = Crusade_util.Vec
 module Pool = Crusade_util.Pool
+module Trace = Crusade_util.Trace
 
 type options = {
   dynamic_reconfiguration : bool;
@@ -22,6 +23,7 @@ type options = {
   jobs : int;
   prune : bool;
   memo : bool;
+  trace : Trace.t option;
 }
 
 let default_options =
@@ -36,6 +38,7 @@ let default_options =
     jobs = Pool.default_jobs ();
     prune = true;
     memo = true;
+    trace = None;
   }
 
 type eval_stats = {
@@ -66,6 +69,48 @@ type result = {
    time over every domain, so it overstates elapsed time as soon as
    [jobs > 1]. *)
 let wall_now () = Unix.gettimeofday ()
+
+(* Per-run evaluator state, created at flow start and dropped with the
+   run: the stage-2 memo table (entries retain whole specs and
+   architectures, so it must not outlive the run), the metrics registry
+   its counters live in, and the trace sink.  Nothing here is
+   process-global — back-to-back or concurrent syntheses report fully
+   independent [eval_stats] and can never share a memo entry. *)
+type ctx = {
+  memo : Memo.t;
+  metrics : Trace.Metrics.t;
+  rollback_counter : Trace.Counter.t;
+  trace : Trace.t option;
+}
+
+let make_ctx (opts : options) =
+  let metrics = Trace.Metrics.create () in
+  {
+    memo = Memo.create ~enabled:opts.memo ?trace:opts.trace ~metrics ();
+    metrics;
+    rollback_counter = Trace.Metrics.counter metrics "eval.rollbacks";
+    trace = opts.trace;
+  }
+
+let eval_stats_of ctx =
+  {
+    pruned = Memo.prunes ctx.memo;
+    memo_hits = Memo.hits ctx.memo;
+    memo_misses = Memo.misses ctx.memo;
+    rollbacks = Trace.Counter.get ctx.rollback_counter;
+  }
+
+(* One counter sample per phase boundary: the evaluator counters as a
+   Chrome counter track, so the trace shows where the prunes/hits
+   accumulate. *)
+let sample_eval_counters ctx =
+  Trace.counter ctx.trace "eval_stats"
+    [
+      ("pruned", Memo.prunes ctx.memo);
+      ("memo_hits", Memo.hits ctx.memo);
+      ("memo_misses", Memo.misses ctx.memo);
+      ("rollbacks", Trace.Counter.get ctx.rollback_counter);
+    ]
 
 let n_modes arch =
   Vec.fold
@@ -103,7 +148,7 @@ let n_modes arch =
    commit point were (wastefully) evaluated, and its stage-1 incumbent
    is snapshotted at batch dispatch, which can only prune less than the
    sequential search, never differently. *)
-let allocate_cluster ~opts spec clustering arch cluster =
+let allocate_cluster ~opts ~ctx spec clustering arch cluster =
   let candidates =
     Options.enumerate arch spec clustering cluster
       ~allow_new_modes:opts.dynamic_reconfiguration
@@ -119,6 +164,10 @@ let allocate_cluster ~opts spec clustering arch cluster =
     let candidates = Array.of_list candidates in
     let n = Array.length candidates in
     let jobs = max 1 opts.jobs in
+    let rollback a ck =
+      Trace.Counter.incr ctx.rollback_counter;
+      Arch.rollback a ck
+    in
     (* Stage 1 on an applied candidate: [Some] iff the bound alone
        settles it — [`Unschedulable] when the disconnection check
        matches [run]'s failure, [`Dominated] when the bound proves the
@@ -130,20 +179,20 @@ let allocate_cluster ~opts spec clustering arch cluster =
       match incumbent with
       | None -> None
       | Some best_score when opts.prune -> (
-          match Schedule.estimate ~copy_cap:opts.copy_cap spec clustering trial with
+          match Memo.estimate ctx.memo ~copy_cap:opts.copy_cap spec clustering trial with
           | Error _ ->
-              Memo.note_prune ();
+              Memo.note_prune ctx.memo;
               Some `Unschedulable
           | Ok lb ->
               if lb > 0 && best_score <= (lb, Arch.cost trial) then begin
-                Memo.note_prune ();
+                Memo.note_prune ctx.memo;
                 Some `Dominated
               end
               else None)
       | Some _ -> None
     in
     let schedule_trial trial =
-      Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering trial
+      Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering trial
     in
     if jobs = 1 then begin
       (* Sequential path: journaled trials on the base architecture.
@@ -161,34 +210,38 @@ let allocate_cluster ~opts spec clustering arch cluster =
       match
         let i = ref 0 in
         while !i < n && window_open () do
-          let ck = Arch.checkpoint arch in
-          (match Options.apply arch spec clustering cluster candidates.(!i) with
-          | Error _ -> Arch.rollback arch ck
-          | Ok () -> (
-              match stage1 (Option.map fst !best_fallback) arch with
-              | Some (`Unschedulable | `Dominated) ->
-                  Arch.rollback arch ck;
-                  incr tried
-              | None -> (
-                  match schedule_trial arch with
-                  | Error _ ->
-                      Arch.rollback arch ck;
+          Trace.span ctx.trace
+            ~args:[ ("index", Trace.Num !i) ]
+            "alloc.candidate"
+            (fun () ->
+              let ck = Arch.checkpoint arch in
+              match Options.apply arch spec clustering cluster candidates.(!i) with
+              | Error _ -> rollback arch ck
+              | Ok () -> (
+                  match stage1 (Option.map fst !best_fallback) arch with
+                  | Some (`Unschedulable | `Dominated) ->
+                      rollback arch ck;
                       incr tried
-                  | Ok sched ->
-                      if sched.Schedule.deadlines_met then begin
-                        Arch.commit arch ck;
-                        raise Commit
-                      end
-                      else begin
-                        let score =
-                          (sched.Schedule.total_tardiness, Arch.cost arch)
-                        in
-                        (match !best_fallback with
-                        | Some (best_score, _) when best_score <= score -> ()
-                        | _ -> best_fallback := Some (score, !i));
-                        Arch.rollback arch ck;
-                        incr tried
-                      end)));
+                  | None -> (
+                      match schedule_trial arch with
+                      | Error _ ->
+                          rollback arch ck;
+                          incr tried
+                      | Ok sched ->
+                          if sched.Schedule.deadlines_met then begin
+                            Arch.commit arch ck;
+                            raise Commit
+                          end
+                          else begin
+                            let score =
+                              (sched.Schedule.total_tardiness, Arch.cost arch)
+                            in
+                            (match !best_fallback with
+                            | Some (best_score, _) when best_score <= score -> ()
+                            | _ -> best_fallback := Some (score, !i));
+                            rollback arch ck;
+                            incr tried
+                          end)));
           incr i
         done;
         if !i >= n then begin
@@ -222,20 +275,25 @@ let allocate_cluster ~opts spec clustering arch cluster =
       let window_open () = !tried < opts.eval_window || !best_fallback = None in
       (* Pure w.r.t. [arch]: every evaluation mutates only its own copy. *)
       let evaluate_candidate incumbent i =
-        let trial = Arch.copy arch in
-        match Options.apply trial spec clustering cluster candidates.(i) with
-        | Error _ -> `Inapplicable
-        | Ok () -> (
-            match stage1 incumbent trial with
-            | Some (`Unschedulable | `Dominated) -> `Pruned
-            | None -> (
-                match schedule_trial trial with
-                | Error _ -> `Unschedulable
-                | Ok sched ->
-                    if sched.Schedule.deadlines_met then `Feasible trial
-                    else
-                      `Tardy
-                        (trial, (sched.Schedule.total_tardiness, Arch.cost trial))))
+        Trace.span ctx.trace
+          ~args:[ ("index", Trace.Num i) ]
+          "alloc.candidate"
+          (fun () ->
+            let trial = Arch.copy arch in
+            match Options.apply trial spec clustering cluster candidates.(i) with
+            | Error _ -> `Inapplicable
+            | Ok () -> (
+                match stage1 incumbent trial with
+                | Some (`Unschedulable | `Dominated) -> `Pruned
+                | None -> (
+                    match schedule_trial trial with
+                    | Error _ -> `Unschedulable
+                    | Ok sched ->
+                        if sched.Schedule.deadlines_met then `Feasible trial
+                        else
+                          `Tardy
+                            ( trial,
+                              (sched.Schedule.total_tardiness, Arch.cost trial) ))))
       in
       let exception Commit of Arch.t in
       let consume = function
@@ -298,12 +356,7 @@ let allocate_cluster ~opts spec clustering arch cluster =
    interface and assemble the result. *)
 let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
   ignore lib;
-  (* Evaluator counters are process-wide; the flow reports its own share
-     by snapshot difference. *)
-  let pruned0 = Memo.prunes () in
-  let hits0 = Memo.hits () in
-  let misses0 = Memo.misses () in
-  let rollbacks0 = Arch.rollbacks () in
+  let ctx = make_ctx opts in
   let arch = ref arch0 in
   let total = Array.length clustering.Clustering.clusters in
   let allocated = Array.make total false in
@@ -330,7 +383,16 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
           end)
         clustering.Clustering.clusters;
       let cluster = clustering.Clustering.clusters.(!next) in
-      match allocate_cluster ~opts spec clustering !arch cluster with
+      match
+        Trace.span ctx.trace
+          ~args:
+            [
+              ("cluster", Trace.Num cluster.Clustering.cid);
+              ("graph", Trace.Num cluster.Clustering.graph);
+            ]
+          "alloc.cluster"
+          (fun () -> allocate_cluster ~opts ~ctx spec clustering !arch cluster)
+      with
       | Error _ as e -> e
       | Ok trial ->
           arch := trial;
@@ -384,24 +446,24 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       let verdict =
         if not opts.prune then None
         else begin
-          match Schedule.estimate ~copy_cap:opts.copy_cap spec clustering trial with
+          match Memo.estimate ctx.memo ~copy_cap:opts.copy_cap spec clustering trial with
           | Error _ -> Some false
           | Ok lb -> if lb >= sched.Schedule.total_tardiness then Some false else None
         end
       in
       match verdict with
       | Some v ->
-          Memo.note_prune ();
+          Memo.note_prune ctx.memo;
           v
       | None -> (
-          match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering trial with
+          match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering trial with
           | Ok after ->
               after.Schedule.total_tardiness < sched.Schedule.total_tardiness
           | Error _ -> false)
     in
     let rec attempt k =
       if k > 0 then begin
-        match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering !arch with
+        match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering !arch with
         | Error _ -> ()
         | Ok sched ->
             if not sched.Schedule.deadlines_met then begin
@@ -410,49 +472,62 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
               | cid :: _ ->
                   Hashtbl.replace blacklist cid ();
                   let cluster = clustering.Clustering.clusters.(cid) in
-                  if opts.jobs <= 1 then begin
-                    (* Sequential path: rip-up and retry under the undo
-                       journal instead of a deep safety copy. *)
-                    let ck = Arch.checkpoint !arch in
-                    Arch.unplace_cluster !arch clustering cluster;
-                    match allocate_cluster ~opts spec clustering !arch cluster with
-                    | Ok trial ->
-                        (* [trial == !arch]: the sequential allocator
-                           commits into the base it was handed. *)
-                        if improves sched trial then Arch.commit !arch ck
-                        else Arch.rollback !arch ck
-                    | Error _ -> Arch.rollback !arch ck
-                  end
-                  else begin
-                    let saved = Arch.copy !arch in
-                    Arch.unplace_cluster !arch clustering cluster;
-                    match allocate_cluster ~opts spec clustering !arch cluster with
-                    | Ok trial -> if improves sched trial then arch := trial else arch := saved
-                    | Error _ -> arch := saved
-                  end;
+                  Trace.span ctx.trace
+                    ~args:[ ("cluster", Trace.Num cid) ]
+                    "repair.attempt"
+                    (fun () ->
+                      if opts.jobs <= 1 then begin
+                        (* Sequential path: rip-up and retry under the undo
+                           journal instead of a deep safety copy. *)
+                        let ck = Arch.checkpoint !arch in
+                        Arch.unplace_cluster !arch clustering cluster;
+                        match allocate_cluster ~opts ~ctx spec clustering !arch cluster with
+                        | Ok trial ->
+                            (* [trial == !arch]: the sequential allocator
+                               commits into the base it was handed. *)
+                            if improves sched trial then Arch.commit !arch ck
+                            else begin
+                              Trace.Counter.incr ctx.rollback_counter;
+                              Arch.rollback !arch ck
+                            end
+                        | Error _ ->
+                            Trace.Counter.incr ctx.rollback_counter;
+                            Arch.rollback !arch ck
+                      end
+                      else begin
+                        let saved = Arch.copy !arch in
+                        Arch.unplace_cluster !arch clustering cluster;
+                        match allocate_cluster ~opts ~ctx spec clustering !arch cluster with
+                        | Ok trial -> if improves sched trial then arch := trial else arch := saved
+                        | Error _ -> arch := saved
+                      end);
                   attempt (k - 1)
             end
       end
     in
     attempt 20
   in
-  match allocate_all !remaining with
+  match Trace.span ctx.trace "allocation" (fun () -> allocate_all !remaining) with
   | Error msg -> Error msg
   | Ok () -> (
-      repair ();
+      sample_eval_counters ctx;
+      Trace.span ctx.trace "repair" repair;
+      sample_eval_counters ctx;
       (* Dynamic-reconfiguration generation. *)
       let merged =
         if opts.dynamic_reconfiguration then begin
           match
-            Merge.optimize ~copy_cap:opts.copy_cap
-              ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs
-              ~prune:opts.prune ~memo:opts.memo spec clustering !arch
+            Trace.span ctx.trace "merge" (fun () ->
+                Merge.optimize ~copy_cap:opts.copy_cap
+                  ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs
+                  ~prune:opts.prune ?trace:ctx.trace ~memo:ctx.memo spec clustering
+                  !arch)
           with
           | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
           | Error msg -> Error msg
         end
         else begin
-          match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering !arch with
+          match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering !arch with
           | Ok sched -> Ok (!arch, sched, None)
           | Error msg -> Error msg
         end
@@ -460,22 +535,27 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       match merged with
       | Error msg -> Error msg
       | Ok (final_arch, sched, merge_stats) ->
+          sample_eval_counters ctx;
           (* Reconfiguration controller interface synthesis (Section 4.4):
              cheapest interface meeting the boot-time requirement without
              breaking deadlines. *)
           let sched = ref sched in
           let validate a =
-            match Memo.run ~memo:opts.memo ~copy_cap:opts.copy_cap spec clustering a with
+            match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering a with
             | Ok s when s.Schedule.deadlines_met || not !sched.Schedule.deadlines_met ->
                 sched := s;
                 true
             | Ok _ | Error _ -> false
           in
           let chosen_interface =
-            match Interface.synthesize final_arch spec ~validate with
+            match
+              Trace.span ctx.trace "interface" (fun () ->
+                  Interface.synthesize final_arch spec ~validate)
+            with
             | Ok option -> Some option
             | Error _ -> None
           in
+          sample_eval_counters ctx;
           let cost = Arch.cost final_arch in
           Ok
             {
@@ -492,13 +572,7 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
               wall_seconds = wall_now () -. w0;
               merge_stats;
               chosen_interface;
-              eval_stats =
-                {
-                  pruned = Memo.prunes () - pruned0;
-                  memo_hits = Memo.hits () - hits0;
-                  memo_misses = Memo.misses () - misses0;
-                  rollbacks = Arch.rollbacks () - rollbacks0;
-                };
+              eval_stats = eval_stats_of ctx;
             })
 
 let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
@@ -506,38 +580,50 @@ let synthesize ?(options = default_options) ?(include_graph = fun _ -> true)
   let t0 = Sys.time () in
   let w0 = wall_now () in
   let opts = options in
-  (* Pre-processing: every task must be mappable somewhere. *)
-  let unmappable =
-    Array.fold_left
-      (fun acc (task : Crusade_taskgraph.Task.t) ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-            if Crusade_cluster.Clustering.task_mask lib task = 0 then Some task.name
-            else None)
-      None spec.Spec.tasks
-  in
-  match unmappable with
-  | Some name -> Error (Printf.sprintf "task %s can run on no PE type" name)
-  | None ->
-      (* Pre-processing: clustering (Fig. 5). *)
-      let clustering =
-        if opts.use_clustering then
-          Clustering.run ~max_cluster_size:opts.max_cluster_size spec lib
-        else Clustering.singletons spec lib
+  Trace.span opts.trace
+    ~args:[ ("spec", Trace.Str spec.Spec.name) ]
+    "synthesize"
+    (fun () ->
+      (* Pre-processing: every task must be mappable somewhere. *)
+      let unmappable =
+        Trace.span opts.trace "preprocess" (fun () ->
+            Array.fold_left
+              (fun acc (task : Crusade_taskgraph.Task.t) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Crusade_cluster.Clustering.task_mask lib task = 0 then
+                      Some task.name
+                    else None)
+              None spec.Spec.tasks)
       in
-      run_flow ~opts ~t0 ~w0 spec lib clustering (Arch.create lib)
-        ~skip:(fun (c : Clustering.cluster) -> not (include_graph c.graph))
+      match unmappable with
+      | Some name -> Error (Printf.sprintf "task %s can run on no PE type" name)
+      | None ->
+          (* Pre-processing: clustering (Fig. 5). *)
+          let clustering =
+            Trace.span opts.trace "clustering" (fun () ->
+                if opts.use_clustering then
+                  Clustering.run ~max_cluster_size:opts.max_cluster_size spec lib
+                else Clustering.singletons spec lib)
+          in
+          run_flow ~opts ~t0 ~w0 spec lib clustering (Arch.create lib)
+            ~skip:(fun (c : Clustering.cluster) -> not (include_graph c.graph)))
 
 let continue_allocation ?(options = default_options) (base : result) =
   let t0 = Sys.time () in
   let w0 = wall_now () in
-  let arch = Arch.copy base.arch in
-  (* The interface chosen for the partial architecture is re-synthesized
-     at the end of the extended flow. *)
-  arch.Arch.interface_cost <- None;
-  run_flow ~opts:options ~t0 ~w0 base.spec base.arch.Arch.lib base.clustering arch
-    ~skip:(fun _ -> false)
+  Trace.span options.trace
+    ~args:[ ("spec", Trace.Str base.spec.Spec.name) ]
+    "synthesize.continue"
+    (fun () ->
+      let arch = Arch.copy base.arch in
+      (* The interface chosen for the partial architecture is re-synthesized
+         at the end of the extended flow. *)
+      arch.Arch.interface_cost <- None;
+      run_flow ~opts:options ~t0 ~w0 base.spec base.arch.Arch.lib base.clustering
+        arch
+        ~skip:(fun _ -> false))
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";

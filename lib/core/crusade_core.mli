@@ -38,7 +38,16 @@ type options = {
   memo : bool;
       (** stage-2 candidate evaluation (default true): serve repeated
           schedules of structurally identical architectures from the
-          bounded {!Crusade_sched.Memo} table. *)
+          run's bounded {!Crusade_sched.Memo} table. *)
+  trace : Crusade_util.Trace.t option;
+      (** when set, every synthesis phase (pre-processing, clustering,
+          allocation per cluster and per candidate, repair, merge
+          trials, interface synthesis) and every underlying
+          [Schedule.run]/[estimate] emits span events into the sink,
+          plus counter samples of the evaluator statistics at phase
+          boundaries; [None] (the default) takes a no-op fast path that
+          never reads the clock, and synthesis output is bit-identical
+          either way.  Export with {!Crusade_util.Trace.write_file}. *)
 }
 
 val default_options : options
@@ -50,9 +59,9 @@ type eval_stats = {
   memo_misses : int;  (** schedules actually computed *)
   rollbacks : int;  (** journaled trial mutations undone in place *)
 }
-(** Two-stage-evaluator counters for one synthesis flow (snapshot
-    difference of the process-wide counters, so concurrent synthesis
-    flows in one process attribute work approximately). *)
+(** Two-stage-evaluator counters of one synthesis flow.  Each flow owns
+    its counters (and its memo table), so back-to-back or concurrent
+    syntheses in one process report fully independent, exact statistics. *)
 
 type result = {
   spec : Crusade_taskgraph.Spec.t;

@@ -1,3 +1,5 @@
+module Trace = Crusade_util.Trace
+
 type result = {
   core : Crusade.Crusade_core.result;
   transform_stats : Transform.stats;
@@ -7,13 +9,20 @@ type result = {
 }
 
 let synthesize ?options spec lib =
-  let augmented, transform_stats = Transform.apply spec in
+  let trace =
+    Option.bind options (fun (o : Crusade.Crusade_core.options) ->
+        o.Crusade.Crusade_core.trace)
+  in
+  let augmented, transform_stats =
+    Trace.span trace "ft.transform" (fun () -> Transform.apply spec)
+  in
   match Crusade.Crusade_core.synthesize ?options augmented lib with
-  | Error _ as e -> (match e with Error msg -> Error msg | Ok _ -> assert false)
+  | Error msg -> Error msg
   | Ok core ->
       let provisioning =
-        Dependability.provision augmented core.Crusade.Crusade_core.clustering
-          core.Crusade.Crusade_core.arch
+        Trace.span trace "ft.provision" (fun () ->
+            Dependability.provision augmented core.Crusade.Crusade_core.clustering
+              core.Crusade.Crusade_core.arch)
       in
       let n_spares =
         List.fold_left (fun acc (_, count) -> acc + count) 0

@@ -9,6 +9,7 @@ module Schedule = Crusade_sched.Schedule
 module Memo = Crusade_sched.Memo
 module Vec = Crusade_util.Vec
 module Pool = Crusade_util.Pool
+module Trace = Crusade_util.Trace
 
 type stats = {
   merges_accepted : int;
@@ -107,10 +108,10 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
 let feasible schedule = schedule.Schedule.deadlines_met
 
 let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
-    ?(jobs = 1) ?(prune = true) ?(memo = true) spec clustering arch =
+    ?(jobs = 1) ?(prune = true) ?trace ~memo spec clustering arch =
   let jobs = max 1 jobs in
   let pool = Pool.global () in
-  let run_schedule a = Memo.run ~memo ~copy_cap spec clustering a in
+  let run_schedule a = Memo.run memo ~copy_cap spec clustering a in
   (* Stage-1 rejection of a trial against the base it was built from:
      acceptance needs a feasible schedule at [base_cost] or better
      ([strict] for device merges, non-strict for mode combines), so an
@@ -123,7 +124,7 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
     let trial_cost = Arch.cost trial in
     (if strict then trial_cost >= base_cost else trial_cost > base_cost)
     ||
-    match Schedule.estimate ~copy_cap spec clustering trial with
+    match Memo.estimate memo ~copy_cap spec clustering trial with
     | Error _ -> true
     | Ok lb -> lb > 0
   in
@@ -140,6 +141,7 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
       while !improved do
         improved := false;
         incr iterations;
+        Trace.instant trace "merge.pass";
         let compat = Compat.matrix spec !current_sched in
         (* Merge array: candidate (src, dst) PPE pairs, best saving first. *)
         let ppes =
@@ -205,19 +207,23 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
           let base = !current in
           let base_cost = Arch.cost base in
           let evaluate k =
-            let _, src_id, dst_id = batch.(k) in
-            match try_merge spec clustering base ~src_id ~dst_id with
-            | Error _ -> None
-            | Ok trial ->
-                if rejectable ~base_cost ~strict:true trial then begin
-                  Memo.note_prune ();
-                  None
-                end
-                else begin
-                  match run_schedule trial with
-                  | Error _ -> None
-                  | Ok sched -> Some (trial, sched, Arch.cost trial)
-                end
+            let pos_k, src_id, dst_id = batch.(k) in
+            Trace.span trace
+              ~args:[ ("trial", Trace.Num pos_k) ]
+              "merge.trial"
+              (fun () ->
+                match try_merge spec clustering base ~src_id ~dst_id with
+                | Error _ -> None
+                | Ok trial ->
+                    if rejectable ~base_cost ~strict:true trial then begin
+                      Memo.note_prune memo;
+                      None
+                    end
+                    else begin
+                      match run_schedule trial with
+                      | Error _ -> None
+                      | Ok sched -> Some (trial, sched, Arch.cost trial)
+                    end)
           in
           let results = Pool.map_n ~jobs pool evaluate (Array.length batch) in
           let k = ref 0 and accepted = ref false in
@@ -250,28 +256,35 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
                       a.Arch.m_gates + b.Arch.m_gates <= Caps.usable_pfus pe.Arch.ptype
                       && a.Arch.m_pins + b.Arch.m_pins <= Caps.usable_pins pe.Arch.ptype
                     in
-                    if fits then begin
-                      match
-                        try_combine spec clustering !current ~pe_id:pe.Arch.p_id
-                          ~mode_a:a.Arch.m_id ~mode_b:b.Arch.m_id
-                      with
-                      | Error _ -> ()
-                      | Ok trial ->
-                          if rejectable ~base_cost:(Arch.cost !current) ~strict:false trial
-                          then Memo.note_prune ()
-                          else begin
-                            match run_schedule trial with
-                            | Error _ -> ()
-                            | Ok sched ->
-                                if feasible sched && Arch.cost trial <= Arch.cost !current
-                                then begin
-                                  current := trial;
-                                  current_sched := sched;
-                                  incr modes_combined;
-                                  improved := true
-                                end
-                          end
-                    end)
+                    if fits then
+                      Trace.span trace
+                        ~args:[ ("pe", Trace.Num pe.Arch.p_id) ]
+                        "merge.combine"
+                        (fun () ->
+                          match
+                            try_combine spec clustering !current ~pe_id:pe.Arch.p_id
+                              ~mode_a:a.Arch.m_id ~mode_b:b.Arch.m_id
+                          with
+                          | Error _ -> ()
+                          | Ok trial ->
+                              if
+                                rejectable ~base_cost:(Arch.cost !current)
+                                  ~strict:false trial
+                              then Memo.note_prune memo
+                              else begin
+                                match run_schedule trial with
+                                | Error _ -> ()
+                                | Ok sched ->
+                                    if
+                                      feasible sched
+                                      && Arch.cost trial <= Arch.cost !current
+                                    then begin
+                                      current := trial;
+                                      current_sched := sched;
+                                      incr modes_combined;
+                                      improved := true
+                                    end
+                              end))
                   rest
             | _ -> ())
           !current.Arch.pes

@@ -25,7 +25,8 @@ val optimize :
   ?max_trials_per_pass:int ->
   ?jobs:int ->
   ?prune:bool ->
-  ?memo:bool ->
+  ?trace:Crusade_util.Trace.t ->
+  memo:Crusade_sched.Memo.t ->
   Crusade_taskgraph.Spec.t ->
   Crusade_cluster.Clustering.t ->
   Crusade_alloc.Arch.t ->
@@ -38,8 +39,10 @@ val optimize :
     accepting in deterministic trial order: results — including the
     [stats] counters — are bit-identical to the sequential loop.
 
-    [prune] (default true) rejects trials whose exact cost or
-    {!Crusade_sched.Schedule.estimate} tardiness bound already rules out
-    acceptance, without scheduling them; [memo] (default true) serves
-    repeated schedules from {!Crusade_sched.Memo}.  Both leave the
-    accepted architectures and the [stats] counters bit-identical. *)
+    [prune] (default true) rejects trials whose exact cost or tardiness
+    bound already rules out acceptance, without scheduling them.  [memo]
+    is the calling run's {!Crusade_sched.Memo} table — repeated
+    schedules are served from it (create it with [~enabled:false] to
+    switch stage 2 off).  Both leave the accepted architectures and the
+    [stats] counters bit-identical.  [trace] adds ["merge.trial"] /
+    ["merge.combine"] spans and a ["merge.pass"] instant per pass. *)

@@ -3,6 +3,7 @@ module Clustering = Crusade_cluster.Clustering
 module Library = Crusade_resource.Library
 module Arch = Crusade_alloc.Arch
 module Vec = Crusade_util.Vec
+module Trace = Crusade_util.Trace
 
 (* Structural fingerprint of every [Schedule.run] input.
 
@@ -56,20 +57,38 @@ type entry = {
    essentially unique allocation candidates. *)
 let capacity = 64
 
-type table = {
+type t = {
+  enabled : bool;
+  trace : Trace.t option;
   mutable tick : int;
   store : entry Store.t;
   lock : Mutex.t;
+  hit_counter : Trace.Counter.t;
+  miss_counter : Trace.Counter.t;
+  prune_counter : Trace.Counter.t;
 }
 
-let table = { tick = 0; store = Store.create capacity; lock = Mutex.create () }
-let hit_counter = Atomic.make 0
-let miss_counter = Atomic.make 0
-let prune_counter = Atomic.make 0
-let hits () = Atomic.get hit_counter
-let misses () = Atomic.get miss_counter
-let prunes () = Atomic.get prune_counter
-let note_prune () = Atomic.incr prune_counter
+let create ?(enabled = true) ?trace ?metrics () =
+  let counter name =
+    match metrics with
+    | Some m -> Trace.Metrics.counter m name
+    | None -> Trace.Counter.make ()
+  in
+  {
+    enabled;
+    trace;
+    tick = 0;
+    store = Store.create capacity;
+    lock = Mutex.create ();
+    hit_counter = counter "eval.memo_hits";
+    miss_counter = counter "eval.memo_misses";
+    prune_counter = counter "eval.pruned";
+  }
+
+let hits t = Trace.Counter.get t.hit_counter
+let misses t = Trace.Counter.get t.miss_counter
+let prunes t = Trace.Counter.get t.prune_counter
+let note_prune t = Trace.Counter.incr t.prune_counter
 
 let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
   let k_pes =
@@ -104,7 +123,7 @@ let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
      whole structure or same-prefix keys collide. *)
   { kh = Hashtbl.hash_param 4096 65536 kd; kd }
 
-let evict_lru () =
+let evict_lru t =
   (* Called with the lock held, only when full: a linear scan of the
      bounded store is noise next to the [Schedule.run] it avoids. *)
   let victim = ref None in
@@ -113,59 +132,68 @@ let evict_lru () =
       match !victim with
       | Some (_, stamp) when stamp <= entry.e_stamp -> ()
       | _ -> victim := Some (key, entry.e_stamp))
-    table.store;
+    t.store;
   match !victim with
-  | Some (key, _) -> Store.remove table.store key
+  | Some (key, _) -> Store.remove t.store key
   | None -> ()
 
-let lookup key spec clustering lib =
-  Mutex.lock table.lock;
+let lookup t key spec clustering lib =
+  Mutex.lock t.lock;
   let found =
-    match Store.find_opt table.store key with
+    match Store.find_opt t.store key with
     | Some e when e.e_spec == spec && e.e_clustering == clustering && e.e_lib == lib
       ->
-        table.tick <- table.tick + 1;
-        e.e_stamp <- table.tick;
+        t.tick <- t.tick + 1;
+        e.e_stamp <- t.tick;
         Some e.e_result
     | Some _ | None -> None
   in
-  Mutex.unlock table.lock;
+  Mutex.unlock t.lock;
   found
 
-let insert key spec clustering lib result =
-  Mutex.lock table.lock;
-  (match Store.find_opt table.store key with
-  | Some _ -> Store.remove table.store key
-  | None -> if Store.length table.store >= capacity then evict_lru ());
-  table.tick <- table.tick + 1;
-  Store.replace table.store key
+let insert t key spec clustering lib result =
+  Mutex.lock t.lock;
+  (match Store.find_opt t.store key with
+  | Some _ -> Store.remove t.store key
+  | None -> if Store.length t.store >= capacity then evict_lru t);
+  t.tick <- t.tick + 1;
+  Store.replace t.store key
     {
       e_spec = spec;
       e_clustering = clustering;
       e_lib = lib;
       e_result = result;
-      e_stamp = table.tick;
+      e_stamp = t.tick;
     };
-  Mutex.unlock table.lock
+  Mutex.unlock t.lock
 
-let run ?(memo = true) ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+let traced_run t ~copy_cap spec clustering arch =
+  Trace.span t.trace "schedule.run" (fun () ->
+      Schedule.run ~copy_cap spec clustering arch)
+
+let run t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
-  if not memo then Schedule.run ~copy_cap spec clustering arch
+  if not t.enabled then traced_run t ~copy_cap spec clustering arch
   else begin
     let key = fingerprint ~copy_cap clustering arch in
-    match lookup key spec clustering arch.Arch.lib with
+    match lookup t key spec clustering arch.Arch.lib with
     | Some result ->
-        Atomic.incr hit_counter;
+        Trace.Counter.incr t.hit_counter;
+        Trace.instant t.trace "memo.hit";
         result
     | None ->
-        Atomic.incr miss_counter;
-        let result = Schedule.run ~copy_cap spec clustering arch in
-        insert key spec clustering arch.Arch.lib result;
+        Trace.Counter.incr t.miss_counter;
+        let result = traced_run t ~copy_cap spec clustering arch in
+        insert t key spec clustering arch.Arch.lib result;
         result
   end
 
-let clear () =
-  Mutex.lock table.lock;
-  Store.reset table.store;
-  table.tick <- 0;
-  Mutex.unlock table.lock
+let estimate t ?(copy_cap = Schedule.default_copy_cap) spec clustering arch =
+  Trace.span t.trace "schedule.estimate" (fun () ->
+      Schedule.estimate ~copy_cap spec clustering arch)
+
+let clear t =
+  Mutex.lock t.lock;
+  Store.reset t.store;
+  t.tick <- 0;
+  Mutex.unlock t.lock

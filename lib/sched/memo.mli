@@ -1,5 +1,5 @@
 (** Stage-2 evaluator: a bounded, thread-safe memo table over
-    {!Schedule.run}.
+    {!Schedule.run}, scoped to one synthesis run.
 
     Synthesis schedules structurally identical architectures many times
     over — the allocation loop re-evaluates its committed winner, merge
@@ -10,35 +10,65 @@
     attached PE set) and the copy cap, with the spec, clustering and
     library guarded by physical identity.
 
-    The table is a process-wide LRU of 512 entries behind a mutex (the
-    parallel evaluation path calls it from several domains; scheduling
-    itself runs outside the lock).  Cached {!Schedule.t} values are
-    shared — callers must treat them as read-only, which every caller in
-    this repository already does. *)
+    A table is created per synthesis run ({!create} at flow start), so
+    entries — which retain whole specs, architectures and schedules —
+    can never leak across unrelated runs, and the hit/miss/prune
+    counters attribute to exactly one run instead of accumulating in
+    process-global atomics.  Each table is an LRU of 64 entries behind
+    its own mutex (the parallel evaluation path calls it from several
+    domains; scheduling itself runs outside the lock).  Cached
+    {!Schedule.t} values are shared — callers must treat them as
+    read-only, which every caller in this repository already does. *)
+
+type t
+(** One run's evaluator state: the memo store plus its counters. *)
+
+val create :
+  ?enabled:bool ->
+  ?trace:Crusade_util.Trace.t ->
+  ?metrics:Crusade_util.Trace.Metrics.t ->
+  unit ->
+  t
+(** A fresh, empty table.  [~enabled:false] makes {!run} bypass the
+    table entirely (no lookup, no counter traffic) — the synthesis
+    options use it to switch stage 2 off.  [?metrics] registers the
+    counters as ["eval.memo_hits"] / ["eval.memo_misses"] /
+    ["eval.pruned"] in the given per-run registry; [?trace] emits a
+    span around every underlying {!Schedule.run} / {!Schedule.estimate}
+    and an instant event per memo hit. *)
 
 val run :
-  ?memo:bool ->
+  t ->
   ?copy_cap:int ->
   Crusade_taskgraph.Spec.t ->
   Crusade_cluster.Clustering.t ->
   Crusade_alloc.Arch.t ->
   (Schedule.t, string) result
-(** Exactly {!Schedule.run}, but consulting the memo table first.
-    [~memo:false] bypasses the table entirely (no lookup, no counter
-    traffic) — the synthesis options use it to switch stage 2 off. *)
+(** Exactly {!Schedule.run}, but consulting the memo table first. *)
 
-val hits : unit -> int
-(** Process-wide memo hits (schedules served from the table). *)
+val estimate :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (int, string) result
+(** Exactly {!Schedule.estimate} (never memoized — the bound is cheaper
+    than a fingerprint), wrapped in a trace span when tracing is on. *)
 
-val misses : unit -> int
-(** Process-wide memo misses (schedules actually computed via {!run}). *)
+val hits : t -> int
+(** Memo hits of this run (schedules served from the table). *)
 
-val prunes : unit -> int
-(** Process-wide count of candidates rejected by the stage-1 bound
+val misses : t -> int
+(** Memo misses of this run (schedules actually computed via {!run}). *)
+
+val prunes : t -> int
+(** This run's count of candidates rejected by the stage-1 bound
     ({!Schedule.estimate}) without any full schedule; incremented by the
     evaluation loops via {!note_prune}. *)
 
-val note_prune : unit -> unit
+val note_prune : t -> unit
 
-val clear : unit -> unit
-(** Empties the table (tests; isolates benchmark configurations). *)
+val clear : t -> unit
+(** Empties the table, leaving the counters (tests; isolates benchmark
+    configurations sharing one table). *)

@@ -5,7 +5,8 @@ let lcm a b =
   else begin
     let g = gcd a b in
     let q = a / g in
-    if q > max_int / 2 / b then failwith "Arith.lcm: hyperperiod overflow"
+    (* Exact pre-multiplication check: [q * b] fits iff [q <= max_int / b]. *)
+    if q > max_int / b then failwith "Arith.lcm: hyperperiod overflow"
     else q * b
   end
 

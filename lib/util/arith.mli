@@ -4,8 +4,10 @@ val gcd : int -> int -> int
 (** Greatest common divisor of non-negative arguments. *)
 
 val lcm : int -> int -> int
-(** Least common multiple.  @raise Failure on overflow beyond
-    [max_int / 2] — hyperperiods that large indicate a broken period set. *)
+(** Least common multiple.  @raise Failure when the result would
+    overflow [max_int] — hyperperiods that large indicate a broken
+    period set.  The check is exact: every representable LCM is
+    returned, including [lcm 1 max_int]. *)
 
 val lcm_list : int list -> int
 (** LCM of a non-empty list of positive periods. *)

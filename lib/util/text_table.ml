@@ -32,6 +32,8 @@ let render ?(align = []) ~header rows =
 let fmt_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
 
 let fmt_dollars x =
+  if not (Float.is_finite x) then "n/a"
+  else
   let n = int_of_float (Float.round x) in
   let s = string_of_int (abs n) in
   let len = String.length s in

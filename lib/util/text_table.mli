@@ -18,4 +18,6 @@ val fmt_float : ?decimals:int -> float -> string
 (** Fixed-point formatting, default 1 decimal. *)
 
 val fmt_dollars : float -> string
-(** Thousands-separated integer dollars, e.g. [26,245]. *)
+(** Thousands-separated integer dollars, e.g. [26,245].  Non-finite
+    inputs (a division by zero upstream, say) render as ["n/a"] instead
+    of an unspecified integer. *)

@@ -1,0 +1,168 @@
+type arg = Str of string | Num of int
+
+type phase = B | E | I | C
+
+type event = {
+  ev_ph : phase;
+  ev_name : string;
+  ev_ts : float;  (* microseconds since sink creation *)
+  ev_tid : int;  (* emitting domain id *)
+  ev_args : (string * arg) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  epoch : float;
+  mutable events : event list;  (* newest first *)
+  mutable n_events : int;
+  mutable last_ts : float;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    epoch = Unix.gettimeofday ();
+    events = [];
+    n_events = 0;
+    last_ts = 0.0;
+  }
+
+let emit t ph name args =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock t.lock;
+  (* Wall clocks may step backwards (NTP); clamping under the lock keeps
+     the exported stream monotonic, which trace viewers require. *)
+  let ts = (Unix.gettimeofday () -. t.epoch) *. 1e6 in
+  let ts = if ts < t.last_ts then t.last_ts else ts in
+  t.last_ts <- ts;
+  t.events <-
+    { ev_ph = ph; ev_name = name; ev_ts = ts; ev_tid = tid; ev_args = args }
+    :: t.events;
+  t.n_events <- t.n_events + 1;
+  Mutex.unlock t.lock
+
+let span t ?(args = []) name f =
+  match t with
+  | None -> f ()
+  | Some t ->
+      emit t B name args;
+      Fun.protect ~finally:(fun () -> emit t E name []) f
+
+let instant t ?(args = []) name =
+  match t with None -> () | Some t -> emit t I name args
+
+let counter t name values =
+  match t with
+  | None -> ()
+  | Some t -> emit t C name (List.map (fun (k, v) -> (k, Num v)) values)
+
+let n_events t = t.n_events
+
+(* --- Chrome trace_event export --- *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_event b ev =
+  let ph =
+    match ev.ev_ph with B -> "B" | E -> "E" | I -> "i" | C -> "C"
+  in
+  Buffer.add_string b "{\"name\":\"";
+  add_escaped b ev.ev_name;
+  Buffer.add_string b
+    (Printf.sprintf "\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d" ph ev.ev_ts
+       ev.ev_tid);
+  (match ev.ev_ph with I -> Buffer.add_string b ",\"s\":\"t\"" | B | E | C -> ());
+  if ev.ev_args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        add_escaped b k;
+        Buffer.add_string b "\":";
+        match v with
+        | Num n -> Buffer.add_string b (string_of_int n)
+        | Str s ->
+            Buffer.add_char b '"';
+            add_escaped b s;
+            Buffer.add_char b '"')
+      ev.ev_args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}'
+
+let to_json t =
+  Mutex.lock t.lock;
+  let events = List.rev t.events in
+  Mutex.unlock t.lock;
+  let b = Buffer.create (4096 + (128 * List.length events)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n" else Buffer.add_char b '\n';
+      add_event b ev)
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_json t))
+
+(* --- per-run metrics --- *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+  let incr = Atomic.incr
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let get = Atomic.get
+end
+
+module Metrics = struct
+  type t = { mlock : Mutex.t; table : (string, Counter.t) Hashtbl.t }
+
+  let create () = { mlock = Mutex.create (); table = Hashtbl.create 16 }
+
+  let counter m name =
+    Mutex.lock m.mlock;
+    let c =
+      match Hashtbl.find_opt m.table name with
+      | Some c -> c
+      | None ->
+          let c = Counter.make () in
+          Hashtbl.add m.table name c;
+          c
+    in
+    Mutex.unlock m.mlock;
+    c
+
+  let get m name =
+    Mutex.lock m.mlock;
+    let v =
+      match Hashtbl.find_opt m.table name with
+      | Some c -> Counter.get c
+      | None -> 0
+    in
+    Mutex.unlock m.mlock;
+    v
+
+  let to_alist m =
+    Mutex.lock m.mlock;
+    let all = Hashtbl.fold (fun k c acc -> (k, Counter.get c) :: acc) m.table [] in
+    Mutex.unlock m.mlock;
+    List.sort compare all
+end

@@ -1,0 +1,77 @@
+(** Phase-level tracing and per-run metrics for the synthesis flow.
+
+    A {!t} is a thread-safe event sink: spans (begin/end pairs) and
+    counter samples carry the emitting domain id and a monotonic
+    timestamp in microseconds since the sink was created, and export as
+    Chrome [trace_event] JSON loadable in [chrome://tracing] / Perfetto.
+
+    Every emitting entry point takes a [t option]; [None] is the no-op
+    fast path — a single match, no clock read, no allocation beyond the
+    already-built closure — so disabled tracing stays within benchmark
+    noise and cannot perturb synthesis results (tracing never feeds back
+    into any decision).
+
+    {!Counter} and {!Metrics} are the per-run metrics registry: named
+    atomic counters created per synthesis run instead of process-global
+    atomics, so concurrent or back-to-back runs report independent
+    statistics. *)
+
+type arg = Str of string | Num of int
+(** Span/instant argument values ([args] payload in the JSON). *)
+
+type t
+(** A mutable trace sink.  All operations are thread-safe; events from
+    concurrent domains are serialized under the sink's lock and
+    timestamps are clamped monotonic (wall clocks may step). *)
+
+val create : unit -> t
+
+val span : t option -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] emits a begin event, runs [f], and emits the
+    matching end event on the same domain — also when [f] raises, so
+    per-domain begin/end pairs always balance.  [span None name f] is
+    exactly [f ()]. *)
+
+val instant : t option -> ?args:(string * arg) list -> string -> unit
+(** A zero-duration event (Chrome phase ["i"]). *)
+
+val counter : t option -> string -> (string * int) list -> unit
+(** [counter t name values] emits a Chrome counter sample (phase ["C"]):
+    one track per [name], one series per value key. *)
+
+val n_events : t -> int
+
+val to_json : t -> string
+(** The whole sink as a Chrome [trace_event] JSON object
+    ([{"traceEvents": [...], ...}]), events in emission order. *)
+
+val write_file : t -> string -> unit
+(** Writes {!to_json} to a file (truncating). *)
+
+(** A single thread-safe integer counter. *)
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+(** A per-run registry of named counters.  Creation is find-or-create
+    under a lock; the returned {!Counter.t} is then lock-free. *)
+module Metrics : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** The counter registered under [name], created at zero on first
+      use.  Repeated calls return the same counter. *)
+
+  val get : t -> string -> int
+  (** Current value of [name], 0 when never created. *)
+
+  val to_alist : t -> (string * int) list
+  (** Every registered counter with its current value, sorted by name. *)
+end

@@ -71,3 +71,210 @@ let synthesize ?(lib = small_lib) ?(reconfig = true) spec =
   match Crusade.Crusade_core.synthesize ~options spec lib with
   | Ok r -> r
   | Error msg -> Alcotest.failf "synthesis failed: %s" msg
+
+(* --- JSON validation for trace exports ---
+
+   The build has no JSON library, so trace tests carry a minimal strict
+   recursive-descent parser: enough to certify that an exported Chrome
+   trace is well-formed JSON and that its span events balance. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+module Json = struct
+  type value =
+    | Null
+    | Bool of bool
+    | Number of float
+    | String of string
+    | Array of value list
+    | Obj of (string * value) list
+
+  exception Bad of string
+
+  let parse (s : string) =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' | '\\' | '/' ->
+                     Buffer.add_char buf s.[!pos];
+                     advance ()
+                 | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                     | Some _ -> ()
+                     | None -> fail "bad \\u escape");
+                     pos := !pos + 5
+                 | c -> fail (Printf.sprintf "bad escape %C" c));
+              go ()
+          | c when Char.code c < 0x20 -> fail "raw control character in string"
+          | c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Array []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Array (elements [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Number (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input after value";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  (* Chrome-trace well-formedness: every "B" on a tid is closed by a
+     matching "E" (strict LIFO per tid), timestamps never decrease, and
+     only the four phases the tracer emits appear. *)
+  let spans_balanced json =
+    match parse json with
+    | Error _ -> false
+    | Ok v -> (
+        match member "traceEvents" v with
+        | Some (Array events) ->
+            let stacks : (float, string list) Hashtbl.t = Hashtbl.create 8 in
+            let ok = ref true in
+            let last_ts = ref neg_infinity in
+            List.iter
+              (fun ev ->
+                let str k =
+                  match member k ev with Some (String x) -> Some x | _ -> None
+                in
+                let num k =
+                  match member k ev with Some (Number x) -> Some x | _ -> None
+                in
+                (match num "ts" with
+                | Some ts ->
+                    if ts < !last_ts then ok := false;
+                    last_ts := ts
+                | None -> ok := false);
+                match (str "ph", str "name", num "tid") with
+                | Some "B", Some name, Some tid ->
+                    let stack =
+                      Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+                    in
+                    Hashtbl.replace stacks tid (name :: stack)
+                | Some "E", _, Some tid -> (
+                    match Hashtbl.find_opt stacks tid with
+                    | Some (_ :: rest) -> Hashtbl.replace stacks tid rest
+                    | Some [] | None -> ok := false)
+                | Some ("i" | "C"), Some _, Some _ -> ()
+                | _ -> ok := false)
+              events;
+            Hashtbl.iter (fun _ stack -> if stack <> [] then ok := false) stacks;
+            !ok
+        | _ -> false)
+end

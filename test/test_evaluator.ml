@@ -289,16 +289,85 @@ let memo_hits_observed () =
   let r = synthesize_with ~prune:true ~memo:true spec Helpers.small_lib in
   check Alcotest.bool "memo was consulted" true
     (r.C.eval_stats.C.memo_hits + r.C.eval_stats.C.memo_misses > 0);
-  let hits0 = Memo.hits () in
+  let memo = Memo.create () in
   (match
-     ( Memo.run spec r.C.clustering r.C.arch,
-       Memo.run spec r.C.clustering r.C.arch )
+     ( Memo.run memo spec r.C.clustering r.C.arch,
+       Memo.run memo spec r.C.clustering r.C.arch )
    with
   | Ok a, Ok b ->
       check Alcotest.int "identical schedule served" a.Schedule.total_tardiness
         b.Schedule.total_tardiness
   | _ -> Alcotest.fail "final architecture must schedule");
-  check Alcotest.bool "repeat run hits the table" true (Memo.hits () > hits0)
+  check Alcotest.int "first consult missed" 1 (Memo.misses memo);
+  check Alcotest.int "repeat consult hit" 1 (Memo.hits memo);
+  (* [clear] empties the table but keeps the counters. *)
+  Memo.clear memo;
+  (match Memo.run memo spec r.C.clustering r.C.arch with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "cleared table misses again" 2 (Memo.misses memo);
+  check Alcotest.int "counters survive clear" 1 (Memo.hits memo)
+
+(* The per-run scoping contract: every synthesis owns its memo table and
+   counters, so identical back-to-back runs report identical, exact
+   statistics — with the old process-global table the second run's
+   numbers were polluted by leftover entries from the first. *)
+let eval_stats_per_run () =
+  let spec = Examples.figure4 Helpers.small_lib in
+  let stats_of () =
+    let r = synthesize_with ~prune:true ~memo:true spec Helpers.small_lib in
+    (result_signature r, r.C.eval_stats)
+  in
+  let sig1, s1 = stats_of () in
+  let sig2, s2 = stats_of () in
+  check Alcotest.bool "identical runs synthesize identically" true (sig1 = sig2);
+  check Alcotest.bool "identical runs report identical eval stats" true (s1 = s2);
+  check Alcotest.bool "counters did not accumulate across runs" true
+    (s2.C.memo_misses > 0 && s2.C.memo_misses = s1.C.memo_misses);
+  (* A fresh table can never serve a hit built by another run. *)
+  let r = synthesize_with ~prune:true ~memo:true spec Helpers.small_lib in
+  let fresh = Memo.create () in
+  (match Memo.run fresh spec r.C.clustering r.C.arch with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "no cross-run hit on a fresh table" 0 (Memo.hits fresh)
+
+(* Tracing covers every phase of the flow and never perturbs the
+   synthesis result. *)
+let trace_covers_phases () =
+  let module Trace = Crusade_util.Trace in
+  let spec = Examples.figure4 Helpers.small_lib in
+  let trace = Trace.create () in
+  let options = { C.default_options with C.trace = Some trace } in
+  match C.synthesize ~options spec Helpers.small_lib with
+  | Error msg -> Alcotest.failf "traced synthesis failed: %s" msg
+  | Ok r ->
+      let plain = synthesize_with ~prune:true ~memo:true spec Helpers.small_lib in
+      check Alcotest.bool "tracing does not perturb synthesis" true
+        (result_signature r = result_signature plain);
+      let json = Trace.to_json trace in
+      (match Helpers.Json.parse json with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg);
+      check Alcotest.bool "spans balance per thread" true
+        (Helpers.Json.spans_balanced json);
+      List.iter
+        (fun phase ->
+          check Alcotest.bool (Printf.sprintf "phase %S traced" phase) true
+            (Helpers.contains json (Printf.sprintf "%S" phase)))
+        [
+          "synthesize";
+          "preprocess";
+          "clustering";
+          "allocation";
+          "alloc.cluster";
+          "alloc.candidate";
+          "repair";
+          "merge";
+          "interface";
+          "schedule.run";
+          "eval_stats";
+        ]
 
 let suite =
   [
@@ -313,4 +382,6 @@ let suite =
     Alcotest.test_case "determinism: figure4" `Quick determinism_figure4;
     Alcotest.test_case "determinism: generated workloads" `Slow determinism_generated;
     Alcotest.test_case "memoization observable" `Quick memo_hits_observed;
+    Alcotest.test_case "eval stats scoped per run" `Quick eval_stats_per_run;
+    Alcotest.test_case "trace covers every phase" `Quick trace_covers_phases;
   ]

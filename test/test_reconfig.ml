@@ -7,6 +7,7 @@ module Schedule = Crusade_sched.Schedule
 module Compat = Crusade_reconfig.Compat
 module Interface = Crusade_reconfig.Interface
 module Merge = Crusade_reconfig.Merge
+module Memo = Crusade_sched.Memo
 module Vec = Crusade_util.Vec
 
 let check = Alcotest.check
@@ -135,7 +136,7 @@ let interface_synthesize_prefers_cheap () =
 let merge_two_compatible_devices () =
   let spec, clustering, arch = two_device_arch ~overlap:false () in
   check Alcotest.int "two devices before" 2 (Arch.n_pes arch);
-  match Merge.optimize spec clustering arch with
+  match Merge.optimize ~memo:(Memo.create ()) spec clustering arch with
   | Error m -> Alcotest.fail m
   | Ok (merged, sched, stats) ->
       check Alcotest.int "one device after" 1 (Arch.n_pes merged);
@@ -150,7 +151,7 @@ let merge_two_compatible_devices () =
 
 let merge_rejects_overlapping () =
   let spec, clustering, arch = two_device_arch ~overlap:true () in
-  match Merge.optimize spec clustering arch with
+  match Merge.optimize ~memo:(Memo.create ()) spec clustering arch with
   | Error m -> Alcotest.fail m
   | Ok (merged, _, _) ->
       check Alcotest.int "no merge possible" 2 (Arch.n_pes merged)
@@ -162,7 +163,7 @@ let merge_potential_counts () =
 let merge_input_not_mutated () =
   let spec, clustering, arch = two_device_arch ~overlap:false () in
   let before = Arch.cost arch in
-  (match Merge.optimize spec clustering arch with
+  (match Merge.optimize ~memo:(Memo.create ()) spec clustering arch with
   | Ok _ -> ()
   | Error m -> Alcotest.fail m);
   check (Alcotest.float 1e-9) "input arch unchanged" before (Arch.cost arch)

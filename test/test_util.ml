@@ -117,6 +117,25 @@ let arith_lcm_overflow () =
     (Failure "Arith.lcm: hyperperiod overflow") (fun () ->
       ignore (Arith.lcm (max_int - 1) (max_int - 2)))
 
+(* The overflow guard is exact: products that fit in [max_int] are
+   representable — the old [max_int / 2 / b] check rejected everything
+   above [max_int / 2] and, for [b > max_int / 2], truncated the divisor
+   to 0 and rejected even [lcm 1 b]. *)
+let arith_lcm_boundaries () =
+  check Alcotest.int "lcm 1 max_int" max_int (Arith.lcm 1 max_int);
+  check Alcotest.int "lcm max_int 1" max_int (Arith.lcm max_int 1);
+  check Alcotest.int "lcm max_int max_int" max_int (Arith.lcm max_int max_int);
+  (* A large harmonic hyperperiod in (max_int/2, max_int]. *)
+  check Alcotest.int "hyperperiod above max_int/2"
+    3_000_000_000_000_000_003
+    (Arith.lcm 3 1_000_000_000_000_000_001);
+  check Alcotest.int "lcm_list harmonic" 4_400_000_000_000_000_000
+    (Arith.lcm_list [ 1_100_000_000_000_000_000; 4_400_000_000_000_000_000 ]);
+  Alcotest.check_raises "unrepresentable product still overflows"
+    (Failure "Arith.lcm: hyperperiod overflow") (fun () ->
+      (* coprime (both odd, differ by 4): product ~9e18 > max_int *)
+      ignore (Arith.lcm 3_000_000_001 3_000_000_005))
+
 let arith_lcm_divisibility =
   QCheck.Test.make ~name:"lcm divisible by both" ~count:300
     QCheck.(pair (int_range 1 10000) (int_range 1 10000))
@@ -188,6 +207,59 @@ let intervals_add_union () =
   check Alcotest.bool "overlaps_interval" true (Intervals.overlaps_interval u 5 9);
   check Alcotest.bool "overlaps_interval disjoint" false
     (Intervals.overlaps_interval u 6 9)
+
+(* A sorted-disjoint normal form: every interval non-empty, strictly
+   ordered, and non-touching (touching intervals must have merged). *)
+let rec sorted_disjoint = function
+  | [] | [ _ ] -> ( function _ -> true) []
+  | (s1, e1) :: ((s2, _) :: _ as rest) ->
+      s1 < e1 && e1 < s2 && sorted_disjoint rest
+
+let sorted_disjoint = function
+  | [] -> true
+  | [ (s, e) ] -> s < e
+  | l -> sorted_disjoint l
+
+let interval_pairs_arb =
+  QCheck.(small_list (pair (int_range 0 60) (int_range 0 60)))
+
+let build_intervals pairs =
+  Intervals.of_list (List.map (fun (a, b) -> (min a b, max a b)) pairs)
+
+let intervals_normalize_idempotent =
+  QCheck.Test.make ~name:"Intervals normal form is a fixpoint" ~count:300
+    interval_pairs_arb
+    (fun pairs ->
+      let t = build_intervals pairs in
+      let l = Intervals.to_list t in
+      sorted_disjoint l && Intervals.to_list (Intervals.of_list l) = l)
+
+let intervals_overlaps_vs_naive =
+  (* Reference implementation: pairwise half-open intersection over the
+     raw, un-normalized input. *)
+  let naive xs ys =
+    List.exists
+      (fun (a1, a2) ->
+        List.exists (fun (b1, b2) -> max a1 b1 < min a2 b2) ys)
+      xs
+  in
+  QCheck.Test.make ~name:"Intervals.overlaps agrees with pairwise scan" ~count:500
+    (QCheck.pair interval_pairs_arb interval_pairs_arb)
+    (fun (xs, ys) ->
+      let norm pairs = List.map (fun (a, b) -> (min a b, max a b)) pairs in
+      let xs = norm xs and ys = norm ys in
+      Intervals.overlaps (Intervals.of_list xs) (Intervals.of_list ys)
+      = naive xs ys)
+
+let intervals_union_add_invariant =
+  QCheck.Test.make ~name:"union/add preserve the sorted-disjoint invariant"
+    ~count:300
+    (QCheck.triple interval_pairs_arb interval_pairs_arb
+       (QCheck.pair (QCheck.int_range 0 60) (QCheck.int_range 0 60)))
+    (fun (xs, ys, (a, b)) ->
+      let t = Intervals.union (build_intervals xs) (build_intervals ys) in
+      let u = Intervals.add t (min a b) (max a b) in
+      sorted_disjoint (Intervals.to_list t) && sorted_disjoint (Intervals.to_list u))
 
 (* --- Disjoint_set --- *)
 
@@ -262,6 +334,12 @@ let fmt_dollars () =
   check Alcotest.string "small" "42" (Text_table.fmt_dollars 42.4);
   check Alcotest.string "million" "1,234,567" (Text_table.fmt_dollars 1234567.0)
 
+let fmt_dollars_non_finite () =
+  check Alcotest.string "nan" "n/a" (Text_table.fmt_dollars Float.nan);
+  check Alcotest.string "infinity" "n/a" (Text_table.fmt_dollars Float.infinity);
+  check Alcotest.string "neg infinity" "n/a"
+    (Text_table.fmt_dollars Float.neg_infinity)
+
 let stats_basic () =
   check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   check (Alcotest.float 1e-9) "mean empty" 0.0 (Stats.mean []);
@@ -276,6 +354,84 @@ let table_wide_row_raises () =
     (fun () ->
       ignore
         (Text_table.render ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2"; "3" ] ]))
+
+(* --- Trace --- *)
+
+module Trace = Crusade_util.Trace
+
+let trace_json_valid () =
+  let t = Trace.create () in
+  let v =
+    Trace.span (Some t)
+      ~args:[ ("spec", Trace.Str "a\"b\\c\n") ]
+      "outer"
+      (fun () ->
+        Trace.instant (Some t) "tick";
+        Trace.counter (Some t) "stats" [ ("hits", 3); ("misses", 4) ];
+        Trace.span (Some t) ~args:[ ("index", Trace.Num 7) ] "inner" (fun () -> 42))
+  in
+  check Alcotest.int "span returns the body's value" 42 v;
+  check Alcotest.int "six events" 6 (Trace.n_events t);
+  let json = Trace.to_json t in
+  (match Helpers.Json.parse json with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "invalid JSON: %s" msg);
+  check Alcotest.bool "balanced spans" true (Helpers.Json.spans_balanced json)
+
+let trace_span_balances_on_raise () =
+  let t = Trace.create () in
+  (try Trace.span (Some t) "boom" (fun () -> failwith "x") with Failure _ -> ());
+  check Alcotest.bool "E emitted despite the raise" true
+    (Helpers.Json.spans_balanced (Trace.to_json t))
+
+let trace_none_is_noop () =
+  check Alcotest.int "span still runs the body" 9
+    (Trace.span None "unused" (fun () -> 9));
+  Trace.instant None "unused";
+  Trace.counter None "unused" [ ("x", 1) ]
+
+let trace_concurrent_emission () =
+  let t = Trace.create () in
+  let pool = Pool.create () in
+  ignore
+    (Pool.map_n ~jobs:4 pool
+       (fun i ->
+         Trace.span (Some t) ~args:[ ("i", Trace.Num i) ] "work" (fun () -> i))
+       64);
+  Pool.shutdown pool;
+  check Alcotest.int "all events captured" (2 * 64) (Trace.n_events t);
+  check Alcotest.bool "balanced across domains" true
+    (Helpers.Json.spans_balanced (Trace.to_json t))
+
+let trace_write_file () =
+  let path = Filename.temp_file "crusade_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = Trace.create () in
+      Trace.span (Some t) "phase" (fun () -> ());
+      Trace.write_file t path;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Helpers.Json.parse s with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "file not valid JSON: %s" msg)
+
+let metrics_registry () =
+  let m = Trace.Metrics.create () in
+  let c = Trace.Metrics.counter m "hits" in
+  Trace.Counter.incr c;
+  Trace.Counter.add c 4;
+  check Alcotest.int "counter reads back" 5 (Trace.Counter.get c);
+  check Alcotest.int "registry lookup" 5 (Trace.Metrics.get m "hits");
+  check Alcotest.int "unknown name is 0" 0 (Trace.Metrics.get m "nope");
+  check Alcotest.bool "same name, same counter" true
+    (Trace.Metrics.counter m "hits" == c);
+  check
+    Alcotest.(list (pair string int))
+    "alist" [ ("hits", 5) ]
+    (Trace.Metrics.to_alist m)
 
 (* --- Pool --- *)
 
@@ -345,6 +501,7 @@ let suite =
     qcheck pqueue_sorted_drain;
     Alcotest.test_case "gcd/lcm" `Quick arith_gcd_lcm;
     Alcotest.test_case "lcm overflow" `Quick arith_lcm_overflow;
+    Alcotest.test_case "lcm boundaries" `Quick arith_lcm_boundaries;
     Alcotest.test_case "ceil_div" `Quick arith_ceil_div;
     Alcotest.test_case "clamp" `Quick arith_clamp;
     qcheck arith_lcm_divisibility;
@@ -356,6 +513,9 @@ let suite =
     Alcotest.test_case "intervals span" `Quick intervals_span;
     Alcotest.test_case "intervals add/union" `Quick intervals_add_union;
     qcheck intervals_overlap_symmetric;
+    qcheck intervals_normalize_idempotent;
+    qcheck intervals_overlaps_vs_naive;
+    qcheck intervals_union_add_invariant;
     Alcotest.test_case "disjoint set basics" `Quick dsu_basic;
     qcheck dsu_transitive;
     Alcotest.test_case "vec push/get" `Quick vec_push_get;
@@ -365,7 +525,14 @@ let suite =
     Alcotest.test_case "table render" `Quick table_render;
     Alcotest.test_case "table wide row raises" `Quick table_wide_row_raises;
     Alcotest.test_case "fmt dollars" `Quick fmt_dollars;
+    Alcotest.test_case "fmt dollars non-finite" `Quick fmt_dollars_non_finite;
     Alcotest.test_case "stats basics" `Quick stats_basic;
+    Alcotest.test_case "trace json valid" `Quick trace_json_valid;
+    Alcotest.test_case "trace balances on raise" `Quick trace_span_balances_on_raise;
+    Alcotest.test_case "trace None is a no-op" `Quick trace_none_is_noop;
+    Alcotest.test_case "trace concurrent emission" `Quick trace_concurrent_emission;
+    Alcotest.test_case "trace write file" `Quick trace_write_file;
+    Alcotest.test_case "metrics registry" `Quick metrics_registry;
     Alcotest.test_case "pool map ordering" `Quick pool_map_ordering;
     Alcotest.test_case "pool exception propagation" `Quick pool_exception_propagation;
     Alcotest.test_case "pool find first" `Quick pool_find_first;
