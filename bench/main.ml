@@ -24,6 +24,12 @@
 
    --only NAME[,NAME] restricts table2/table3 to the named examples.
 
+   --audit runs the first-principles auditor (Crusade_core.audit /
+   Ft.audit) on every synthesis result and records its seconds and
+   violation count per entry in BENCH.json.  The audit is a single pass
+   over the finished result, after the timed synthesis — the synthesis
+   columns are identical with or without it.
+
    Alongside the text tables, every synthesis run is appended to a
    machine-readable BENCH.json (per-workload wall/cpu seconds, cost,
    prune/memo-hit counters, jobs); --bench-out PATH overrides the
@@ -127,11 +133,27 @@ type bench_record = {
   br_cost : float;
   br_met : bool;
   br_stats : C.eval_stats;
+  br_audit : (float * int) option;  (* audit seconds, violations found *)
 }
 
 let bench_records : bench_record list ref = ref []
 
-let record_run ~table ~example ~variant ~jobs ~cost (r : C.result) =
+(* --audit: run the first-principles auditor on every synthesis result.
+   The audit is a single pass over the *finished* architecture and
+   schedule, so its seconds appear as a separate JSON field and the
+   synthesis wall/cpu columns are untouched — the flag demonstrably
+   costs nothing on the hot path. *)
+let audit_flag = ref false
+
+let timed_audit violations_of =
+  if not !audit_flag then None
+  else begin
+    let t0 = Sys.time () in
+    let n = List.length (violations_of ()) in
+    Some (Sys.time () -. t0, n)
+  end
+
+let record_run ~table ~example ~variant ~jobs ~cost ?audit (r : C.result) =
   bench_records :=
     {
       br_table = table;
@@ -143,6 +165,7 @@ let record_run ~table ~example ~variant ~jobs ~cost (r : C.result) =
       br_cost = cost;
       br_met = r.C.deadlines_met;
       br_stats = r.C.eval_stats;
+      br_audit = audit;
     }
     :: !bench_records
 
@@ -158,15 +181,22 @@ let write_bench_json ~prune ~memo path =
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_char b ',';
+      let audit_fields =
+        match e.br_audit with
+        | None -> ""
+        | Some (seconds, violations) ->
+            Printf.sprintf ", \"audit_seconds\": %.6f, \"audit_violations\": %d"
+              seconds violations
+      in
       Buffer.add_string b
         (Printf.sprintf
            "\n    {\"table\": %S, \"example\": %S, \"variant\": %S, \"jobs\": %d, \
             \"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, \"cost\": %.3f, \
             \"deadlines_met\": %b, \"pruned\": %d, \"memo_hits\": %d, \
-            \"memo_misses\": %d, \"rollbacks\": %d}"
+            \"memo_misses\": %d, \"rollbacks\": %d%s}"
            e.br_table e.br_example e.br_variant e.br_jobs e.br_wall e.br_cpu
            e.br_cost e.br_met e.br_stats.C.pruned e.br_stats.C.memo_hits
-           e.br_stats.C.memo_misses e.br_stats.C.rollbacks))
+           e.br_stats.C.memo_misses e.br_stats.C.rollbacks audit_fields))
     entries;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.output_buffer oc b;
@@ -188,7 +218,9 @@ let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
   | Ok r ->
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
-        ~jobs ~cost:r.C.cost r;
+        ~jobs ~cost:r.C.cost
+        ?audit:(timed_audit (fun () -> C.audit r))
+        r;
       (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
@@ -207,7 +239,9 @@ let ft_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
   | Ok r ->
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
-        ~jobs ~cost:r.F.total_cost r.F.core;
+        ~jobs ~cost:r.F.total_cost
+        ?audit:(timed_audit (fun () -> F.audit r))
+        r.F.core;
       ( r.F.n_pes_with_spares,
         r.F.core.C.n_links,
         r.F.core.C.cpu_seconds,
@@ -307,7 +341,9 @@ let figures ~prune ~memo () =
   (match C.synthesize ~options spec4 lib with
   | Ok r ->
       record_run ~table:"figures" ~example:"figure4" ~variant:"reconfig" ~jobs:1
-        ~cost:r.C.cost r;
+        ~cost:r.C.cost
+        ?audit:(timed_audit (fun () -> C.audit r))
+        r;
       Format.printf "%a@.@." C.pp_report r
   | Error msg -> Printf.printf "  FAILED: %s\n" msg)
 
@@ -495,6 +531,7 @@ let () =
           picked;
         picked
   in
+  audit_flag := List.mem "--audit" args;
   let bench_out = string_flag "--bench-out" "BENCH.json" in
   let trace_out =
     match string_flag "--trace" "" with "" -> None | path -> Some path

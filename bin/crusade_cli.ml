@@ -95,6 +95,33 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let audit_arg =
+  let doc =
+    "After synthesis, re-derive every architecture and schedule invariant \
+     from first principles (capacities, occupancy, connectivity, exclusion, \
+     mode compatibility, cost and count accounting, timeline validity) and \
+     exit with code 3 if any is violated.  Runs once on the finished result, \
+     off the synthesis hot path."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+(* Shared by synth/ft: print violations (if any) and fold the audit
+   verdict into the exit code — violations trump a deadline miss. *)
+let audit_exit ~audit violations base_exit =
+  if not audit then base_exit
+  else begin
+    match violations with
+    | [] ->
+        print_endline "audit: all invariants hold";
+        base_exit
+    | vs ->
+        List.iter
+          (fun v -> Format.printf "%a@." Crusade_alloc.Audit.pp_violation v)
+          vs;
+        Printf.printf "audit: %d violation(s)\n" (List.length vs);
+        3
+  end
+
 let options_with ~no_reconfig ~copy_cap ~eval_window ~trace =
   let opts =
     { C.default_options with dynamic_reconfiguration = not no_reconfig }
@@ -120,7 +147,7 @@ let with_trace trace_file k =
       | _ -> ())
     (fun () -> k trace)
 
-let synth_run name scale no_reconfig copy_cap eval_window seed trace_file =
+let synth_run name scale no_reconfig copy_cap eval_window seed trace_file audit =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -131,12 +158,13 @@ let synth_run name scale no_reconfig copy_cap eval_window seed trace_file =
           match C.synthesize ~options spec lib with
           | Ok r ->
               Format.printf "%a@." C.pp_report r;
-              if r.C.deadlines_met then 0 else 2
+              let base = if r.C.deadlines_met then 0 else 2 in
+              audit_exit ~audit (if audit then C.audit r else []) base
           | Error msg ->
               prerr_endline msg;
               1)
 
-let ft_run name scale no_reconfig copy_cap eval_window seed trace_file =
+let ft_run name scale no_reconfig copy_cap eval_window seed trace_file audit =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -151,7 +179,8 @@ let ft_run name scale no_reconfig copy_cap eval_window seed trace_file =
             (Crusade_util.Text_table.fmt_dollars
                r.F.provisioning.Crusade_fault.Dependability.spare_cost)
             (Crusade_util.Text_table.fmt_dollars r.F.total_cost);
-          if r.F.core.C.deadlines_met then 0 else 2
+          let base = if r.F.core.C.deadlines_met then 0 else 2 in
+          audit_exit ~audit (if audit then F.audit r else []) base
       | Error msg ->
           prerr_endline msg;
           1)
@@ -198,14 +227,14 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const synth_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg $ trace_arg)
+      $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
     Term.(
       const ft_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg $ trace_arg)
+      $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

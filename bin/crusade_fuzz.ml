@@ -1,0 +1,485 @@
+(* crusade_fuzz — deterministic fuzz / differential harness.
+
+   Seeds drive [Comm_system.generate] parameters; every seed is
+   synthesized under the full evaluator-configuration matrix
+   ({prune,memo} on/off x jobs 1/N x dynamic reconfiguration on/off) and
+   the harness asserts that
+
+   (a) within each reconfiguration flavor, every evaluator configuration
+       produces a bit-identical result (cost, counts, verdict and the
+       full schedule fingerprint);
+   (b) the reference result passes the end-to-end audit
+       ([Crusade_core.audit] / [Ft.audit]), which includes the
+       independent schedule validation;
+   (c) on any failure, a minimized repro (seed + generator parameters +
+       configuration + findings) is written as JSON and the exit status
+       is nonzero.
+
+   [--selftest] turns the harness on itself: it corrupts an accepted
+   architecture with every [Audit.Mutate] kind (plus schedule-level
+   tamperings) and asserts the auditor flags each one — so the oracle is
+   tested, not trusted. *)
+
+module Core = Crusade.Crusade_core
+module Ft = Crusade_fault.Ft
+module Audit = Crusade_alloc.Audit
+module Arch = Crusade_alloc.Arch
+module Compat = Crusade_reconfig.Compat
+module Schedule = Crusade_sched.Schedule
+module Clustering = Crusade_cluster.Clustering
+module Spec = Crusade_taskgraph.Spec
+module W = Crusade_workloads.Comm_system
+module Rng = Crusade_util.Rng
+module Pool = Crusade_util.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+
+type args = {
+  mutable seed_lo : int;
+  mutable seed_hi : int;
+  mutable ft_every : int;
+  mutable jobs_max : int;
+  mutable out : string;
+  mutable selftest : bool;
+}
+
+let usage () =
+  prerr_endline
+    "usage: crusade_fuzz [--seeds A..B] [--ft-every N] [--jobs N] [--out FILE] \
+     [--selftest]";
+  exit 2
+
+let parse_args () =
+  let a =
+    {
+      seed_lo = 1;
+      seed_hi = 50;
+      ft_every = 10;
+      jobs_max = max 2 (Pool.default_jobs ());
+      out = "fuzz-repro.json";
+      selftest = false;
+    }
+  in
+  let rec loop = function
+    | [] -> ()
+    | "--seeds" :: range :: rest -> (
+        match String.index_opt range '.' with
+        | Some i
+          when i + 1 < String.length range
+               && range.[i + 1] = '.'
+               && i > 0
+               && i + 2 < String.length range -> (
+            match
+              ( int_of_string_opt (String.sub range 0 i),
+                int_of_string_opt
+                  (String.sub range (i + 2) (String.length range - i - 2)) )
+            with
+            | Some lo, Some hi when lo <= hi ->
+                a.seed_lo <- lo;
+                a.seed_hi <- hi;
+                loop rest
+            | _ -> usage ())
+        | _ -> usage ())
+    | "--ft-every" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 ->
+            a.ft_every <- n;
+            loop rest
+        | _ -> usage ())
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n > 1 ->
+            a.jobs_max <- n;
+            loop rest
+        | _ -> usage ())
+    | "--out" :: file :: rest ->
+        a.out <- file;
+        loop rest
+    | "--selftest" :: rest ->
+        a.selftest <- true;
+        loop rest
+    | _ -> usage ()
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Minimized JSON repros                                               *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_list items = "[" ^ String.concat ", " items ^ "]"
+
+let json_params (p : W.params) =
+  Printf.sprintf
+    "{\"name\": %s, \"n_tasks\": %d, \"seed\": %d, \"hw_fraction\": %.17g, \
+     \"family_slots\": %d, \"asic_fraction\": %.17g, \"cpld_fraction\": %.17g}"
+    (json_string p.W.name) p.W.n_tasks p.W.seed p.W.hw_fraction p.W.family_slots
+    p.W.asic_fraction p.W.cpld_fraction
+
+type config = { reconfig : bool; prune : bool; memo : bool; jobs : int }
+
+let json_config c =
+  Printf.sprintf "{\"reconfig\": %b, \"prune\": %b, \"memo\": %b, \"jobs\": %d}"
+    c.reconfig c.prune c.memo c.jobs
+
+let describe_config c =
+  Printf.sprintf "reconfig=%b prune=%b memo=%b jobs=%d" c.reconfig c.prune c.memo
+    c.jobs
+
+(* One failure is enough: the repro is minimized by construction (a
+   single seed, its generator parameters and the offending
+   configuration reproduce it deterministically). *)
+let fail ~out ~kind ?seed ?params ?config details =
+  let fields =
+    [ ("schema", json_string "crusade-fuzz-repro-1"); ("kind", json_string kind) ]
+    @ (match seed with Some s -> [ ("seed", string_of_int s) ] | None -> [])
+    @ (match params with Some p -> [ ("params", json_params p) ] | None -> [])
+    @ (match config with Some c -> [ ("config", json_config c) ] | None -> [])
+    @ [ ("details", json_list (List.map json_string details)) ]
+  in
+  let json =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> json_string k ^ ": " ^ v) fields)
+    ^ "}\n"
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.eprintf "FAIL [%s]%s\n" kind
+    (match seed with Some s -> Printf.sprintf " seed %d" s | None -> "");
+  List.iter (fun d -> Printf.eprintf "  %s\n" d) details;
+  Printf.eprintf "repro written to %s\n%!" out;
+  exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Differential synthesis                                              *)
+
+let lib = Crusade_resource.Library.stock ()
+
+let params_of_seed seed =
+  let rng = Rng.create (0x5EED0 + seed) in
+  {
+    W.name = Printf.sprintf "fuzz-%d" seed;
+    n_tasks = Rng.int_in rng 24 64;
+    seed;
+    hw_fraction = 0.3 +. Rng.float rng 0.4;
+    family_slots = Rng.int_in rng 2 4;
+    asic_fraction = Rng.float rng 0.2;
+    cpld_fraction = Rng.float rng 0.2;
+  }
+
+let configs_of ~jobs_max reconfig =
+  [
+    { reconfig; prune = true; memo = true; jobs = 1 };
+    { reconfig; prune = false; memo = false; jobs = 1 };
+    { reconfig; prune = true; memo = true; jobs = jobs_max };
+    { reconfig; prune = false; memo = false; jobs = jobs_max };
+  ]
+
+let options_of (c : config) =
+  {
+    Core.default_options with
+    Core.dynamic_reconfiguration = c.reconfig;
+    prune = c.prune;
+    memo = c.memo;
+    jobs = c.jobs;
+  }
+
+let schedule_fingerprint (s : Schedule.t) =
+  Array.fold_left
+    (fun h (i : Schedule.instance) ->
+      Hashtbl.hash
+        (h, i.Schedule.i_task, i.Schedule.i_copy, i.Schedule.start, i.Schedule.finish))
+    0 s.Schedule.instances
+
+let signature_of (r : Core.result) =
+  Printf.sprintf
+    "cost=%h n_pes=%d n_links=%d n_modes=%d deadlines_met=%b tardiness=%d \
+     schedule=%08x"
+    r.Core.cost r.Core.n_pes r.Core.n_links r.Core.n_modes r.Core.deadlines_met
+    r.Core.schedule.Schedule.total_tardiness
+    (schedule_fingerprint r.Core.schedule)
+
+let violation_strings vs =
+  List.map (fun (v : Audit.violation) -> Printf.sprintf "[%s] %s" v.Audit.rule v.Audit.detail) vs
+
+let run_seed ~out ~jobs_max ~with_ft seed =
+  let params = params_of_seed seed in
+  let spec = W.generate lib params in
+  List.iter
+    (fun reconfig ->
+      let configs = configs_of ~jobs_max reconfig in
+      let results =
+        List.map
+          (fun c ->
+            match Core.synthesize ~options:(options_of c) spec lib with
+            | Ok r -> (c, r)
+            | Error msg ->
+                fail ~out ~kind:"synthesis-error" ~seed ~params ~config:c [ msg ])
+          configs
+      in
+      let (ref_config, reference), others =
+        match results with r :: rest -> (r, rest) | [] -> assert false
+      in
+      let ref_sig = signature_of reference in
+      List.iter
+        (fun (c, r) ->
+          let s = signature_of r in
+          if s <> ref_sig then
+            fail ~out ~kind:"differential-mismatch" ~seed ~params ~config:c
+              [
+                Printf.sprintf "reference (%s): %s" (describe_config ref_config)
+                  ref_sig;
+                Printf.sprintf "divergent (%s): %s" (describe_config c) s;
+              ])
+        others;
+      match Core.audit reference with
+      | [] -> ()
+      | vs ->
+          fail ~out ~kind:"audit-violation" ~seed ~params ~config:ref_config
+            (violation_strings vs))
+    [ true; false ];
+  if with_ft then begin
+    match Ft.synthesize ~options:Core.default_options spec lib with
+    | Error msg ->
+        fail ~out ~kind:"ft-synthesis-error" ~seed ~params [ msg ]
+    | Ok fr -> (
+        match Ft.audit fr with
+        | [] -> ()
+        | vs ->
+            fail ~out ~kind:"ft-audit-violation" ~seed ~params
+              (violation_strings vs))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Auditor self-test: seeded corruption must always be caught          *)
+
+(* Per-cluster activity intervals, used to steer the
+   incompatible-sharing mutation toward cluster pairs that actually
+   overlap in time (so the corruption is undetectable only if the
+   auditor is broken). *)
+let cluster_intervals (r : Core.result) =
+  let n = Array.length r.Core.clustering.Clustering.clusters in
+  let ivls = Array.make n [] in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if i.Schedule.finish > i.Schedule.start then begin
+        let cid = r.Core.clustering.Clustering.of_task.(i.Schedule.i_task) in
+        ivls.(cid) <- (i.Schedule.start, i.Schedule.finish) :: ivls.(cid)
+      end)
+    r.Core.schedule.Schedule.instances;
+  ivls
+
+let lists_overlap xs ys =
+  List.exists (fun (s, f) -> List.exists (fun (s', f') -> s < f' && s' < f) ys) xs
+
+let reported_of (r : Core.result) =
+  {
+    Audit.r_cost = r.Core.cost;
+    r_n_pes = r.Core.n_pes;
+    r_n_links = r.Core.n_links;
+    r_n_modes = r.Core.n_modes;
+  }
+
+(* Outcome of one architecture mutation kind against one fixture. *)
+let try_mutation (r : Core.result) kind =
+  let m = Compat.matrix r.Core.spec r.Core.schedule in
+  let ivls = cluster_intervals r in
+  let overlaps c c' = lists_overlap ivls.(c) ivls.(c') in
+  let arch = Arch.copy r.Core.arch in
+  match
+    Audit.Mutate.apply
+      ~compat:(fun a b -> m.(a).(b))
+      ~overlaps r.Core.spec r.Core.clustering arch (reported_of r) kind
+  with
+  | Error why -> `Inapplicable why
+  | Ok rep ->
+      let r' =
+        {
+          r with
+          Core.arch;
+          cost = rep.Audit.r_cost;
+          n_pes = rep.Audit.r_n_pes;
+          n_links = rep.Audit.r_n_links;
+          n_modes = rep.Audit.r_n_modes;
+        }
+      in
+      let vs = Core.audit r' in
+      let expected = Audit.Mutate.expected_rule kind in
+      if List.exists (fun (v : Audit.violation) -> v.Audit.rule = expected) vs then
+        `Detected
+      else `Missed (expected, vs)
+
+(* Schedule-level tamperings, caught by the composed audit through the
+   independent validator. *)
+let schedule_mutations =
+  [
+    (* The victim must arrive strictly after time zero: the validator
+       treats a negative start as "never scheduled", so rewinding an
+       arrival-0 instance would hide it rather than violate the rule. *)
+    ( "early-start",
+      "arrival",
+      (fun (i : Schedule.instance) -> i.Schedule.arrival > 0),
+      fun (i : Schedule.instance) -> i.Schedule.start <- i.Schedule.arrival - 1 );
+    ( "short-execution",
+      "execution-time",
+      (fun (_ : Schedule.instance) -> true),
+      fun (i : Schedule.instance) -> i.Schedule.finish <- i.Schedule.start );
+  ]
+
+let try_schedule_mutation (r : Core.result) (name, expected, eligible, tamper) =
+  let instances =
+    Array.map
+      (fun (i : Schedule.instance) ->
+        {
+          Schedule.i_task = i.Schedule.i_task;
+          i_copy = i.Schedule.i_copy;
+          arrival = i.Schedule.arrival;
+          abs_deadline = i.Schedule.abs_deadline;
+          start = i.Schedule.start;
+          finish = i.Schedule.finish;
+        })
+      r.Core.schedule.Schedule.instances
+  in
+  let victim =
+    Array.to_list instances
+    |> List.find_opt (fun (i : Schedule.instance) ->
+           i.Schedule.finish > i.Schedule.start && eligible i)
+  in
+  match victim with
+  | None -> (name, `Inapplicable "no eligible executing instance")
+  | Some i ->
+      tamper i;
+      let schedule = { r.Core.schedule with Schedule.instances = instances } in
+      let vs = Core.audit { r with Core.schedule } in
+      if List.exists (fun (v : Audit.violation) -> v.Audit.rule = expected) vs then
+        (name, `Detected)
+      else (name, `Missed (expected, vs))
+
+let verdict_flip (r : Core.result) =
+  let schedule =
+    {
+      r.Core.schedule with
+      Schedule.deadlines_met = not r.Core.schedule.Schedule.deadlines_met;
+    }
+  in
+  let vs = Core.audit { r with Core.schedule } in
+  if
+    List.exists
+      (fun (v : Audit.violation) ->
+        v.Audit.rule = "verdict" || v.Audit.rule = "verdict-consistency")
+      vs
+  then ("verdict-flip", `Detected)
+  else ("verdict-flip", `Missed ("verdict", vs))
+
+let selftest ~out =
+  (* Two fixtures: a plain synthesis of a generated workload, and the
+     core of its CRUSADE-FT synthesis (which guarantees exclusion pairs
+     through duplicate-and-compare tasks). *)
+  let params = params_of_seed 1 in
+  let spec = W.generate lib params in
+  let plain =
+    match Core.synthesize ~options:Core.default_options spec lib with
+    | Ok r -> r
+    | Error msg -> fail ~out ~kind:"selftest-setup" ~params [ msg ]
+  in
+  let ft_core =
+    match Ft.synthesize ~options:Core.default_options spec lib with
+    | Ok fr -> fr.Ft.core
+    | Error msg -> fail ~out ~kind:"selftest-setup" ~params [ msg ]
+  in
+  (match Core.audit plain with
+  | [] -> ()
+  | vs ->
+      fail ~out ~kind:"selftest-setup" ~params
+        ("clean fixture fails its own audit:" :: violation_strings vs));
+  let detected = ref [] in
+  let missed = ref [] in
+  List.iter
+    (fun kind ->
+      let name = Audit.Mutate.name kind in
+      (* A mutation inapplicable to the plain fixture gets a second
+         chance on the FT core (and vice versa). *)
+      let outcome =
+        match try_mutation plain kind with
+        | `Inapplicable _ -> try_mutation ft_core kind
+        | o -> o
+      in
+      match outcome with
+      | `Detected ->
+          detected := name :: !detected;
+          Printf.printf "  %-26s detected\n" name
+      | `Inapplicable why -> Printf.printf "  %-26s inapplicable (%s)\n" name why
+      | `Missed (expected, vs) ->
+          missed := (name, expected, vs) :: !missed;
+          Printf.printf "  %-26s MISSED (expected %s)\n" name expected)
+    Audit.Mutate.all;
+  List.iter
+    (fun mutation ->
+      match try_schedule_mutation plain mutation with
+      | name, `Detected ->
+          detected := name :: !detected;
+          Printf.printf "  %-26s detected\n" name
+      | name, `Inapplicable why ->
+          Printf.printf "  %-26s inapplicable (%s)\n" name why
+      | name, `Missed (expected, vs) ->
+          missed := (name, expected, vs) :: !missed;
+          Printf.printf "  %-26s MISSED (expected %s)\n" name expected)
+    schedule_mutations;
+  (match verdict_flip plain with
+  | name, `Detected ->
+      detected := name :: !detected;
+      Printf.printf "  %-26s detected\n" name
+  | name, `Missed (expected, vs) ->
+      missed := (name, expected, vs) :: !missed;
+      Printf.printf "  %-26s MISSED (expected %s)\n" name expected
+  | name, `Inapplicable why -> Printf.printf "  %-26s inapplicable (%s)\n" name why);
+  (match !missed with
+  | [] -> ()
+  | (name, expected, vs) :: _ ->
+      fail ~out ~kind:"selftest-missed" ~params
+        (Printf.sprintf "mutation %s not flagged as %s" name expected
+        :: violation_strings vs));
+  if List.length !detected < 10 then
+    fail ~out ~kind:"selftest-coverage" ~params
+      [
+        Printf.sprintf "only %d mutation kinds were applicable and detected: %s"
+          (List.length !detected)
+          (String.concat ", " (List.rev !detected));
+      ];
+  Printf.printf "selftest: %d mutation kinds detected, 0 missed\n%!"
+    (List.length !detected)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let a = parse_args () in
+  if a.selftest then selftest ~out:a.out
+  else begin
+    let n = a.seed_hi - a.seed_lo + 1 in
+    Printf.printf "fuzzing seeds %d..%d (%d seeds x 8 configurations, jobs_max=%d)\n%!"
+      a.seed_lo a.seed_hi n a.jobs_max;
+    for seed = a.seed_lo to a.seed_hi do
+      let with_ft = (seed - a.seed_lo) mod a.ft_every = 0 in
+      run_seed ~out:a.out ~jobs_max:a.jobs_max ~with_ft seed;
+      if (seed - a.seed_lo + 1) mod 10 = 0 || seed = a.seed_hi then
+        Printf.printf "  %d/%d seeds clean\n%!" (seed - a.seed_lo + 1) n
+    done;
+    Printf.printf "ok: %d seeds, zero violations, zero cross-config diffs\n%!" n
+  end

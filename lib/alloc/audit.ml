@@ -1,0 +1,727 @@
+module Pe = Crusade_resource.Pe
+module Link = Crusade_resource.Link
+module Caps = Crusade_resource.Caps
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Edge = Crusade_taskgraph.Edge
+module Clustering = Crusade_cluster.Clustering
+module Arith = Crusade_util.Arith
+module Vec = Crusade_util.Vec
+
+type violation = { rule : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.rule v.detail
+
+let rules =
+  [
+    "placement";
+    "site-bijection";
+    "mode-accounting";
+    "memory-accounting";
+    "capacity";
+    "mode-discipline";
+    "exclusion";
+    "same-graph-mode";
+    "mode-compatibility";
+    "link-ports";
+    "connectivity";
+    "cost-accounting";
+    "count-accounting";
+  ]
+
+(* Violations are accumulated in a ref and sorted before being returned:
+   several rules walk the [sites] hash table, whose iteration order is
+   unspecified, and the auditor's output must be deterministic (the fuzz
+   harness diffs it across evaluator configurations). *)
+type acc = violation list ref
+
+let add (acc : acc) rule fmt =
+  Format.kasprintf (fun detail -> acc := { rule; detail } :: !acc) fmt
+
+let finish (acc : acc) = List.sort_uniq compare !acc
+
+(* (PE id, mode id) -> resident cluster ids, re-derived from the
+   placement map alone.  The per-mode occupancy lists are deliberately
+   not consulted: they are one of the things under audit. *)
+let occupancy_of_sites (arch : Arch.t) =
+  let occ = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun cid (site : Arch.site) ->
+      let key = (site.Arch.s_pe, site.Arch.s_mode) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt occ key) in
+      Hashtbl.replace occ key (cid :: prev))
+    arch.Arch.sites;
+  occ
+
+let residents occ pe_id mode_id =
+  Option.value ~default:[] (Hashtbl.find_opt occ (pe_id, mode_id))
+
+let valid_cid (clustering : Clustering.t) cid =
+  cid >= 0 && cid < Array.length clustering.clusters
+
+let cluster_gates (clustering : Clustering.t) cid =
+  if valid_cid clustering cid then clustering.clusters.(cid).Clustering.gates else 0
+
+let cluster_pins (clustering : Clustering.t) cid =
+  if valid_cid clustering cid then clustering.clusters.(cid).Clustering.pins else 0
+
+let cluster_memory (clustering : Clustering.t) cid =
+  if valid_cid clustering cid then clustering.clusters.(cid).Clustering.memory_bytes
+  else 0
+
+let cluster_graph (clustering : Clustering.t) cid =
+  if valid_cid clustering cid then Some clustering.clusters.(cid).Clustering.graph
+  else None
+
+(* Per-mode capacity of a hardware PE under the same limits
+   [Arch.place_cluster] enforces; [None] for CPUs (their capacity is
+   per-device memory, not per-mode area). *)
+let hw_caps (ptype : Pe.t) =
+  match ptype.Pe.pe_class with
+  | Pe.General_purpose _ -> None
+  | Pe.Asic_pe a -> Some (a.Pe.gates, a.Pe.pins)
+  | Pe.Programmable _ -> Some (Caps.usable_pfus ptype, Caps.usable_pins ptype)
+
+let check_arch ?compat (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
+  let compat =
+    match compat with Some f -> f | None -> Spec.static_compatible spec
+  in
+  let acc : acc = ref [] in
+  let occ = occupancy_of_sites arch in
+  let n_pes = Vec.length arch.Arch.pes in
+
+  (* placement: every site references live structure and a feasible,
+     executable mapping. *)
+  Hashtbl.iter
+    (fun cid (site : Arch.site) ->
+      if not (valid_cid clustering cid) then
+        add acc "placement" "site for unknown cluster %d" cid
+      else if site.Arch.s_pe < 0 || site.Arch.s_pe >= n_pes then
+        add acc "placement" "cluster %d placed on unknown PE %d" cid site.Arch.s_pe
+      else begin
+        let pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+        if site.Arch.s_mode < 0 || site.Arch.s_mode >= Vec.length pe.Arch.modes then
+          add acc "placement" "cluster %d placed in unknown mode %d of PE %d" cid
+            site.Arch.s_mode pe.Arch.p_id
+        else begin
+          let c = clustering.clusters.(cid) in
+          let pt = pe.Arch.ptype.Pe.id in
+          if c.Clustering.feasible_mask land (1 lsl pt) = 0 then
+            add acc "placement" "cluster %d infeasible on PE type %s" cid
+              pe.Arch.ptype.Pe.name;
+          List.iter
+            (fun member ->
+              let task = Spec.task spec member in
+              if Task.exec_on task pt = None then
+                add acc "placement" "task %s of cluster %d cannot execute on %s"
+                  task.Task.name cid pe.Arch.ptype.Pe.name)
+            c.Clustering.members
+        end
+      end)
+    arch.Arch.sites;
+
+  (* site-bijection: the placement map and the per-mode occupancy lists
+     must describe exactly the same placement. *)
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      Vec.iter
+        (fun (m : Arch.mode) ->
+          let recorded = List.sort_uniq compare m.Arch.m_clusters in
+          if List.length recorded <> List.length m.Arch.m_clusters then
+            add acc "site-bijection" "duplicate occupants in PE %d mode %d"
+              pe.Arch.p_id m.Arch.m_id;
+          let derived =
+            List.sort_uniq compare (residents occ pe.Arch.p_id m.Arch.m_id)
+          in
+          List.iter
+            (fun cid ->
+              if not (List.mem cid derived) then
+                add acc "site-bijection"
+                  "cluster %d occupies PE %d mode %d without a placement entry" cid
+                  pe.Arch.p_id m.Arch.m_id)
+            recorded;
+          List.iter
+            (fun cid ->
+              if not (List.mem cid recorded) then
+                add acc "site-bijection"
+                  "cluster %d is mapped to PE %d mode %d but absent from its occupants"
+                  cid pe.Arch.p_id m.Arch.m_id)
+            derived)
+        pe.Arch.modes)
+    arch.Arch.pes;
+
+  (* mode-accounting / memory-accounting / capacity / mode-discipline:
+     recompute occupancy sums from the placement map and compare both
+     against the recorded numbers and against the device limits. *)
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      let pe_memory = ref 0 in
+      let images = ref 0 in
+      Vec.iter
+        (fun (m : Arch.mode) ->
+          let rs = residents occ pe.Arch.p_id m.Arch.m_id in
+          if rs <> [] then incr images;
+          let gates = List.fold_left (fun s c -> s + cluster_gates clustering c) 0 rs in
+          let pins = List.fold_left (fun s c -> s + cluster_pins clustering c) 0 rs in
+          pe_memory :=
+            !pe_memory
+            + List.fold_left (fun s c -> s + cluster_memory clustering c) 0 rs;
+          if m.Arch.m_gates <> gates then
+            add acc "mode-accounting" "PE %d mode %d records %d gates, placements say %d"
+              pe.Arch.p_id m.Arch.m_id m.Arch.m_gates gates;
+          if m.Arch.m_pins <> pins then
+            add acc "mode-accounting" "PE %d mode %d records %d pins, placements say %d"
+              pe.Arch.p_id m.Arch.m_id m.Arch.m_pins pins;
+          match hw_caps pe.Arch.ptype with
+          | Some (max_gates, max_pins) ->
+              if gates > max_gates || m.Arch.m_gates > max_gates then
+                add acc "capacity" "PE %d mode %d uses %d/%d gates (recorded %d)"
+                  pe.Arch.p_id m.Arch.m_id gates max_gates m.Arch.m_gates;
+              if pins > max_pins || m.Arch.m_pins > max_pins then
+                add acc "capacity" "PE %d mode %d uses %d/%d pins (recorded %d)"
+                  pe.Arch.p_id m.Arch.m_id pins max_pins m.Arch.m_pins
+          | None -> ())
+        pe.Arch.modes;
+      if pe.Arch.used_memory <> !pe_memory then
+        add acc "memory-accounting" "PE %d records %d memory bytes, placements say %d"
+          pe.Arch.p_id pe.Arch.used_memory !pe_memory;
+      (match pe.Arch.ptype.Pe.pe_class with
+      | Pe.General_purpose cpu ->
+          let limit = cpu.Pe.memory_bank_bytes * cpu.Pe.max_memory_banks in
+          if !pe_memory > limit || pe.Arch.used_memory > limit then
+            add acc "capacity" "CPU %d uses %d/%d memory bytes (recorded %d)"
+              pe.Arch.p_id !pe_memory limit pe.Arch.used_memory
+      | Pe.Asic_pe _ | Pe.Programmable _ -> ());
+      if (not (Pe.is_programmable pe.Arch.ptype)) && !images > 1 then
+        add acc "mode-discipline" "non-programmable PE %d holds %d configuration images"
+          pe.Arch.p_id !images)
+    arch.Arch.pes;
+
+  (* exclusion: no two tasks of an exclusion pair share a PE, whatever
+     the mode.  Pairs are deduplicated on (min, max) so a mutual
+     exclusion is reported once. *)
+  let seen_pairs = Hashtbl.create 16 in
+  Array.iter
+    (fun (task : Task.t) ->
+      List.iter
+        (fun other_id ->
+          let key = (min task.Task.id other_id, max task.Task.id other_id) in
+          if not (Hashtbl.mem seen_pairs key) then begin
+            Hashtbl.replace seen_pairs key ();
+            match
+              ( Arch.task_site arch clustering task.Task.id,
+                Arch.task_site arch clustering other_id )
+            with
+            | Some a, Some b when a.Arch.s_pe = b.Arch.s_pe ->
+                add acc "exclusion" "tasks %s and %s share PE %d despite exclusion"
+                  task.Task.name
+                  (Spec.task spec other_id).Task.name
+                  a.Arch.s_pe
+            | Some _, Some _ | Some _, None | None, Some _ | None, None -> ()
+          end)
+        task.Task.exclusion)
+    spec.Spec.tasks;
+
+  (* same-graph-mode / mode-compatibility: graphs sharing a device must
+     keep each of their own clusters in one mode, and distinct graphs in
+     distinct modes must be compatible under [compat]. *)
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      let graph_modes = Hashtbl.create 8 in
+      Vec.iter
+        (fun (m : Arch.mode) ->
+          List.iter
+            (fun cid ->
+              match cluster_graph clustering cid with
+              | Some g ->
+                  let ms =
+                    Option.value ~default:[] (Hashtbl.find_opt graph_modes g)
+                  in
+                  if not (List.mem m.Arch.m_id ms) then
+                    Hashtbl.replace graph_modes g (m.Arch.m_id :: ms)
+              | None -> ())
+            (residents occ pe.Arch.p_id m.Arch.m_id))
+        pe.Arch.modes;
+      let graphs = Hashtbl.fold (fun g ms l -> (g, ms) :: l) graph_modes [] in
+      let graphs = List.sort compare graphs in
+      List.iter
+        (fun (g, ms) ->
+          (* A graph split across modes of one device is a reconfiguration
+             of the device *during* the graph's execution.  The allocator
+             never produces it, but the merge phase legally can (two
+             devices hosting the same graph merge; the schedule serializes
+             the modes).  [compat g g] decides: the default static
+             predicate answers [false] — strict, no split tolerated —
+             while a schedule-aware caller may sanction serialized
+             splits. *)
+          if List.length ms > 1 && not (compat g g) then
+            add acc "same-graph-mode" "graph %d spans %d modes of PE %d" g
+              (List.length ms) pe.Arch.p_id)
+        graphs;
+      let rec pairs = function
+        | [] -> ()
+        | (g, ms) :: rest ->
+            List.iter
+              (fun (g', ms') ->
+                (* Sharing a mode is legal for any two graphs (the device
+                   holds one image for both); only time-sharing through
+                   distinct modes needs compatibility. *)
+                let distinct_modes =
+                  List.exists (fun m -> not (List.mem m ms')) ms
+                  || List.exists (fun m -> not (List.mem m ms)) ms'
+                in
+                if distinct_modes && not (compat g g') then
+                  add acc "mode-compatibility"
+                    "incompatible graphs %d and %d time-share PE %d" g g'
+                    pe.Arch.p_id)
+              rest;
+            pairs rest
+      in
+      pairs graphs)
+    arch.Arch.pes;
+
+  (* link-ports: port lists reference live PEs, without duplicates,
+     within the link type's limit. *)
+  Vec.iter
+    (fun (l : Arch.link_inst) ->
+      let ports = List.length l.Arch.attached in
+      if ports > l.Arch.ltype.Link.max_ports then
+        add acc "link-ports" "link %d has %d ports, type %s allows %d" l.Arch.l_id
+          ports l.Arch.ltype.Link.name l.Arch.ltype.Link.max_ports;
+      if List.length (List.sort_uniq compare l.Arch.attached) <> ports then
+        add acc "link-ports" "link %d attaches a PE twice" l.Arch.l_id;
+      List.iter
+        (fun pe_id ->
+          if pe_id < 0 || pe_id >= n_pes then
+            add acc "link-ports" "link %d attaches unknown PE %d" l.Arch.l_id pe_id)
+        l.Arch.attached)
+    arch.Arch.links;
+
+  (* connectivity: every inter-PE edge between placed clusters has a link
+     joining the two PEs.  Recomputed by direct scan over the link table,
+     not via the memoized [links_between]. *)
+  let joined a b =
+    Vec.exists
+      (fun (l : Arch.link_inst) ->
+        List.mem a l.Arch.attached && List.mem b l.Arch.attached)
+      arch.Arch.links
+  in
+  let seen_pe_pairs = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Edge.t) ->
+      match
+        ( Arch.task_site arch clustering e.Edge.src,
+          Arch.task_site arch clustering e.Edge.dst )
+      with
+      | Some a, Some b when a.Arch.s_pe <> b.Arch.s_pe ->
+          let key = (min a.Arch.s_pe b.Arch.s_pe, max a.Arch.s_pe b.Arch.s_pe) in
+          if not (Hashtbl.mem seen_pe_pairs key) then begin
+            Hashtbl.replace seen_pe_pairs key ();
+            if not (joined a.Arch.s_pe b.Arch.s_pe) then
+              add acc "connectivity" "no link joins PEs %d and %d (edge %s -> %s)"
+                a.Arch.s_pe b.Arch.s_pe
+                (Spec.task spec e.Edge.src).Task.name
+                (Spec.task spec e.Edge.dst).Task.name
+          end
+      | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+    spec.Spec.edges;
+
+  finish acc
+
+type reported = {
+  r_cost : float;
+  r_n_pes : int;
+  r_n_links : int;
+  r_n_modes : int;
+}
+
+let recompute_cost (clustering : Clustering.t) (arch : Arch.t) =
+  (* Mirror of [Arch.cost] with occupancy, image counts and memory
+     re-derived from the placement map.  The fold order and the float
+     operation association are kept identical, so a consistently
+     accounted architecture recomputes bit-for-bit. *)
+  let occ = occupancy_of_sites arch in
+  let pe_cost acc (pe : Arch.pe_inst) =
+    let images = ref 0 in
+    let memory_bytes = ref 0 in
+    Vec.iter
+      (fun (m : Arch.mode) ->
+        let rs = residents occ pe.Arch.p_id m.Arch.m_id in
+        if rs <> [] then incr images;
+        memory_bytes :=
+          !memory_bytes
+          + List.fold_left (fun s c -> s + cluster_memory clustering c) 0 rs)
+      pe.Arch.modes;
+    if !images = 0 then acc
+    else begin
+      let base = pe.Arch.ptype.Pe.cost in
+      let memory =
+        match pe.Arch.ptype.Pe.pe_class with
+        | Pe.General_purpose cpu ->
+            let banks =
+              if !memory_bytes = 0 then 1
+              else Arith.ceil_div !memory_bytes cpu.Pe.memory_bank_bytes
+            in
+            float_of_int banks *. cpu.Pe.memory_bank_cost
+        | Pe.Asic_pe _ | Pe.Programmable _ -> 0.0
+      in
+      let prom =
+        match (arch.Arch.interface_cost, pe.Arch.ptype.Pe.pe_class) with
+        | None, Pe.Programmable info ->
+            float_of_int (!images * info.Pe.boot_memory_bytes)
+            /. 1024.0 *. Arch.prom_dollars_per_kbyte
+        | Some _, _ | _, (Pe.General_purpose _ | Pe.Asic_pe _) -> 0.0
+      in
+      acc +. base +. memory +. prom
+    end
+  in
+  let link_cost acc (l : Arch.link_inst) =
+    if List.length l.Arch.attached < 2 then acc
+    else
+      acc +. l.Arch.ltype.Link.cost
+      +. (float_of_int (List.length l.Arch.attached) *. l.Arch.ltype.Link.port_cost)
+  in
+  Vec.fold pe_cost 0.0 arch.Arch.pes
+  +. Vec.fold link_cost 0.0 arch.Arch.links
+  +. Option.value ~default:0.0 arch.Arch.interface_cost
+
+(* Used-PE, used-link and configuration-image counts, re-derived from the
+   placement map and the link table. *)
+let derived_counts (arch : Arch.t) =
+  let occ = occupancy_of_sites arch in
+  let n_pes = ref 0 in
+  let n_modes = ref 0 in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      let images = ref 0 in
+      Vec.iter
+        (fun (m : Arch.mode) ->
+          if residents occ pe.Arch.p_id m.Arch.m_id <> [] then incr images)
+        pe.Arch.modes;
+      if !images > 0 then incr n_pes;
+      if Pe.is_programmable pe.Arch.ptype then n_modes := !n_modes + !images)
+    arch.Arch.pes;
+  let n_links =
+    Vec.fold
+      (fun acc (l : Arch.link_inst) ->
+        if List.length l.Arch.attached >= 2 then acc + 1 else acc)
+      0 arch.Arch.links
+  in
+  (!n_pes, n_links, !n_modes)
+
+let check_reported (clustering : Clustering.t) (arch : Arch.t) (r : reported) =
+  let acc : acc = ref [] in
+  let cost = recompute_cost clustering arch in
+  if not (Float.equal cost r.r_cost) then
+    add acc "cost-accounting" "reported cost $%.6f, recomputed $%.6f" r.r_cost cost;
+  let n_pes, n_links, n_modes = derived_counts arch in
+  if r.r_n_pes <> n_pes then
+    add acc "count-accounting" "reported %d PEs, recomputed %d" r.r_n_pes n_pes;
+  if r.r_n_links <> n_links then
+    add acc "count-accounting" "reported %d links, recomputed %d" r.r_n_links n_links;
+  if r.r_n_modes <> n_modes then
+    add acc "count-accounting" "reported %d configuration images, recomputed %d"
+      r.r_n_modes n_modes;
+  finish acc
+
+let check ?compat spec clustering arch reported =
+  check_arch ?compat spec clustering arch @ check_reported clustering arch reported
+
+module Mutate = struct
+  type kind =
+    | Overfill_mode
+    | Deflate_mode_pins
+    | Shrink_cpu_memory
+    | Ghost_site
+    | Orphan_cluster
+    | Drop_link_port
+    | Colocate_exclusion
+    | Share_incompatible_mode
+    | Split_graph_across_modes
+    | Underreport_cost
+    | Overcount_pes
+
+  let all =
+    [
+      Overfill_mode;
+      Deflate_mode_pins;
+      Shrink_cpu_memory;
+      Ghost_site;
+      Orphan_cluster;
+      Drop_link_port;
+      Colocate_exclusion;
+      Share_incompatible_mode;
+      Split_graph_across_modes;
+      Underreport_cost;
+      Overcount_pes;
+    ]
+
+  let name = function
+    | Overfill_mode -> "overfill-mode"
+    | Deflate_mode_pins -> "deflate-mode-pins"
+    | Shrink_cpu_memory -> "shrink-cpu-memory"
+    | Ghost_site -> "ghost-site"
+    | Orphan_cluster -> "orphan-cluster"
+    | Drop_link_port -> "drop-link-port"
+    | Colocate_exclusion -> "colocate-exclusion"
+    | Share_incompatible_mode -> "share-incompatible-mode"
+    | Split_graph_across_modes -> "split-graph-across-modes"
+    | Underreport_cost -> "underreport-cost"
+    | Overcount_pes -> "overcount-pes"
+
+  let expected_rule = function
+    | Overfill_mode -> "capacity"
+    | Deflate_mode_pins -> "mode-accounting"
+    | Shrink_cpu_memory -> "memory-accounting"
+    | Ghost_site -> "site-bijection"
+    | Orphan_cluster -> "site-bijection"
+    | Drop_link_port -> "connectivity"
+    | Colocate_exclusion -> "exclusion"
+    | Share_incompatible_mode -> "mode-compatibility"
+    | Split_graph_across_modes -> "same-graph-mode"
+    | Underreport_cost -> "cost-accounting"
+    | Overcount_pes -> "count-accounting"
+
+  (* First (PE, mode) pair satisfying [f], scanning in instantiation
+     order so the choice is deterministic. *)
+  let find_mode (arch : Arch.t) f =
+    let found = ref None in
+    Vec.iter
+      (fun (pe : Arch.pe_inst) ->
+        Vec.iter
+          (fun (m : Arch.mode) ->
+            if !found = None && f pe m then found := Some (pe, m))
+          pe.Arch.modes)
+      arch.Arch.pes;
+    !found
+
+  (* Move a cluster between sites while keeping every occupancy sum
+     consistent — bypasses [Arch.place_cluster]'s admission checks so the
+     move can be illegal, but leaves the bookkeeping clean, so only the
+     semantic rule the corruption targets fires. *)
+  let raw_move (arch : Arch.t) (clustering : Clustering.t) cid
+      (dst_pe : Arch.pe_inst) (dst_mode : Arch.mode) =
+    let site = Hashtbl.find arch.Arch.sites cid in
+    let src_pe = Vec.get arch.Arch.pes site.Arch.s_pe in
+    let src_mode = Vec.get src_pe.Arch.modes site.Arch.s_mode in
+    let c = clustering.clusters.(cid) in
+    src_mode.Arch.m_clusters <-
+      List.filter (fun id -> id <> cid) src_mode.Arch.m_clusters;
+    src_mode.Arch.m_gates <- src_mode.Arch.m_gates - c.Clustering.gates;
+    src_mode.Arch.m_pins <- src_mode.Arch.m_pins - c.Clustering.pins;
+    src_pe.Arch.used_memory <- src_pe.Arch.used_memory - c.Clustering.memory_bytes;
+    dst_mode.Arch.m_clusters <- cid :: dst_mode.Arch.m_clusters;
+    dst_mode.Arch.m_gates <- dst_mode.Arch.m_gates + c.Clustering.gates;
+    dst_mode.Arch.m_pins <- dst_mode.Arch.m_pins + c.Clustering.pins;
+    dst_pe.Arch.used_memory <- dst_pe.Arch.used_memory + c.Clustering.memory_bytes;
+    Hashtbl.replace arch.Arch.sites cid
+      { Arch.s_pe = dst_pe.Arch.p_id; s_mode = dst_mode.Arch.m_id }
+
+  (* After a placement-moving corruption, re-derive the summary numbers
+     so the report stays self-consistent: only the broken structural
+     invariant betrays the mutation, which is the harder test for the
+     auditor. *)
+  let rederived (clustering : Clustering.t) (arch : Arch.t) (_ : reported) =
+    let n_pes, n_links, n_modes = derived_counts arch in
+    {
+      r_cost = recompute_cost clustering arch;
+      r_n_pes = n_pes;
+      r_n_links = n_links;
+      r_n_modes = n_modes;
+    }
+
+  let apply ?compat ?(overlaps = fun _ _ -> true) (spec : Spec.t)
+      (clustering : Clustering.t) (arch : Arch.t) (r : reported) kind =
+    let compat =
+      match compat with Some f -> f | None -> Spec.static_compatible spec
+    in
+    let occ = occupancy_of_sites arch in
+    match kind with
+    | Overfill_mode -> (
+        match
+          find_mode arch (fun pe m ->
+              hw_caps pe.Arch.ptype <> None && m.Arch.m_clusters <> [])
+        with
+        | Some (pe, m) ->
+            let max_gates, _ = Option.get (hw_caps pe.Arch.ptype) in
+            m.Arch.m_gates <- max_gates + 1;
+            Ok r
+        | None -> Error "no occupied hardware mode")
+    | Deflate_mode_pins -> (
+        match find_mode arch (fun _ m -> m.Arch.m_pins > 0) with
+        | Some (_, m) ->
+            m.Arch.m_pins <- m.Arch.m_pins - 1;
+            Ok r
+        | None -> Error "no occupied mode uses pins")
+    | Shrink_cpu_memory -> (
+        let found = ref None in
+        Vec.iter
+          (fun (pe : Arch.pe_inst) ->
+            if
+              !found = None
+              && Pe.is_cpu pe.Arch.ptype
+              && pe.Arch.used_memory > 0
+            then found := Some pe)
+          arch.Arch.pes;
+        match !found with
+        | Some pe ->
+            pe.Arch.used_memory <- pe.Arch.used_memory - 1;
+            Ok r
+        | None -> Error "no CPU with resident memory")
+    | Ghost_site -> (
+        (* Keep the placement-map entry but drop the cluster from its
+           mode's occupancy list (gates/pins stay, so only the structural
+           mismatch is visible). *)
+        match
+          find_mode arch (fun _ m -> m.Arch.m_clusters <> [])
+        with
+        | Some (_, m) ->
+            m.Arch.m_clusters <- List.tl m.Arch.m_clusters;
+            Ok r
+        | None -> Error "no occupied mode")
+    | Orphan_cluster -> (
+        match find_mode arch (fun _ m -> m.Arch.m_clusters <> []) with
+        | Some (_, m) ->
+            Hashtbl.remove arch.Arch.sites (List.hd m.Arch.m_clusters);
+            Ok r
+        | None -> Error "no occupied mode")
+    | Drop_link_port -> (
+        (* Sever a PE pair that an inter-PE edge actually uses, removing
+           one endpoint from every link joining the pair. *)
+        let pair = ref None in
+        Array.iter
+          (fun (e : Edge.t) ->
+            if !pair = None then
+              match
+                ( Arch.task_site arch clustering e.Edge.src,
+                  Arch.task_site arch clustering e.Edge.dst )
+              with
+              | Some a, Some b when a.Arch.s_pe <> b.Arch.s_pe ->
+                  pair := Some (a.Arch.s_pe, b.Arch.s_pe)
+              | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+          spec.Spec.edges;
+        match !pair with
+        | Some (a, b) ->
+            Vec.iter
+              (fun (l : Arch.link_inst) ->
+                if List.mem a l.Arch.attached && List.mem b l.Arch.attached then
+                  l.Arch.attached <-
+                    List.filter (fun pe_id -> pe_id <> a) l.Arch.attached)
+              arch.Arch.links;
+            Ok (rederived clustering arch r)
+        | None -> Error "no inter-PE edge to sever")
+    | Colocate_exclusion -> (
+        (* Move the cluster of one excluded task into the exact site of
+           its exclusion partner. *)
+        let found = ref None in
+        Array.iter
+          (fun (task : Task.t) ->
+            List.iter
+              (fun other_id ->
+                if !found = None then
+                  match
+                    ( Arch.task_site arch clustering task.Task.id,
+                      Arch.task_site arch clustering other_id )
+                  with
+                  | Some a, Some b when a.Arch.s_pe <> b.Arch.s_pe ->
+                      found := Some (clustering.of_task.(task.Task.id), b)
+                  | Some _, Some _ | Some _, None | None, Some _ | None, None ->
+                      ())
+              task.Task.exclusion)
+          spec.Spec.tasks;
+        match !found with
+        | Some (cid, dst) ->
+            let dst_pe = Vec.get arch.Arch.pes dst.Arch.s_pe in
+            let dst_mode = Vec.get dst_pe.Arch.modes dst.Arch.s_mode in
+            raw_move arch clustering cid dst_pe dst_mode;
+            Ok (rederived clustering arch r)
+        | None -> Error "no exclusion pair placed on distinct PEs")
+    | Share_incompatible_mode -> (
+        (* Give an incompatible graph's cluster its own fresh mode on an
+           occupied programmable device. *)
+        let found = ref None in
+        Vec.iter
+          (fun (pe : Arch.pe_inst) ->
+            if !found = None && Pe.is_programmable pe.Arch.ptype then
+              Vec.iter
+                (fun (m : Arch.mode) ->
+                  List.iter
+                    (fun resident ->
+                      if !found = None then
+                        match cluster_graph clustering resident with
+                        | None -> ()
+                        | Some g ->
+                            (* Victim: a cluster of an incompatible graph,
+                               hardware-feasible here, placed elsewhere,
+                               whose graph has no cluster on this device
+                               (that would trip same-graph-mode instead). *)
+                            Hashtbl.iter
+                              (fun cid (site : Arch.site) ->
+                                if !found = None && site.Arch.s_pe <> pe.Arch.p_id
+                                then
+                                  match cluster_graph clustering cid with
+                                  | Some g'
+                                    when g' <> g
+                                         && (not (compat g g'))
+                                         && overlaps resident cid
+                                         && clustering.clusters.(cid)
+                                              .Clustering.feasible_mask
+                                            land (1 lsl pe.Arch.ptype.Pe.id)
+                                            <> 0
+                                         && not
+                                              (Hashtbl.fold
+                                                 (fun cid2 (s2 : Arch.site) any ->
+                                                   any
+                                                   || s2.Arch.s_pe = pe.Arch.p_id
+                                                      && cluster_graph clustering
+                                                           cid2
+                                                         = Some g')
+                                                 arch.Arch.sites false) ->
+                                      found := Some (cid, pe)
+                                  | Some _ | None -> ())
+                              arch.Arch.sites)
+                    (residents occ pe.Arch.p_id m.Arch.m_id))
+                pe.Arch.modes)
+          arch.Arch.pes;
+        match !found with
+        | Some (cid, pe) ->
+            let fresh = Arch.add_mode arch pe in
+            raw_move arch clustering cid pe fresh;
+            Ok (rederived clustering arch r)
+        | None -> Error "no incompatible graph pair can share a device")
+    | Split_graph_across_modes -> (
+        (* Spread one graph's clusters over two modes of one device. *)
+        match
+          find_mode arch (fun pe m ->
+              Pe.is_programmable pe.Arch.ptype
+              &&
+              let rs = residents occ pe.Arch.p_id m.Arch.m_id in
+              List.exists
+                (fun cid ->
+                  List.exists
+                    (fun cid' ->
+                      cid <> cid'
+                      && cluster_graph clustering cid
+                         = cluster_graph clustering cid')
+                    rs)
+                rs)
+        with
+        | Some (pe, m) ->
+            let rs = residents occ pe.Arch.p_id m.Arch.m_id in
+            let cid =
+              List.find
+                (fun c ->
+                  List.exists
+                    (fun c' ->
+                      c <> c'
+                      && cluster_graph clustering c = cluster_graph clustering c')
+                    rs)
+                rs
+            in
+            let fresh = Arch.add_mode arch pe in
+            raw_move arch clustering cid pe fresh;
+            Ok (rederived clustering arch r)
+        | None -> Error "no device holds two clusters of one graph in one mode")
+    | Underreport_cost -> Ok { r with r_cost = r.r_cost -. 1.0 }
+    | Overcount_pes -> Ok { r with r_n_pes = r.r_n_pes + 1 }
+end

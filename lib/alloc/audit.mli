@@ -1,0 +1,150 @@
+(** First-principles architecture auditor: re-derives, from the
+    specification, the clustering and the placement map alone, every
+    invariant the synthesizer is supposed to maintain on an accepted
+    {!Arch.t} — and cross-checks the summary numbers a synthesis run
+    reports against an independent recomputation.
+
+    The auditor deliberately shares no bookkeeping with the synthesizer:
+    occupancy, capacity, connectivity and cost are all recomputed from
+    the [sites] placement map (the single source of truth), so a bug in
+    the incremental accounting of [place_cluster]/[unplace_cluster] or
+    in the undo journal shows up as a violation here even when the
+    synthesizer's own numbers agree with each other.
+
+    Schedule-level invariants (precedence, mode exclusivity on the
+    timeline, boot gaps) are the scheduler-side validator's job
+    ({!Crusade_sched.Validate}); the composed checker over a full
+    synthesis result lives in [Crusade.Crusade_core.audit], which runs
+    both and merges the findings. *)
+
+type violation = { rule : string; detail : string }
+(** One broken invariant.  [rule] is a stable identifier (see {!rules});
+    [detail] is a human-readable description naming the offending
+    cluster/PE/mode. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val rules : string list
+(** The architecture-level invariant catalogue, one identifier per rule:
+    - ["placement"]: every site references a live PE instance and mode,
+      the cluster's feasibility mask admits the PE type, and every
+      member task has an execution time on it;
+    - ["site-bijection"]: the [sites] map and the per-mode occupancy
+      lists describe exactly the same placement (no ghost or orphan
+      clusters, no duplicates);
+    - ["mode-accounting"]: recorded per-mode gates/pins equal the sums
+      over the clusters actually placed there;
+    - ["memory-accounting"]: recorded per-PE memory equals the sum over
+      resident clusters;
+    - ["capacity"]: recomputed occupancy respects CPU DRAM limits, ASIC
+      gate/pin limits and the ERUF/EPUF caps of programmable devices
+      (and the recorded numbers do too);
+    - ["mode-discipline"]: non-programmable PEs never hold more than one
+      configuration image;
+    - ["exclusion"]: no two tasks of an exclusion pair share a PE,
+      whatever the mode;
+    - ["same-graph-mode"]: clusters of one task graph on one device
+      share a single mode unless the caller's predicate sanctions the
+      split ([compat g g]; the default static predicate never does,
+      while a schedule-aware caller can accept a split the schedule
+      demonstrably serializes — the merge phase produces such splits
+      when two devices hosting the same graph merge);
+    - ["mode-compatibility"]: graphs resident in different modes of one
+      device are pairwise compatible under the caller's predicate;
+    - ["link-ports"]: link port lists are duplicate-free, reference live
+      PEs and respect the link type's port limit;
+    - ["connectivity"]: every inter-PE edge between placed clusters has
+      a link joining the two PEs (recomputed by direct scan, not via the
+      memoized [links_between]);
+    - ["cost-accounting"] / ["count-accounting"]: reported summary
+      numbers match the independent recomputation ({!check_reported}). *)
+
+val check_arch :
+  ?compat:(int -> int -> bool) ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Arch.t ->
+  violation list
+(** Audits the architecture-level rules above.  [compat a b] tells
+    whether graphs [a] and [b] may time-share a device in different
+    modes; it defaults to {!Crusade_taskgraph.Spec.static_compatible},
+    which is sound for architectures built without a schedule — callers
+    auditing a scheduled result should pass the schedule-discovered
+    compatibility (see [Crusade.Crusade_core.audit]), which is strictly
+    more permissive. *)
+
+type reported = {
+  r_cost : float;
+  r_n_pes : int;
+  r_n_links : int;
+  r_n_modes : int;  (** configuration images across programmable PEs *)
+}
+(** The summary numbers a synthesis result claims for an architecture. *)
+
+val recompute_cost : Crusade_cluster.Clustering.t -> Arch.t -> float
+(** Re-derives the total dollar cost from the placement map: per-PE base
+    cost, DRAM banks, PROM image estimate, per-link cost and ports, plus
+    the interface cost — using the same fold order and float operation
+    association as {!Arch.cost}, so on a consistently-accounted
+    architecture the recomputation is bit-identical. *)
+
+val check_reported : Crusade_cluster.Clustering.t -> Arch.t -> reported -> violation list
+(** ["cost-accounting"]: [r_cost] equals {!recompute_cost} bit-exactly;
+    ["count-accounting"]: PE/link/image counts equal the recomputation
+    from the placement map. *)
+
+val check :
+  ?compat:(int -> int -> bool) ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Arch.t ->
+  reported ->
+  violation list
+(** {!check_arch} followed by {!check_reported}. *)
+
+(** Seeded corruption of an accepted architecture: the auditor's own
+    test harness.  Each {!Mutate.kind} breaks exactly one invariant
+    class; applying it to a sound (architecture, reported) pair and
+    re-running {!check} must produce a violation whose rule is
+    {!Mutate.expected_rule} — otherwise the oracle itself is broken. *)
+module Mutate : sig
+  type kind =
+    | Overfill_mode  (** raise a mode's recorded gates above the device cap *)
+    | Deflate_mode_pins  (** under-count a mode's recorded pin usage *)
+    | Shrink_cpu_memory  (** under-count a CPU's recorded memory usage *)
+    | Ghost_site  (** placement map entry without mode occupancy *)
+    | Orphan_cluster  (** mode occupancy without a placement map entry *)
+    | Drop_link_port  (** sever the link serving a communicating PE pair *)
+    | Colocate_exclusion  (** move a task onto the PE of its exclusion partner *)
+    | Share_incompatible_mode
+        (** give an incompatible graph its own mode on an occupied device *)
+    | Split_graph_across_modes
+        (** spread one graph's clusters over two modes of one device *)
+    | Underreport_cost  (** shave a dollar off the reported cost *)
+    | Overcount_pes  (** report one PE more than the architecture has *)
+
+  val all : kind list
+
+  val name : kind -> string
+
+  val expected_rule : kind -> string
+  (** The {!rules} identifier the corruption must trigger. *)
+
+  val apply :
+    ?compat:(int -> int -> bool) ->
+    ?overlaps:(int -> int -> bool) ->
+    Crusade_taskgraph.Spec.t ->
+    Crusade_cluster.Clustering.t ->
+    Arch.t ->
+    reported ->
+    kind ->
+    (reported, string) result
+  (** Corrupts the architecture in place (callers pass an {!Arch.copy})
+    and returns the possibly-adjusted reported numbers, or [Error]
+    when the architecture lacks the structure the corruption needs
+    (e.g. no CPU in use for [Shrink_cpu_memory]).  [compat] must be
+    the same predicate later given to {!check}; [overlaps c c']
+    refines [Share_incompatible_mode]'s victim choice to cluster pairs
+    whose scheduled instances actually overlap in time (default:
+    accept any pair). *)
+end

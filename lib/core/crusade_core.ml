@@ -625,6 +625,147 @@ let continue_allocation ?(options = default_options) (base : result) =
         arch
         ~skip:(fun _ -> false))
 
+module Audit = Crusade_alloc.Audit
+module Validate = Crusade_sched.Validate
+module Compat = Crusade_reconfig.Compat
+
+(* The merge phase co-locates graphs using the schedule-*discovered*
+   compatibility (Fig. 3), which is strictly more permissive than the
+   design-time [Spec.static_compatible]; auditing a scheduled result must
+   therefore judge mode sharing against the same discovered matrix, or
+   legal merges would be flagged.  The matrix itself is conservative too
+   (it compares whole-graph activity windows, while mode exclusivity only
+   needs the two graphs' executions on the *shared device* to be
+   disjoint), so it is further refined by the actual per-device
+   occupancy: a sharing is accepted when every device the two graphs
+   time-share serializes them.  Genuine temporal overlap on a device is
+   still caught — both here and by [Validate]'s mode-exclusivity rule. *)
+let discovered_compat (r : result) =
+  let m = Compat.matrix r.spec r.schedule in
+  let occ : (int * int * int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let modes_of : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (inst : Schedule.instance) ->
+      if inst.Schedule.finish > inst.Schedule.start then
+        match Arch.task_site r.arch r.clustering inst.Schedule.i_task with
+        | None -> ()
+        | Some site ->
+            let g = (Spec.task r.spec inst.Schedule.i_task).Crusade_taskgraph.Task.graph in
+            let key = (site.Arch.s_pe, g, site.Arch.s_mode) in
+            let ivls = Option.value ~default:[] (Hashtbl.find_opt occ key) in
+            Hashtbl.replace occ key
+              ((inst.Schedule.start, inst.Schedule.finish) :: ivls);
+            let mkey = (site.Arch.s_pe, g) in
+            let ms = Option.value ~default:[] (Hashtbl.find_opt modes_of mkey) in
+            if not (List.mem site.Arch.s_mode ms) then
+              Hashtbl.replace modes_of mkey (site.Arch.s_mode :: ms))
+    r.schedule.Schedule.instances;
+  let intervals pid g mode =
+    Option.value ~default:[] (Hashtbl.find_opt occ (pid, g, mode))
+  in
+  let overlapping xs ys =
+    List.exists
+      (fun (s, f) -> List.exists (fun (s', f') -> s < f' && s' < f) ys)
+      xs
+  in
+  (* Only executions in *distinct* modes of the shared device must be
+     disjoint — two graphs resident in one mode share a single image and
+     may legally overlap there (exactly [Validate]'s mode-exclusivity
+     semantics). *)
+  let device_serialized a b =
+    let ok = ref true in
+    Vec.iter
+      (fun (pe : Arch.pe_inst) ->
+        let pid = pe.Arch.p_id in
+        match (Hashtbl.find_opt modes_of (pid, a), Hashtbl.find_opt modes_of (pid, b)) with
+        | Some ma, Some mb ->
+            List.iter
+              (fun x ->
+                List.iter
+                  (fun y ->
+                    if
+                      x <> y
+                      && overlapping (intervals pid a x) (intervals pid b y)
+                    then ok := false)
+                  mb)
+              ma
+        | (Some _ | None), (Some _ | None) -> ())
+      r.arch.Arch.pes;
+    !ok
+  in
+  (* A graph split across several modes of one device (the merge phase
+     produces these: two devices hosting the same graph merge) is sound
+     only if the schedule never runs the graph in two of those modes at
+     once — the device reconfigures between them mid-iteration. *)
+  let self_serialized g =
+    let ok = ref true in
+    Vec.iter
+      (fun (pe : Arch.pe_inst) ->
+        let pid = pe.Arch.p_id in
+        match Hashtbl.find_opt modes_of (pid, g) with
+        | Some (_ :: _ :: _ as ms) ->
+            let rec pairs = function
+              | [] -> ()
+              | m1 :: rest ->
+                  List.iter
+                    (fun m2 ->
+                      if overlapping (intervals pid g m1) (intervals pid g m2)
+                      then ok := false)
+                    rest;
+                  pairs rest
+            in
+            pairs ms
+        | Some _ | None -> ())
+      r.arch.Arch.pes;
+    !ok
+  in
+  fun a b ->
+    if a = b then self_serialized a else m.(a).(b) || device_serialized a b
+
+let audit (r : result) =
+  let compat = discovered_compat r in
+  let reported =
+    {
+      Audit.r_cost = r.cost;
+      r_n_pes = r.n_pes;
+      r_n_links = r.n_links;
+      r_n_modes = r.n_modes;
+    }
+  in
+  let arch_violations = Audit.check ~compat r.spec r.clustering r.arch reported in
+  let coverage =
+    Array.to_list r.clustering.Clustering.clusters
+    |> List.filter_map (fun (c : Clustering.cluster) ->
+           if Arch.site_of_cluster r.arch c.Clustering.cid = None then
+             Some
+               {
+                 Audit.rule = "coverage";
+                 detail =
+                   Printf.sprintf "cluster %d (graph %d) is not placed"
+                     c.Clustering.cid c.Clustering.graph;
+               }
+           else None)
+  in
+  let verdict =
+    if r.deadlines_met <> r.schedule.Schedule.deadlines_met then
+      [
+        {
+          Audit.rule = "verdict-consistency";
+          detail =
+            Printf.sprintf "result says deadlines %s, schedule says %s"
+              (if r.deadlines_met then "met" else "missed")
+              (if r.schedule.Schedule.deadlines_met then "met" else "missed");
+        };
+      ]
+    else []
+  in
+  let schedule_violations =
+    Validate.check r.spec r.clustering r.arch r.schedule
+    |> List.map (fun (v : Validate.violation) ->
+           { Audit.rule = v.Validate.rule; detail = v.Validate.detail })
+  in
+  coverage @ verdict @ arch_violations @ schedule_violations
+
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";
   Format.fprintf fmt "specification: %s (%d tasks, %d graphs)@," r.spec.Spec.name

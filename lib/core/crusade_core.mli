@@ -103,5 +103,25 @@ val continue_allocation :
     functionality be accommodated purely by reprogramming the deployed
     hardware? *)
 
+val audit : result -> Crusade_alloc.Audit.violation list
+(** End-to-end first-principles audit of a synthesis result, empty when
+    sound.  Composes:
+    - the architecture-level rules of {!Crusade_alloc.Audit.check}
+      (placement feasibility, occupancy/capacity/cost/count accounting,
+      exclusion, connectivity, mode discipline), judged against the
+      schedule-discovered graph compatibility — the merge phase's own
+      notion — refined by actual per-device serialization, so legal
+      dynamic-reconfiguration sharings are never flagged;
+    - a ["coverage"] rule: every cluster of the specification is placed;
+    - a ["verdict-consistency"] rule: the result's [deadlines_met]
+      agrees with its schedule;
+    - the timeline rules of {!Crusade_sched.Validate.check} (precedence,
+      arrivals, execution times, CPU capacity, mode exclusivity and
+      boot gaps, deadline verdict).
+
+    The audit runs once on a finished result — never inside the
+    synthesis inner loop — so enabling it costs a single pass over the
+    final architecture and schedule. *)
+
 val pp_report : Format.formatter -> result -> unit
 (** Human-readable architecture/synthesis report. *)

@@ -44,23 +44,18 @@ let minutes_per_year u = u *. 365.25 *. 24.0 *. 60.0
 
 type provisioning = {
   spares : (Pe.t * int) list;
+  link_spares : int;
   spare_cost : float;
   graph_unavailability : (string * float) list;
 }
 
-let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
-    (clustering : Clustering.t) (arch : Arch.t) =
-  (* Pools: one per PE type in use, plus one for the links. *)
-  let type_count = Hashtbl.create 8 in
-  Vec.iter
-    (fun (pe : Arch.pe_inst) ->
-      if Arch.pe_in_use pe then begin
-        let cur = Option.value ~default:0 (Hashtbl.find_opt type_count pe.Arch.ptype.Pe.id) in
-        Hashtbl.replace type_count pe.Arch.ptype.Pe.id (cur + 1)
-      end)
-    arch.Arch.pes;
-  let n_links = Arch.n_links arch in
-  (* Graph -> PE types its clusters run on. *)
+let spare_link_cost = 12.0
+
+(* Graph -> PE type ids its clusters run on, in the (deterministic)
+   cluster-table order.  Shared by {!provision} and
+   {!achieved_unavailability} so the recomputation folds pool
+   unavailabilities in exactly the same order. *)
+let graph_types_of (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.t) =
   let graph_types = Array.make (Spec.n_graphs spec) [] in
   Array.iter
     (fun (c : Clustering.cluster) ->
@@ -71,6 +66,27 @@ let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
             graph_types.(c.graph) <- tid :: graph_types.(c.graph)
       | None -> ())
     clustering.Clustering.clusters;
+  graph_types
+
+let active_type_count (arch : Arch.t) =
+  let type_count = Hashtbl.create 8 in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if Arch.pe_in_use pe then begin
+        let cur =
+          Option.value ~default:0 (Hashtbl.find_opt type_count pe.Arch.ptype.Pe.id)
+        in
+        Hashtbl.replace type_count pe.Arch.ptype.Pe.id (cur + 1)
+      end)
+    arch.Arch.pes;
+  type_count
+
+let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  (* Pools: one per PE type in use, plus one for the links. *)
+  let type_count = active_type_count arch in
+  let n_links = Arch.n_links arch in
+  let graph_types = graph_types_of spec clustering arch in
   let spares = Hashtbl.create 8 in
   let pool_u tid =
     let n_active = Option.value ~default:0 (Hashtbl.find_opt type_count tid) in
@@ -138,7 +154,7 @@ let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
     List.fold_left (fun acc ((pe : Pe.t), count) -> acc +. (pe.Pe.cost *. float_of_int count))
       0.0 spare_list
     (* A spare link is a transceiver set at the cheapest link type cost. *)
-    +. (float_of_int !link_spares *. 12.0)
+    +. (float_of_int !link_spares *. spare_link_cost)
   in
   let graph_unavailability =
     Array.to_list spec.graphs
@@ -147,4 +163,32 @@ let provision ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
            | Some _ -> Some (g.name, minutes_per_year (graph_u g))
            | None -> None)
   in
-  { spares = spare_list; spare_cost; graph_unavailability }
+  { spares = spare_list; link_spares = !link_spares; spare_cost; graph_unavailability }
+
+let achieved_unavailability ?(mttr_hours = default_mttr_hours) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) (p : provisioning) =
+  let type_count = active_type_count arch in
+  let n_links = Arch.n_links arch in
+  let graph_types = graph_types_of spec clustering arch in
+  let spares = Hashtbl.create 8 in
+  List.iter
+    (fun ((pe : Pe.t), count) -> Hashtbl.replace spares pe.Pe.id count)
+    p.spares;
+  let pool_u tid =
+    let n_active = Option.value ~default:0 (Hashtbl.find_opt type_count tid) in
+    let s = Option.value ~default:0 (Hashtbl.find_opt spares tid) in
+    let fit = fit_rate (Crusade_resource.Library.pe arch.Arch.lib tid) in
+    pool_unavailability ~mttr_hours ~n_active ~spares:s ~fit ()
+  in
+  let link_u =
+    pool_unavailability ~mttr_hours ~n_active:n_links ~spares:p.link_spares
+      ~fit:link_fit_rate ()
+  in
+  let graph_u (g : Graph.t) =
+    List.fold_left (fun acc tid -> acc +. pool_u tid) link_u graph_types.(g.id)
+  in
+  Array.to_list spec.graphs
+  |> List.filter_map (fun (g : Graph.t) ->
+         match g.unavailability_budget with
+         | Some budget -> Some (g.name, budget, minutes_per_year (graph_u g))
+         | None -> None)

@@ -29,10 +29,15 @@ val minutes_per_year : float -> float
 
 type provisioning = {
   spares : (Crusade_resource.Pe.t * int) list;  (** spare count per PE type *)
+  link_spares : int;  (** warm spares added to the shared link pool *)
   spare_cost : float;
   graph_unavailability : (string * float) list;
       (** achieved minutes/year per task graph with a budget *)
 }
+
+val spare_link_cost : float
+(** Dollars per spare link (a transceiver set at the cheapest link type
+    cost): 12.0. *)
 
 val provision :
   ?mttr_hours:float ->
@@ -44,3 +49,17 @@ val provision :
     every graph with an [unavailability_budget] meets it.  A graph's
     unavailability sums the pool unavailabilities of the PE types its
     clusters use plus the shared link pool. *)
+
+val achieved_unavailability :
+  ?mttr_hours:float ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  provisioning ->
+  (string * float * float) list
+(** [(graph name, budget, achieved minutes/year)] for every budgeted
+    graph, re-derived from the architecture and the provisioning's spare
+    counts alone — the independent recomputation behind [Ft.audit]'s
+    availability check.  Follows {!provision}'s pool construction and
+    fold order exactly, so on an untampered result the achieved values
+    are bit-identical to [graph_unavailability]. *)

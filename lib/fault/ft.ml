@@ -1,4 +1,9 @@
 module Trace = Crusade_util.Trace
+module Audit = Crusade_alloc.Audit
+module Arch = Crusade_alloc.Arch
+module Spec = Crusade_taskgraph.Spec
+module Task = Crusade_taskgraph.Task
+module Pe = Crusade_resource.Pe
 
 type result = {
   core : Crusade.Crusade_core.result;
@@ -36,3 +41,80 @@ let synthesize ?options spec lib =
           total_cost = core.Crusade.Crusade_core.cost +. provisioning.Dependability.spare_cost;
           n_pes_with_spares = core.Crusade.Crusade_core.n_pes + n_spares;
         }
+
+let is_duplicate_task (task : Task.t) =
+  String.length task.Task.name > 4
+  && String.sub task.Task.name (String.length task.Task.name - 4) 4 = ".dup"
+
+let audit (r : result) =
+  let core = r.core in
+  let spec = core.Crusade.Crusade_core.spec in
+  let clustering = core.Crusade.Crusade_core.clustering in
+  let arch = core.Crusade.Crusade_core.arch in
+  let p = r.provisioning in
+  let acc = ref [] in
+  let add rule fmt =
+    Format.kasprintf (fun detail -> acc := { Audit.rule; detail } :: !acc) fmt
+  in
+  (* ft-cost: the FT total is the core architecture plus the spares,
+     bit-exact. *)
+  let expected_total = core.Crusade.Crusade_core.cost +. p.Dependability.spare_cost in
+  if not (Float.equal r.total_cost expected_total) then
+    add "ft-cost" "total cost $%.6f, core + spares is $%.6f" r.total_cost
+      expected_total;
+  (* ft-spare-cost: the spare bill recomputes from the spare counts. *)
+  let recomputed_spare_cost =
+    List.fold_left
+      (fun cost ((pe : Pe.t), count) -> cost +. (pe.Pe.cost *. float_of_int count))
+      0.0 p.Dependability.spares
+    +. (float_of_int p.Dependability.link_spares *. Dependability.spare_link_cost)
+  in
+  if not (Float.equal p.Dependability.spare_cost recomputed_spare_cost) then
+    add "ft-spare-cost" "spare cost $%.6f, spare counts say $%.6f"
+      p.Dependability.spare_cost recomputed_spare_cost;
+  (* ft-spares: the PE headcount includes every provisioned spare. *)
+  let n_spares =
+    List.fold_left (fun acc (_, count) -> acc + count) 0 p.Dependability.spares
+  in
+  if r.n_pes_with_spares <> core.Crusade.Crusade_core.n_pes + n_spares then
+    add "ft-spares" "%d PEs with spares reported, core %d + spares %d"
+      r.n_pes_with_spares core.Crusade.Crusade_core.n_pes n_spares;
+  (* ft-separation: a duplicate protects against its original's PE
+     failing, so the pair must carry an exclusion and live apart. *)
+  Array.iter
+    (fun (task : Task.t) ->
+      if is_duplicate_task task then
+        if task.Task.exclusion = [] then
+          add "ft-separation" "duplicate %s has no exclusion vector" task.Task.name
+        else
+          List.iter
+            (fun original ->
+              match
+                ( Arch.task_site arch clustering task.Task.id,
+                  Arch.task_site arch clustering original )
+              with
+              | Some a, Some b when a.Arch.s_pe = b.Arch.s_pe ->
+                  add "ft-separation" "duplicate %s shares PE %d with %s"
+                    task.Task.name a.Arch.s_pe
+                    (Spec.task spec original).Task.name
+              | (Some _ | None), (Some _ | None) -> ())
+            task.Task.exclusion)
+    spec.Spec.tasks;
+  (* ft-availability: the recorded minutes/year recompute from the spare
+     counts and the architecture, and every budget is met. *)
+  let achieved = Dependability.achieved_unavailability spec clustering arch p in
+  List.iter
+    (fun (name, budget, minutes) ->
+      (match List.assoc_opt name p.Dependability.graph_unavailability with
+      | Some recorded when not (Float.equal recorded minutes) ->
+          add "ft-availability" "graph %s records %.6f min/year, spares say %.6f"
+            name recorded minutes
+      | Some _ -> ()
+      | None ->
+          add "ft-availability" "graph %s has a budget but no recorded availability"
+            name);
+      if minutes > budget then
+        add "ft-budget" "graph %s achieves %.2f min/year, budget %.2f" name minutes
+          budget)
+    achieved;
+  List.rev !acc @ Crusade.Crusade_core.audit core

@@ -21,3 +21,18 @@ val synthesize :
 (** Runs fault-detection transformation, CRUSADE co-synthesis (with or
     without dynamic reconfiguration per [options]) and spare
     provisioning. *)
+
+val audit : result -> Crusade_alloc.Audit.violation list
+(** [Crusade.Crusade_core.audit] of the core result plus the CRUSADE-FT
+    invariants, empty when sound:
+    - ["ft-cost"]: [total_cost] = core cost + spare cost, bit-exact;
+    - ["ft-spare-cost"]: the spare bill recomputes from the per-type
+      spare counts and {!Dependability.spare_link_cost};
+    - ["ft-spares"]: [n_pes_with_spares] counts every provisioned spare;
+    - ["ft-separation"]: every duplicate-and-compare task carries an
+      exclusion vector and is placed on a different PE than the task it
+      protects;
+    - ["ft-availability"]: the recorded minutes/year figures recompute
+      bit-exactly from the spare counts and the architecture
+      ({!Dependability.achieved_unavailability});
+    - ["ft-budget"]: every graph's unavailability budget is met. *)

@@ -233,8 +233,12 @@ let print (spec : Spec.t) =
           if task.gates > 0 then out " gates %d" task.gates;
           if task.pins > 0 then out " pins %d" task.pins;
           (match task.deadline with Some d -> out " deadline %d" d | None -> ());
-          if task.exclusion <> [] then
-            out " exclude %s" (String.concat "," (List.map task_name task.exclusion));
+          (* [Spec.build] symmetrizes exclusion, but the parser only
+             resolves backward references; print each pair once, at its
+             later member, and rebuilding restores the other half. *)
+          let backward = List.filter (fun x -> x < task.id) task.exclusion in
+          if backward <> [] then
+            out " exclude %s" (String.concat "," (List.map task_name backward));
           out "\n")
         g.tasks;
       Array.iter

@@ -56,6 +56,42 @@ let build ~name ?(boot_time_requirement = default_boot_requirement) graph_list =
         (* Re-order the flat task table so that [tasks.(i).id = i]. *)
         let by_id = Array.make n tasks.(0) in
         Array.iter (fun (task : Task.t) -> by_id.(task.id) <- task) tasks;
+        (* Exclusion ("may not share a PE") is inherently symmetric, but
+           callers typically declare it on one side only — the DSL's
+           [exclude], CRUSADE-FT's duplicate-and-compare tasks.  Close
+           the relation here so every consumer (clustering,
+           [Arch.place_cluster]'s conflict check, the auditor) sees both
+           directions without scanning the whole task table. *)
+        let extra = Array.make n [] in
+        Array.iter
+          (fun (task : Task.t) ->
+            List.iter
+              (fun other ->
+                if
+                  other >= 0 && other < n
+                  && (not (List.mem task.id by_id.(other).Task.exclusion))
+                  && not (List.mem task.id extra.(other))
+                then extra.(other) <- task.id :: extra.(other))
+              task.exclusion)
+          by_id;
+        let by_id =
+          Array.map
+            (fun (task : Task.t) ->
+              match extra.(task.id) with
+              | [] -> task
+              | xs -> { task with Task.exclusion = task.exclusion @ List.rev xs })
+            by_id
+        in
+        let graphs =
+          Array.map
+            (fun (g : Graph.t) ->
+              {
+                g with
+                Graph.tasks =
+                  Array.map (fun (t : Task.t) -> by_id.(t.Task.id)) g.tasks;
+              })
+            graphs
+        in
         let edges = Array.mapi (fun i (e : Edge.t) -> { e with id = i }) edges in
         let succs = Array.make n [] and preds = Array.make n [] in
         Array.iter

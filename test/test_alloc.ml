@@ -275,6 +275,68 @@ let options_new_mode_for_compatible () =
          match o.kind with Options.New_mode _ -> true | _ -> false)
        opts')
 
+(* A star of software tasks, hub plus [n_peers] leaves, each on its own
+   CPU, so every leaf demands hub connectivity through Connect.ensure. *)
+let star_on_own_pes ?(lib = Helpers.small_lib) n_peers =
+  let b = Spec.Builder.create () in
+  let g = Spec.Builder.add_graph b ~name:"star" ~period:40_000 ~deadline:30_000 () in
+  let hub =
+    Spec.Builder.add_task b ~graph:g ~name:"hub" ~exec:(Helpers.cpu_exec ~lib 500) ()
+  in
+  let peers =
+    List.init n_peers (fun i ->
+        let t =
+          Spec.Builder.add_task b ~graph:g
+            ~name:(Printf.sprintf "peer%d" i)
+            ~exec:(Helpers.cpu_exec ~lib 500) ()
+        in
+        Spec.Builder.add_edge b ~src:hub ~dst:t ~bytes:64;
+        t)
+  in
+  let spec = Spec.Builder.finish_exn b ~name:"star" () in
+  let clustering = Clustering.singletons spec lib in
+  let arch = Arch.create lib in
+  let place task =
+    let pe = Arch.add_pe arch (Library.pe lib 0) in
+    let mode = Vec.get pe.Arch.modes 0 in
+    let cluster = clustering.Clustering.clusters.(clustering.Clustering.of_task.(task)) in
+    (match Arch.place_cluster arch spec clustering cluster ~pe ~mode with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m);
+    cluster
+  in
+  let _hub_cluster = place hub in
+  (arch, spec, clustering, List.map place peers)
+
+let connect_empty_link_library () =
+  let no_links =
+    Library.create ~pes:Helpers.small_lib.Library.pes ~links:[||]
+  in
+  let arch, spec, clustering, peers = star_on_own_pes ~lib:no_links 1 in
+  match Connect.ensure arch spec clustering (List.hd peers) with
+  | Ok _ -> Alcotest.fail "connected two PEs without any link type"
+  | Error msg -> check Alcotest.string "error" "empty link library" msg
+
+let connect_bus_saturation () =
+  (* bus-s has six ports: the hub plus five peers fill the first
+     instance, the sixth peer must spawn a second bus. *)
+  let arch, spec, clustering, peers = star_on_own_pes 6 in
+  List.iteri
+    (fun i cluster ->
+      match Connect.ensure arch spec clustering cluster with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "peer %d: %s" i m)
+    peers;
+  check Alcotest.int "second bus instance spawned" 2 (Arch.n_links arch);
+  (* every peer really is joined to the hub *)
+  List.iteri
+    (fun i _ ->
+      check Alcotest.bool
+        (Printf.sprintf "hub reaches peer %d" i)
+        true
+        (Arch.links_between arch 0 (i + 1) <> []))
+    peers
+
 let options_apply_new_pe () =
   let spec, clustering, t1, _ = fixture () in
   let arch = Arch.create lib in
@@ -300,6 +362,9 @@ let suite =
     Alcotest.test_case "partial reconfiguration boot" `Quick arch_mode_boot_partial;
     Alcotest.test_case "links and attach" `Quick links_and_attach;
     Alcotest.test_case "connect/links counting" `Quick connect_creates_and_reuses;
+    Alcotest.test_case "connect: empty link library" `Quick connect_empty_link_library;
+    Alcotest.test_case "connect: bus saturation spawns second bus" `Quick
+      connect_bus_saturation;
     Alcotest.test_case "options sorted by cost" `Quick options_new_pe_sorted;
     Alcotest.test_case "same graph same mode" `Quick options_same_graph_same_mode;
     Alcotest.test_case "no mode for overlapping" `Quick options_compat_gates_new_mode;

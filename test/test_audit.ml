@@ -1,0 +1,170 @@
+(* The first-principles auditor (Crusade_alloc.Audit and the composed
+   Crusade_core.audit / Ft.audit): accepted results must audit clean, the
+   recomputed summary numbers must be bit-exact, and every seeded
+   corruption of Audit.Mutate must be flagged with its expected rule. *)
+
+module C = Crusade.Crusade_core
+module Audit = Crusade_alloc.Audit
+module Arch = Crusade_alloc.Arch
+module Clustering = Crusade_cluster.Clustering
+module Schedule = Crusade_sched.Schedule
+module Compat = Crusade_reconfig.Compat
+module Ft = Crusade_fault.Ft
+module W = Crusade_workloads.Comm_system
+module Ex = Crusade_workloads.Examples
+
+let check = Alcotest.check
+let stock = Helpers.stock_lib
+
+let pp_violations vs =
+  String.concat "; "
+    (List.map (fun v -> Format.asprintf "%a" Audit.pp_violation v) vs)
+
+let assert_clean what vs =
+  if vs <> [] then Alcotest.failf "%s: %s" what (pp_violations vs)
+
+let a1tr_16 = lazy (W.generate stock (W.scaled (W.preset "A1TR") 16.0))
+
+let synth ?(reconfig = true) spec =
+  Helpers.synthesize ~lib:stock ~reconfig spec
+
+let clean_on_figure4 () =
+  let r = Helpers.synthesize (Ex.figure4 Helpers.small_lib) in
+  assert_clean "figure4 audit" (C.audit r)
+
+let clean_on_generated () =
+  let spec = Lazy.force a1tr_16 in
+  assert_clean "A1TR/16 reconfig audit" (C.audit (synth spec));
+  assert_clean "A1TR/16 plain audit" (C.audit (synth ~reconfig:false spec))
+
+let clean_on_ft () =
+  match Ft.synthesize (Lazy.force a1tr_16) stock with
+  | Error m -> Alcotest.fail m
+  | Ok fr -> assert_clean "A1TR/16 FT audit" (Ft.audit fr)
+
+(* Without the merge phase no graph is ever split across modes, so the
+   strict default (static) compatibility predicate must also audit
+   clean at the architecture level. *)
+let clean_under_static_compat () =
+  let r = synth ~reconfig:false (Lazy.force a1tr_16) in
+  let reported =
+    { Audit.r_cost = r.C.cost; r_n_pes = r.C.n_pes; r_n_links = r.C.n_links;
+      r_n_modes = r.C.n_modes }
+  in
+  assert_clean "static-compat audit"
+    (Audit.check r.C.spec r.C.clustering r.C.arch reported)
+
+let recomputed_cost_bit_exact () =
+  let r = synth (Lazy.force a1tr_16) in
+  check Alcotest.bool "recompute_cost is bit-exact" true
+    (Float.equal (Audit.recompute_cost r.C.clustering r.C.arch) r.C.cost)
+
+let reported_tampering_flagged () =
+  let r = synth (Lazy.force a1tr_16) in
+  let reported =
+    { Audit.r_cost = r.C.cost +. 1.0; r_n_pes = r.C.n_pes + 1;
+      r_n_links = r.C.n_links; r_n_modes = r.C.n_modes }
+  in
+  let rules =
+    List.map (fun (v : Audit.violation) -> v.Audit.rule)
+      (Audit.check_reported r.C.clustering r.C.arch reported)
+  in
+  check Alcotest.bool "cost tampering flagged" true
+    (List.mem "cost-accounting" rules);
+  check Alcotest.bool "count tampering flagged" true
+    (List.mem "count-accounting" rules)
+
+(* --- Mutate oracle: every applicable corruption kind is caught --- *)
+
+let cluster_intervals (r : C.result) =
+  let n = Array.length r.C.clustering.Clustering.clusters in
+  let ivls = Array.make n [] in
+  Array.iter
+    (fun (i : Schedule.instance) ->
+      if i.Schedule.finish > i.Schedule.start then begin
+        let cid = r.C.clustering.Clustering.of_task.(i.Schedule.i_task) in
+        ivls.(cid) <- (i.Schedule.start, i.Schedule.finish) :: ivls.(cid)
+      end)
+    r.C.schedule.Schedule.instances;
+  ivls
+
+let lists_overlap xs ys =
+  List.exists (fun (s, f) -> List.exists (fun (s', f') -> s < f' && s' < f) ys) xs
+
+let try_mutation (r : C.result) kind =
+  let m = Compat.matrix r.C.spec r.C.schedule in
+  let ivls = cluster_intervals r in
+  let overlaps c c' = lists_overlap ivls.(c) ivls.(c') in
+  let arch = Arch.copy r.C.arch in
+  let reported =
+    { Audit.r_cost = r.C.cost; r_n_pes = r.C.n_pes; r_n_links = r.C.n_links;
+      r_n_modes = r.C.n_modes }
+  in
+  match
+    Audit.Mutate.apply
+      ~compat:(fun a b -> m.(a).(b))
+      ~overlaps r.C.spec r.C.clustering arch reported kind
+  with
+  | Error why -> `Inapplicable why
+  | Ok rep ->
+      let r' =
+        {
+          r with
+          C.arch;
+          cost = rep.Audit.r_cost;
+          n_pes = rep.Audit.r_n_pes;
+          n_links = rep.Audit.r_n_links;
+          n_modes = rep.Audit.r_n_modes;
+        }
+      in
+      let vs = C.audit r' in
+      if
+        List.exists
+          (fun (v : Audit.violation) ->
+            v.Audit.rule = Audit.Mutate.expected_rule kind)
+          vs
+      then `Detected
+      else `Missed vs
+
+let mutations_all_detected () =
+  let plain = synth (Lazy.force a1tr_16) in
+  let ft_core =
+    match Ft.synthesize (Lazy.force a1tr_16) stock with
+    | Ok fr -> fr.Ft.core
+    | Error m -> Alcotest.fail m
+  in
+  let detected = ref 0 in
+  List.iter
+    (fun kind ->
+      let name = Audit.Mutate.name kind in
+      (* A mutation inapplicable to the plain fixture gets a second
+         chance on the FT core, which guarantees exclusion pairs. *)
+      let outcome =
+        match try_mutation plain kind with
+        | `Inapplicable _ -> try_mutation ft_core kind
+        | o -> o
+      in
+      match outcome with
+      | `Detected -> incr detected
+      | `Inapplicable _ -> ()
+      | `Missed vs ->
+          Alcotest.failf "mutation %s not flagged as %s (got: %s)" name
+            (Audit.Mutate.expected_rule kind)
+            (pp_violations vs))
+    Audit.Mutate.all;
+  check Alcotest.bool
+    (Printf.sprintf "at least 9 of %d kinds applicable and detected (got %d)"
+       (List.length Audit.Mutate.all) !detected)
+    true (!detected >= 9)
+
+let suite =
+  [
+    Alcotest.test_case "figure4 audits clean" `Quick clean_on_figure4;
+    Alcotest.test_case "generated workload audits clean" `Quick clean_on_generated;
+    Alcotest.test_case "FT result audits clean" `Quick clean_on_ft;
+    Alcotest.test_case "static compat audits clean without merge" `Quick
+      clean_under_static_compat;
+    Alcotest.test_case "recomputed cost bit-exact" `Quick recomputed_cost_bit_exact;
+    Alcotest.test_case "reported tampering flagged" `Quick reported_tampering_flagged;
+    Alcotest.test_case "seeded corruptions all detected" `Quick mutations_all_detected;
+  ]

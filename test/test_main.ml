@@ -14,6 +14,9 @@ let () =
       ("fault", Test_fault.suite);
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
+      ("audit", Test_audit.suite);
+      ("upgrade", Test_upgrade.suite);
+      ("presets", Test_presets.suite);
       ("evaluator", Test_evaluator.suite);
       ("extras", Test_extras.suite);
       ("properties", Test_properties.suite);

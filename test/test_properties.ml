@@ -24,13 +24,25 @@ let tiny_params seed =
     cpld_fraction = 0.1;
   }
 
+(* Counterexample printer: a bare seed number is useless in a failure
+   report, so describe the workload it generates. *)
+let seed_arbitrary range_hi =
+  QCheck.set_print
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      Printf.sprintf "seed %d -> %s: %d tasks, %d graphs, %d edges" seed
+        spec.Spec.name (Spec.n_tasks spec)
+        (Array.length spec.Spec.graphs)
+        (Spec.n_edges spec))
+    QCheck.(int_range 1 range_hi)
+
 (* The flagship property: whatever the seed, synthesis produces a
    deadline-meeting architecture whose schedule passes every invariant of
    the independent validator, and dynamic reconfiguration never costs
    more than its absence. *)
 let synthesis_sound =
-  QCheck.Test.make ~name:"synthesize is sound on random workloads" ~count:12
-    QCheck.(int_range 1 10_000)
+  QCheck.Test.make ~name:"synthesize is sound on random workloads" ~long_factor:10 ~count:12
+    (seed_arbitrary 10_000)
     (fun seed ->
       let spec = W.generate stock (tiny_params seed) in
       match
@@ -47,8 +59,8 @@ let synthesis_sound =
       | _ -> false)
 
 let ft_sound =
-  QCheck.Test.make ~name:"CRUSADE-FT is sound on random workloads" ~count:6
-    QCheck.(int_range 1 10_000)
+  QCheck.Test.make ~name:"CRUSADE-FT is sound on random workloads" ~long_factor:10 ~count:6
+    (seed_arbitrary 10_000)
     (fun seed ->
       let spec = W.generate stock (tiny_params seed) in
       match Crusade_fault.Ft.synthesize spec stock with
@@ -61,8 +73,8 @@ let ft_sound =
       | Error _ -> false)
 
 let dsl_roundtrip_generated =
-  QCheck.Test.make ~name:"Dsl roundtrips generated workloads" ~count:10
-    QCheck.(int_range 1 10_000)
+  QCheck.Test.make ~name:"Dsl roundtrips generated workloads" ~long_factor:10 ~count:10
+    (seed_arbitrary 10_000)
     (fun seed ->
       let spec = W.generate stock (tiny_params seed) in
       match Crusade_taskgraph.Dsl.parse (Crusade_taskgraph.Dsl.print spec) with
@@ -113,8 +125,8 @@ let tight_boot_requirement_buys_speed () =
   | _ -> Alcotest.fail "both runs must synthesize an interface"
 
 let determinism_across_option_sets =
-  QCheck.Test.make ~name:"copy_cap never breaks determinism" ~count:6
-    QCheck.(int_range 1 1_000)
+  QCheck.Test.make ~name:"copy_cap never breaks determinism" ~long_factor:10 ~count:6
+    (seed_arbitrary 1_000)
     (fun seed ->
       let spec = W.generate stock (tiny_params seed) in
       let run cap =
