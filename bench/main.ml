@@ -18,8 +18,9 @@
    --jobs 1; also the CRUSADE_JOBS env var).  For the speedup subcommand
    it sets the largest jobs count measured (default 4).
 
-   --no-prune / --no-memo disable the two evaluator stages (the stage-1
-   tardiness lower bound, the stage-2 schedule memo table); results are
+   --no-prune / --no-memo / --no-incremental disable the evaluator
+   stages (the stage-1 tardiness lower bound, the stage-2 schedule memo
+   table, the incremental prefix-replay engine); results are
    bit-identical either way, only the timings move.
 
    --only NAME[,NAME] restricts table2/table3 to the named examples.
@@ -169,7 +170,7 @@ let record_run ~table ~example ~variant ~jobs ~cost ?audit (r : C.result) =
     }
     :: !bench_records
 
-let write_bench_json ~prune ~memo path =
+let write_bench_json ~prune ~memo ~incremental path =
   let entries = List.rev !bench_records in
   let oc = open_out path in
   let b = Buffer.create 4096 in
@@ -177,6 +178,7 @@ let write_bench_json ~prune ~memo path =
   Buffer.add_string b "  \"schema\": \"crusade-bench-1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"prune\": %b,\n" prune);
   Buffer.add_string b (Printf.sprintf "  \"memo\": %b,\n" memo);
+  Buffer.add_string b (Printf.sprintf "  \"incremental\": %b,\n" incremental);
   Buffer.add_string b "  \"entries\": [";
   List.iteri
     (fun i e ->
@@ -193,17 +195,19 @@ let write_bench_json ~prune ~memo path =
            "\n    {\"table\": %S, \"example\": %S, \"variant\": %S, \"jobs\": %d, \
             \"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, \"cost\": %.3f, \
             \"deadlines_met\": %b, \"pruned\": %d, \"memo_hits\": %d, \
-            \"memo_misses\": %d, \"rollbacks\": %d%s}"
+            \"memo_misses\": %d, \"rollbacks\": %d, \"replays\": %d, \
+            \"rebuilds\": %d%s}"
            e.br_table e.br_example e.br_variant e.br_jobs e.br_wall e.br_cpu
            e.br_cost e.br_met e.br_stats.C.pruned e.br_stats.C.memo_hits
-           e.br_stats.C.memo_misses e.br_stats.C.rollbacks audit_fields))
+           e.br_stats.C.memo_misses e.br_stats.C.rollbacks e.br_stats.C.replays
+           e.br_stats.C.rebuilds audit_fields))
     entries;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.output_buffer oc b;
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" path (List.length entries)
 
-let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
+let synth_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig =
   let options =
     {
       C.default_options with
@@ -211,6 +215,7 @@ let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
       jobs;
       prune;
       memo;
+      incremental;
       trace = !trace_sink;
     }
   in
@@ -224,7 +229,7 @@ let synth_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
       (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
-let ft_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
+let ft_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig =
   let options =
     {
       C.default_options with
@@ -232,6 +237,7 @@ let ft_row ~jobs ~prune ~memo ~table ~example spec lib reconfig =
       jobs;
       prune;
       memo;
+      incremental;
       trace = !trace_sink;
     }
   in
@@ -301,24 +307,27 @@ let comparison_table ~title ~paper ~scale ~only ~row_of =
        ~header rows);
   print_newline ()
 
-let table2 ~scale ~jobs ~prune ~memo ~only () =
+let table2 ~scale ~jobs ~prune ~memo ~incremental ~only () =
   comparison_table
     ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
     ~paper:paper_table2 ~scale ~only
-    ~row_of:(synth_row ~jobs ~prune ~memo ~table:"table2")
+    ~row_of:(synth_row ~jobs ~prune ~memo ~incremental ~table:"table2")
 
-let table3 ~scale ~jobs ~prune ~memo ~only () =
+let table3 ~scale ~jobs ~prune ~memo ~incremental ~only () =
   comparison_table
     ~title:
       "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
     ~paper:paper_table3 ~scale ~only
-    ~row_of:(ft_row ~jobs ~prune ~memo ~table:"table3")
+    ~row_of:(ft_row ~jobs ~prune ~memo ~incremental ~table:"table3")
 
-let figures ~prune ~memo () =
+let figures ~prune ~memo ~incremental () =
   print_endline "== Fig. 2 motivation example (small library) ==";
   let lib = Crusade_resource.Library.small () in
   let spec = Ex.figure2 lib in
-  let fig_row = synth_row ~jobs:1 ~prune ~memo ~table:"figures" ~example:"figure2" in
+  let fig_row =
+    synth_row ~jobs:1 ~prune ~memo ~incremental ~table:"figures"
+      ~example:"figure2"
+  in
   let p0, l0, _, c0, _ = fig_row spec lib false in
   let p1, l1, _, c1, _ = fig_row spec lib true in
   Printf.printf
@@ -335,6 +344,7 @@ let figures ~prune ~memo () =
       dynamic_reconfiguration = true;
       prune;
       memo;
+      incremental;
       trace = !trace_sink;
     }
   in
@@ -425,6 +435,7 @@ let ablation () =
       row "eval window 4" { d with C.eval_window = 4 };
       row "no merge phase" { d with C.merge_trials_per_pass = 0 };
       row "no reconfiguration" { d with C.dynamic_reconfiguration = false };
+      row "no incremental rescheduling" { d with C.incremental = false };
     ]
   in
   print_string
@@ -490,6 +501,11 @@ let speedup ~max_jobs () =
     (if deterministic then "identical results" else "MISMATCH (bug!)")
 
 let () =
+  (* The synthesis inner loops allocate short-lived scratch (site maps,
+     level arrays, timelines) at a rate that makes the default 256k-word
+     minor heap a measurable share of the run; a larger nursery trades a
+     few MB of RSS for fewer collections. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1024 * 1024 };
   let args = Array.to_list Sys.argv in
   let int_flag flag default =
     let rec find = function
@@ -516,6 +532,7 @@ let () =
   let jobs = int_flag "--jobs" (Crusade_util.Pool.default_jobs ()) in
   let prune = not (List.mem "--no-prune" args) in
   let memo = not (List.mem "--no-memo" args) in
+  let incremental = not (List.mem "--no-incremental" args) in
   let only =
     match string_flag "--only" "" with
     | "" -> []
@@ -549,17 +566,18 @@ let () =
                 ])
             args)
   in
-  if wants "figures" then figures ~prune ~memo ();
+  if wants "figures" then figures ~prune ~memo ~incremental ();
   if wants "table1" then table1 ();
-  if wants "table2" then table2 ~scale ~jobs ~prune ~memo ~only ();
-  if wants "table3" then table3 ~scale ~jobs ~prune ~memo ~only ();
+  if wants "table2" then table2 ~scale ~jobs ~prune ~memo ~incremental ~only ();
+  if wants "table3" then table3 ~scale ~jobs ~prune ~memo ~incremental ~only ();
   if wants "ablation" then ablation ();
   if wants "bench" then bechamel_benches ();
   (* speedup re-runs the same synthesis at every jobs count, so it only
      runs when asked for explicitly. *)
   if List.mem "speedup" args then
     speedup ~max_jobs:(int_flag "--jobs" 4) ();
-  if !bench_records <> [] then write_bench_json ~prune ~memo bench_out;
+  if !bench_records <> [] then
+    write_bench_json ~prune ~memo ~incremental bench_out;
   match (trace_out, !trace_sink) with
   | Some path, Some t ->
       Crusade_util.Trace.write_file t path;

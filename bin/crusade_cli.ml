@@ -95,6 +95,14 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Disable incremental rescheduling (candidate evaluation by prefix replay \
+     of the last full scheduler run).  Results are bit-identical with it on \
+     or off; only the synthesis time moves.  Escape hatch and A/B lever."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let audit_arg =
   let doc =
     "After synthesis, re-derive every architecture and schedule invariant \
@@ -122,9 +130,13 @@ let audit_exit ~audit violations base_exit =
         3
   end
 
-let options_with ~no_reconfig ~copy_cap ~eval_window ~trace =
+let options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window ~trace =
   let opts =
-    { C.default_options with dynamic_reconfiguration = not no_reconfig }
+    {
+      C.default_options with
+      dynamic_reconfiguration = not no_reconfig;
+      incremental = not no_incremental;
+    }
   in
   let opts =
     match copy_cap with Some v -> { opts with C.copy_cap = v } | None -> opts
@@ -147,14 +159,18 @@ let with_trace trace_file k =
       | _ -> ())
     (fun () -> k trace)
 
-let synth_run name scale no_reconfig copy_cap eval_window seed trace_file audit =
+let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
+    trace_file audit =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok (spec, lib) ->
       with_trace trace_file (fun trace ->
-          let options = options_with ~no_reconfig ~copy_cap ~eval_window ~trace in
+          let options =
+            options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window
+              ~trace
+          in
           match C.synthesize ~options spec lib with
           | Ok r ->
               Format.printf "%a@." C.pp_report r;
@@ -164,14 +180,17 @@ let synth_run name scale no_reconfig copy_cap eval_window seed trace_file audit 
               prerr_endline msg;
               1)
 
-let ft_run name scale no_reconfig copy_cap eval_window seed trace_file audit =
+let ft_run name scale no_reconfig no_incremental copy_cap eval_window seed
+    trace_file audit =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok (spec, lib) ->
       with_trace trace_file (fun trace ->
-      let options = options_with ~no_reconfig ~copy_cap ~eval_window ~trace in
+      let options =
+        options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window ~trace
+      in
       match F.synthesize ~options spec lib with
       | Ok r ->
           Format.printf "%a@." C.pp_report r.F.core;
@@ -226,15 +245,15 @@ let synth_cmd =
   let doc = "co-synthesize an architecture for a workload" in
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
-      const synth_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
+      const synth_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
+      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
     Term.(
-      const ft_run $ name_arg $ scale_arg $ reconfig_arg $ copy_cap_arg
-      $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
+      const ft_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
+      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

@@ -2,8 +2,8 @@
 
    Seeds drive [Comm_system.generate] parameters; every seed is
    synthesized under the full evaluator-configuration matrix
-   ({prune,memo} on/off x jobs 1/N x dynamic reconfiguration on/off) and
-   the harness asserts that
+   ({prune,memo} on/off x incremental rescheduling on/off x jobs 1/N x
+   dynamic reconfiguration on/off) and the harness asserts that
 
    (a) within each reconfiguration flavor, every evaluator configuration
        produces a bit-identical result (cost, counts, verdict and the
@@ -17,8 +17,9 @@
 
    [--selftest] turns the harness on itself: it corrupts an accepted
    architecture with every [Audit.Mutate] kind (plus schedule-level
-   tamperings) and asserts the auditor flags each one — so the oracle is
-   tested, not trusted. *)
+   tamperings) and asserts the auditor flags each one, and corrupts a
+   live scheduler recording to prove a broken prefix replay would
+   diverge from a fresh run — so the oracles are tested, not trusted. *)
 
 module Core = Crusade.Crusade_core
 module Ft = Crusade_fault.Ft
@@ -132,15 +133,23 @@ let json_params (p : W.params) =
     (json_string p.W.name) p.W.n_tasks p.W.seed p.W.hw_fraction p.W.family_slots
     p.W.asic_fraction p.W.cpld_fraction
 
-type config = { reconfig : bool; prune : bool; memo : bool; jobs : int }
+type config = {
+  reconfig : bool;
+  prune : bool;
+  memo : bool;
+  inc : bool;  (* incremental rescheduling *)
+  jobs : int;
+}
 
 let json_config c =
-  Printf.sprintf "{\"reconfig\": %b, \"prune\": %b, \"memo\": %b, \"jobs\": %d}"
-    c.reconfig c.prune c.memo c.jobs
+  Printf.sprintf
+    "{\"reconfig\": %b, \"prune\": %b, \"memo\": %b, \"incremental\": %b, \
+     \"jobs\": %d}"
+    c.reconfig c.prune c.memo c.inc c.jobs
 
 let describe_config c =
-  Printf.sprintf "reconfig=%b prune=%b memo=%b jobs=%d" c.reconfig c.prune c.memo
-    c.jobs
+  Printf.sprintf "reconfig=%b prune=%b memo=%b incremental=%b jobs=%d" c.reconfig
+    c.prune c.memo c.inc c.jobs
 
 (* One failure is enough: the repro is minimized by construction (a
    single seed, its generator parameters and the offending
@@ -186,10 +195,12 @@ let params_of_seed seed =
 
 let configs_of ~jobs_max reconfig =
   [
-    { reconfig; prune = true; memo = true; jobs = 1 };
-    { reconfig; prune = false; memo = false; jobs = 1 };
-    { reconfig; prune = true; memo = true; jobs = jobs_max };
-    { reconfig; prune = false; memo = false; jobs = jobs_max };
+    { reconfig; prune = true; memo = true; inc = true; jobs = 1 };
+    { reconfig; prune = false; memo = false; inc = true; jobs = 1 };
+    { reconfig; prune = true; memo = true; inc = false; jobs = 1 };
+    { reconfig; prune = false; memo = false; inc = false; jobs = 1 };
+    { reconfig; prune = true; memo = true; inc = true; jobs = jobs_max };
+    { reconfig; prune = false; memo = false; inc = false; jobs = jobs_max };
   ]
 
 let options_of (c : config) =
@@ -198,6 +209,7 @@ let options_of (c : config) =
     Core.dynamic_reconfiguration = c.reconfig;
     prune = c.prune;
     memo = c.memo;
+    incremental = c.inc;
     jobs = c.jobs;
   }
 
@@ -388,6 +400,60 @@ let verdict_flip (r : Core.result) =
   then ("verdict-flip", `Detected)
   else ("verdict-flip", `Missed ("verdict", vs))
 
+(* Replay-oracle self-test: corrupt a live recording and assert that a
+   full-prefix replay against the unchanged architecture diverges from
+   the fresh run.  Proves the differential check (fuzz axis
+   incremental on/off) is able to fail — a replay bug that alters the
+   schedule cannot hide behind an insensitive fingerprint. *)
+let replay_corruption (r : Core.result) =
+  let name = "replay-corruption" in
+  let spec = r.Core.spec
+  and clustering = r.Core.clustering
+  and arch = r.Core.arch in
+  match Schedule.Replay.record spec clustering arch with
+  | Error why -> (name, `Inapplicable ("record failed: " ^ why))
+  | Ok (fresh, recording) ->
+      if not (Schedule.Replay.corrupt_for_selftest recording) then
+        (name, `Inapplicable "recording has no steps to corrupt")
+      else begin
+        let prep = Schedule.Replay.prepare recording spec clustering arch in
+        if Schedule.Replay.cut prep < Schedule.Replay.steps recording then
+          ( name,
+            `Missed
+              ( "full-prefix replay",
+                [
+                  {
+                    Audit.rule = "replay-cut";
+                    detail =
+                      Printf.sprintf
+                        "identical architecture replays only %d of %d steps"
+                        (Schedule.Replay.cut prep)
+                        (Schedule.Replay.steps recording);
+                  };
+                ] ) )
+        else begin
+          match Schedule.Replay.replay_run prep with
+          | Error _ ->
+              (* Divergence surfaced as an outright failure: detected. *)
+              (name, `Detected)
+          | Ok replayed ->
+              if schedule_fingerprint replayed <> schedule_fingerprint fresh
+              then (name, `Detected)
+              else
+                ( name,
+                  `Missed
+                    ( "schedule-fingerprint divergence",
+                      [
+                        {
+                          Audit.rule = "replay-fingerprint";
+                          detail =
+                            "corrupted recording replayed to the fresh run's \
+                             schedule";
+                        };
+                      ] ) )
+        end
+      end
+
 let selftest ~out =
   (* Two fixtures: a plain synthesis of a generated workload, and the
      core of its CRUSADE-FT synthesis (which guarantees exclusion pairs
@@ -442,14 +508,18 @@ let selftest ~out =
           missed := (name, expected, vs) :: !missed;
           Printf.printf "  %-26s MISSED (expected %s)\n" name expected)
     schedule_mutations;
-  (match verdict_flip plain with
-  | name, `Detected ->
-      detected := name :: !detected;
-      Printf.printf "  %-26s detected\n" name
-  | name, `Missed (expected, vs) ->
-      missed := (name, expected, vs) :: !missed;
-      Printf.printf "  %-26s MISSED (expected %s)\n" name expected
-  | name, `Inapplicable why -> Printf.printf "  %-26s inapplicable (%s)\n" name why);
+  List.iter
+    (fun outcome ->
+      match outcome with
+      | name, `Detected ->
+          detected := name :: !detected;
+          Printf.printf "  %-26s detected\n" name
+      | name, `Missed (expected, vs) ->
+          missed := (name, expected, vs) :: !missed;
+          Printf.printf "  %-26s MISSED (expected %s)\n" name expected
+      | name, `Inapplicable why ->
+          Printf.printf "  %-26s inapplicable (%s)\n" name why)
+    [ verdict_flip plain; replay_corruption plain ];
   (match !missed with
   | [] -> ()
   | (name, expected, vs) :: _ ->
@@ -473,7 +543,7 @@ let () =
   if a.selftest then selftest ~out:a.out
   else begin
     let n = a.seed_hi - a.seed_lo + 1 in
-    Printf.printf "fuzzing seeds %d..%d (%d seeds x 8 configurations, jobs_max=%d)\n%!"
+    Printf.printf "fuzzing seeds %d..%d (%d seeds x 12 configurations, jobs_max=%d)\n%!"
       a.seed_lo a.seed_hi n a.jobs_max;
     for seed = a.seed_lo to a.seed_hi do
       let with_ft = (seed - a.seed_lo) mod a.ft_every = 0 in

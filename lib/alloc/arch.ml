@@ -40,7 +40,11 @@ type t = {
   links : link_inst Vec.t;
   sites : (int, site) Hashtbl.t;
   mutable interface_cost : float option;
-  links_cache : (int * int, link_inst list) Hashtbl.t;
+  links_cache : (int, link_inst list) Hashtbl.t;
+  mutable links_cache_full : bool;
+      (* [links_cache] holds *every* connected pair (populated in one
+         pass over the links); a missing key then means "no link", with
+         no per-pair filtering fallback. *)
   mutable levels_cache : levels_cache option;
   (* Undo journal (trial architectures without deep copies): while at
      least one checkpoint is open, every mutating operation pushes a
@@ -65,6 +69,7 @@ let touch_levels t = t.levels_cache <- None
 
 let touch_links t =
   Hashtbl.reset t.links_cache;
+  t.links_cache_full <- false;
   t.levels_cache <- None
 
 let journaling t = t.journal_depth > 0
@@ -95,6 +100,7 @@ let rollback t ck =
     (* The trial changed connectivity (or instantiated resources), so
        the link memo may hold entries computed against it. *)
     Hashtbl.reset t.links_cache;
+    t.links_cache_full <- false;
     t.conn_epoch <- ck.ck_conn
   end;
   (* The levels memo saved at the checkpoint is valid again for the
@@ -126,6 +132,7 @@ let create lib =
     sites = Hashtbl.create 64;
     interface_cost = None;
     links_cache = Hashtbl.create 64;
+    links_cache_full = false;
     levels_cache = None;
     journal = [];
     journal_len = 0;
@@ -158,6 +165,7 @@ let copy t =
        cold.  The levels cache is a plain int array valid for the copied
        placement, so it transfers (any later mutation clears it). *)
     links_cache = Hashtbl.create 64;
+    links_cache_full = false;
     levels_cache = t.levels_cache;
     (* Copies are independent trial states: they never inherit the
        source's open checkpoints. *)
@@ -374,18 +382,41 @@ let cost t =
   Vec.fold pe_cost 0.0 t.pes +. Vec.fold link_cost 0.0 t.links
   +. Option.value ~default:0.0 t.interface_cost
 
+(* One pass over the links fills the memo for every connected pair at
+   once — the former per-pair [List.filter]/[List.mem] fallback was
+   quadratic in practice (candidate trials invalidate the memo, and the
+   scheduler then probes many pairs per run) and dominated profiles of
+   the allocation inner loop.  Pair lists keep the link-vector order the
+   old filter produced; [pe = pe] pairs are populated too (a link with
+   the PE attached), preserving the filter's degenerate-case answer. *)
+let populate_links_cache t =
+  Hashtbl.reset t.links_cache;
+  Vec.iter
+    (fun (l : link_inst) ->
+      let att = List.sort_uniq Int.compare l.attached in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a <= b then begin
+                let key = (a lsl 20) lor b in
+                match Hashtbl.find_opt t.links_cache key with
+                | Some ls -> Hashtbl.replace t.links_cache key (l :: ls)
+                | None -> Hashtbl.replace t.links_cache key [ l ]
+              end)
+            att)
+        att)
+    t.links;
+  (* Each pair's list was built newest-first; flip to link-vector order. *)
+  Hashtbl.filter_map_inplace (fun _ ls -> Some (List.rev ls)) t.links_cache;
+  t.links_cache_full <- true
+
 let links_between t pe_a pe_b =
-  let key = if pe_a < pe_b then (pe_a, pe_b) else (pe_b, pe_a) in
-  match Hashtbl.find_opt t.links_cache key with
-  | Some ls -> ls
-  | None ->
-      let ls =
-        List.filter
-          (fun (l : link_inst) -> List.mem pe_a l.attached && List.mem pe_b l.attached)
-          (Vec.to_list t.links)
-      in
-      Hashtbl.replace t.links_cache key ls;
-      ls
+  if not t.links_cache_full then populate_links_cache t;
+  let key =
+    if pe_a < pe_b then (pe_a lsl 20) lor pe_b else (pe_b lsl 20) lor pe_a
+  in
+  match Hashtbl.find_opt t.links_cache key with Some ls -> ls | None -> []
 
 let cached_levels t spec clustering =
   match t.levels_cache with

@@ -51,10 +51,16 @@ type t = {
       (** reconfiguration-controller + image-storage cost once interface
           synthesis has run; [None] until then, in which case {!cost}
           uses a per-image PROM estimate *)
-  links_cache : (int * int, link_inst list) Hashtbl.t;
-      (** {!links_between} memo, shared by every [Schedule.run] against
-          this architecture; cleared on any connectivity change and left
-          cold by {!copy} (its values alias the source's link records) *)
+  links_cache : (int, link_inst list) Hashtbl.t;
+      (** {!links_between} memo keyed by [(min lsl 20) lor max] of the PE
+          pair (an int key hashes far cheaper than a tuple on the
+          scheduler's per-transfer probe path), shared by every
+          [Schedule.run] against this architecture; cleared on any
+          connectivity change and left cold by {!copy} (its values alias
+          the source's link records) *)
+  mutable links_cache_full : bool;
+      (** the memo holds every connected pair (one-pass population on
+          first probe); a missing key then means "no link" *)
   mutable levels_cache : levels_cache option;
       (** last priority-levels computation; cleared on any mutation *)
   mutable journal : (unit -> unit) list;

@@ -7,11 +7,15 @@ module Graph = Crusade_taskgraph.Graph
    per graph.  pi(t) = exec(t) + max over outgoing edges of
    (comm(e) + pi(dst)), with the deadline subtracted at every task that
    carries one (sinks inherit the graph deadline). *)
-let compute (spec : Spec.t) ~exec_time ~comm_time =
+let compute ?rev_orders (spec : Spec.t) ~exec_time ~comm_time =
   let n = Spec.n_tasks spec in
   let levels = Array.make n min_int in
   let process (g : Graph.t) =
-    let order = List.rev (Graph.topological_order g) in
+    let order =
+      match rev_orders with
+      | Some orders -> orders.(g.Graph.id)
+      | None -> List.rev (Graph.topological_order g)
+    in
     let compute_level (task : Task.t) =
       let own = exec_time task in
       let downstream =

@@ -8,12 +8,18 @@
     reflecting the current architecture. *)
 
 val compute :
+  ?rev_orders:Crusade_taskgraph.Task.t list array ->
   Crusade_taskgraph.Spec.t ->
   exec_time:(Crusade_taskgraph.Task.t -> int) ->
   comm_time:(Crusade_taskgraph.Edge.t -> int) ->
   int array
 (** [compute spec ~exec_time ~comm_time] returns the priority level of
     every task, indexed by global task id.
+
+    [rev_orders], indexed by graph id, supplies each graph's
+    reverse-topological order when the caller already holds it — levels
+    are recomputed once per candidate architecture, and re-sorting the
+    (fixed) graphs each time was measurable.
 
     [exec_time] should give the worst execution time still possible for
     the task (its allocated time once allocated, the maximum over feasible

@@ -23,6 +23,7 @@ type options = {
   jobs : int;
   prune : bool;
   memo : bool;
+  incremental : bool;
   trace : Trace.t option;
 }
 
@@ -38,6 +39,7 @@ let default_options =
     jobs = Pool.default_jobs ();
     prune = true;
     memo = true;
+    incremental = true;
     trace = None;
   }
 
@@ -46,6 +48,8 @@ type eval_stats = {
   memo_hits : int;
   memo_misses : int;
   rollbacks : int;
+  replays : int;
+  rebuilds : int;
 }
 
 type result = {
@@ -86,7 +90,9 @@ type ctx = {
 let make_ctx (opts : options) =
   let metrics = Trace.Metrics.create () in
   {
-    memo = Memo.create ~enabled:opts.memo ?trace:opts.trace ~metrics ();
+    memo =
+      Memo.create ~enabled:opts.memo ~incremental:opts.incremental
+        ?trace:opts.trace ~metrics ();
     metrics;
     rollback_counter = Trace.Metrics.counter metrics "eval.rollbacks";
     trace = opts.trace;
@@ -98,6 +104,8 @@ let eval_stats_of ctx =
     memo_hits = Memo.hits ctx.memo;
     memo_misses = Memo.misses ctx.memo;
     rollbacks = Trace.Counter.get ctx.rollback_counter;
+    replays = Memo.replays ctx.memo;
+    rebuilds = Memo.rebuilds ctx.memo;
   }
 
 (* One counter sample per phase boundary: the evaluator counters as a
@@ -110,6 +118,8 @@ let sample_eval_counters ctx =
       ("memo_hits", Memo.hits ctx.memo);
       ("memo_misses", Memo.misses ctx.memo);
       ("rollbacks", Trace.Counter.get ctx.rollback_counter);
+      ("replays", Memo.replays ctx.memo);
+      ("rebuilds", Memo.rebuilds ctx.memo);
     ]
 
 let n_modes arch =
@@ -191,8 +201,13 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
               else None)
       | Some _ -> None
     in
+    (* Trials only need the verdict; [Memo.evaluate] routes through the
+       incremental engine (prefix replay of the last full run) and skips
+       materializing a schedule.  The winner is re-applied and scheduled
+       through [Memo.run] by the caller, so nothing downstream misses
+       the schedule object. *)
     let schedule_trial trial =
-      Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering trial
+      Memo.evaluate ctx.memo ~copy_cap:opts.copy_cap spec clustering trial
     in
     if jobs = 1 then begin
       (* Sequential path: journaled trials on the base architecture.
@@ -227,14 +242,14 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
                       | Error _ ->
                           rollback arch ck;
                           incr tried
-                      | Ok sched ->
-                          if sched.Schedule.deadlines_met then begin
+                      | Ok v ->
+                          if v.Schedule.v_met then begin
                             Arch.commit arch ck;
                             raise Commit
                           end
                           else begin
                             let score =
-                              (sched.Schedule.total_tardiness, Arch.cost arch)
+                              (v.Schedule.v_tardiness, Arch.cost arch)
                             in
                             (match !best_fallback with
                             | Some (best_score, _) when best_score <= score -> ()
@@ -288,12 +303,11 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
                 | None -> (
                     match schedule_trial trial with
                     | Error _ -> `Unschedulable
-                    | Ok sched ->
-                        if sched.Schedule.deadlines_met then `Feasible trial
+                    | Ok v ->
+                        if v.Schedule.v_met then `Feasible trial
                         else
                           `Tardy
-                            ( trial,
-                              (sched.Schedule.total_tardiness, Arch.cost trial) ))))
+                            (trial, (v.Schedule.v_tardiness, Arch.cost trial)))))
       in
       let exception Commit of Arch.t in
       let consume = function
@@ -396,6 +410,13 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       | Error _ as e -> e
       | Ok trial ->
           arch := trial;
+          (* Refresh the incremental engine's recording on the committed
+             architecture: the next cluster's trials then diff against a
+             basis that differs only by their own placement, maximizing
+             the replayable prefix.  One record-only run per cluster
+             against dozens of trials served by replay. *)
+          if opts.incremental then
+            Memo.refresh ctx.memo ~copy_cap:opts.copy_cap spec clustering !arch;
           allocated.(cluster.cid) <- true;
           allocate_all (remaining - 1)
     end
@@ -456,9 +477,10 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
           Memo.note_prune ctx.memo;
           v
       | None -> (
-          match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering trial with
-          | Ok after ->
-              after.Schedule.total_tardiness < sched.Schedule.total_tardiness
+          match
+            Memo.evaluate ctx.memo ~copy_cap:opts.copy_cap spec clustering trial
+          with
+          | Ok after -> after.Schedule.v_tardiness < sched.Schedule.total_tardiness
           | Error _ -> false)
     in
     let rec attempt k =

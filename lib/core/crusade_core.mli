@@ -39,6 +39,13 @@ type options = {
       (** stage-2 candidate evaluation (default true): serve repeated
           schedules of structurally identical architectures from the
           run's bounded {!Crusade_sched.Memo} table. *)
+  incremental : bool;
+      (** incremental rescheduling (default true): evaluate trial
+          candidates by replaying the provably unchanged prefix of the
+          last full scheduler run ({!Crusade_sched.Incremental}) instead
+          of rebuilding every timeline from scratch.  Synthesis results
+          are bit-identical with it on or off; [--no-incremental] in the
+          CLI and benchmark drivers maps here. *)
   trace : Crusade_util.Trace.t option;
       (** when set, every synthesis phase (pre-processing, clustering,
           allocation per cluster and per candidate, repair, merge
@@ -58,6 +65,11 @@ type eval_stats = {
   memo_hits : int;  (** schedules served from the memo table *)
   memo_misses : int;  (** schedules actually computed *)
   rollbacks : int;  (** journaled trial mutations undone in place *)
+  replays : int;
+      (** candidate evaluations served by incremental prefix replay *)
+  rebuilds : int;
+      (** full scheduler runs through the incremental engine; 0 when
+          [options.incremental] is off *)
 }
 (** Two-stage-evaluator counters of one synthesis flow.  Each flow owns
     its counters (and its memo table), so back-to-back or concurrent

@@ -105,7 +105,7 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
     (Ok ()) source.Arch.m_clusters
   |> Result.map (fun () -> trial)
 
-let feasible schedule = schedule.Schedule.deadlines_met
+let feasible (v : Schedule.verdict) = v.Schedule.v_met
 
 let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
     ?(jobs = 1) ?(prune = true) ?trace ~memo spec clustering arch =
@@ -220,9 +220,11 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
                       None
                     end
                     else begin
-                      match run_schedule trial with
+                      (* Verdict-only: accepted trials are re-run through
+                         [run_schedule] below to materialize the schedule. *)
+                      match Memo.evaluate memo ~copy_cap spec clustering trial with
                       | Error _ -> None
-                      | Ok sched -> Some (trial, sched, Arch.cost trial)
+                      | Ok v -> Some (trial, v, Arch.cost trial)
                     end)
           in
           let results = Pool.map_n ~jobs pool evaluate (Array.length batch) in
@@ -231,15 +233,20 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
             incr trials;
             incr merges_tried;
             (match results.(!k) with
-            | Some (trial, sched, trial_cost)
-              when feasible sched && trial_cost < Arch.cost !current ->
-                current := trial;
-                current_sched := sched;
-                incr merges_accepted;
-                improved := true;
-                accepted := true;
-                let accepted_pos, _, _ = batch.(!k) in
-                pos := accepted_pos + 1
+            | Some (trial, v, trial_cost)
+              when feasible v && trial_cost < Arch.cost !current -> (
+                (* The verdict said feasible, so the materializing run
+                   cannot fail (same inputs, bit-identical result). *)
+                match run_schedule trial with
+                | Error _ -> ()
+                | Ok sched ->
+                    current := trial;
+                    current_sched := sched;
+                    incr merges_accepted;
+                    improved := true;
+                    accepted := true;
+                    let accepted_pos, _, _ = batch.(!k) in
+                    pos := accepted_pos + 1)
             | Some _ | None -> ());
             incr k
           done
@@ -272,17 +279,23 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
                                   ~strict:false trial
                               then Memo.note_prune memo
                               else begin
-                                match run_schedule trial with
+                                match
+                                  Memo.evaluate memo ~copy_cap spec clustering
+                                    trial
+                                with
                                 | Error _ -> ()
-                                | Ok sched ->
+                                | Ok v ->
                                     if
-                                      feasible sched
+                                      feasible v
                                       && Arch.cost trial <= Arch.cost !current
                                     then begin
-                                      current := trial;
-                                      current_sched := sched;
-                                      incr modes_combined;
-                                      improved := true
+                                      match run_schedule trial with
+                                      | Error _ -> ()
+                                      | Ok sched ->
+                                          current := trial;
+                                          current_sched := sched;
+                                          incr modes_combined;
+                                          improved := true
                                     end
                               end))
                   rest

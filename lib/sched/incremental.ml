@@ -1,0 +1,82 @@
+module Spec = Crusade_taskgraph.Spec
+module Clustering = Crusade_cluster.Clustering
+module Arch = Crusade_alloc.Arch
+module Trace = Crusade_util.Trace
+
+(* The policy layer over [Schedule.Replay]: keep the latest recording of
+   a full scheduler run alive, and when the next candidate shares its
+   spec/clustering, diff the candidate against the recording's snapshot
+   and replay the provably identical prefix instead of rebuilding the
+   timelines from scratch.  Candidate evaluation perturbs one cluster at
+   a time, so successive architectures mostly agree and the replayable
+   prefix is usually large.
+
+   The slot is a single [Atomic]: recordings are immutable once
+   captured, so concurrent evaluation domains may read one slot safely,
+   and a lost race on publication merely keeps an equally valid
+   recording. *)
+type t = {
+  slot : Schedule.Replay.recording option Atomic.t;
+  trace : Trace.t option;
+  replay_counter : Trace.Counter.t;
+  rebuild_counter : Trace.Counter.t;
+}
+
+let create ?trace ?metrics () =
+  let counter name =
+    match metrics with
+    | Some m -> Trace.Metrics.counter m name
+    | None -> Trace.Counter.make ()
+  in
+  {
+    slot = Atomic.make None;
+    trace;
+    replay_counter = counter "eval.replays";
+    rebuild_counter = counter "eval.rebuilds";
+  }
+
+let replays t = Trace.Counter.get t.replay_counter
+let rebuilds t = Trace.Counter.get t.rebuild_counter
+
+let record t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  Trace.Counter.incr t.rebuild_counter;
+  match
+    Trace.span t.trace "schedule.run" (fun () ->
+        Schedule.Replay.record ~copy_cap spec clustering arch)
+  with
+  | Error _ as e -> e  (* keep the previous recording *)
+  | Ok (sched, recording) ->
+      Atomic.set t.slot (Some recording);
+      Ok sched
+
+(* Refresh the replay basis without materializing a schedule: the
+   synthesis loops call this at commit points, where the schedule
+   itself would be discarded anyway. *)
+let refresh t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  Trace.Counter.incr t.rebuild_counter;
+  match
+    Trace.span t.trace "schedule.run" (fun () ->
+        Schedule.Replay.record_only ~copy_cap spec clustering arch)
+  with
+  | Error _ -> ()  (* keep the previous recording *)
+  | Ok recording -> Atomic.set t.slot (Some recording)
+
+(* A recording never stops being a valid diff basis (it is immutable and
+   the diff is computed against the candidate), so evaluation always
+   replays when a compatible recording exists — even a zero-length
+   prefix is a win, because the verdict-only run skips materialization,
+   activity tracking and recording overhead.  Freshness of the basis
+   only affects the prefix length; the synthesis loops refresh it with a
+   full [record] run at each commit point (every materializing
+   [Memo.run] goes through [record]). *)
+let evaluate t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  match Atomic.get t.slot with
+  | Some r when Schedule.Replay.compatible r ~copy_cap spec clustering ->
+      let prep = Schedule.Replay.prepare r spec clustering arch in
+      Trace.Counter.incr t.replay_counter;
+      Trace.instant t.trace "eval.replay";
+      `Replayed (Schedule.Replay.replay_verdict prep)
+  | Some _ | None -> `Ran (record t ~copy_cap spec clustering arch)

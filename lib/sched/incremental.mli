@@ -1,0 +1,72 @@
+(** Incremental rescheduling: persistent timelines with downstream-only
+    repair (DESIGN.md "Incremental rescheduling").
+
+    Candidate evaluation schedules thousands of architectures per
+    synthesis that differ from their predecessor by one cluster's
+    placement.  This engine keeps a recording of the latest full
+    scheduler run — the pop sequence, every resource reservation, and a
+    snapshot of what the scheduler read from the architecture — and
+    evaluates the next candidate by diffing it against the snapshot,
+    replaying the provably unchanged prefix of the recording, and
+    list-scheduling only the remainder.  Replayed verdicts are
+    bit-identical to a fresh {!Schedule.run} by construction (the diff
+    marks every task whose scheduling inputs changed, closes the set
+    downstream, and cuts the prefix before the first pop any marked
+    instance could influence).
+
+    One engine is scoped to a synthesis run, like {!Memo}; the recording
+    slot is an atomic holding an immutable value, so the parallel
+    evaluation path may share it across domains. *)
+
+type t
+
+val create :
+  ?trace:Crusade_util.Trace.t ->
+  ?metrics:Crusade_util.Trace.Metrics.t ->
+  unit ->
+  t
+(** A fresh engine with an empty recording slot.  [?metrics] registers
+    the counters as ["eval.replays"] / ["eval.rebuilds"]; [?trace] emits
+    an instant event per replayed evaluation. *)
+
+val record :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (Schedule.t, string) result
+(** A full scheduler run, bit-identical to {!Schedule.run}, that also
+    refreshes the engine's recording (kept unchanged on [Error]). *)
+
+val refresh :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  unit
+(** Refreshes the recording without materializing a schedule (cheaper
+    than {!record}; the recording is kept unchanged if the run fails).
+    For commit points where the schedule would be discarded. *)
+
+val evaluate :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  [ `Replayed of (Schedule.verdict, string) result
+  | `Ran of (Schedule.t, string) result ]
+(** Evaluates a candidate.  [`Replayed] carries the verdict of a prefix
+    replay — bit-identical to a fresh run's verdict, but without
+    materializing a schedule; returned whenever a compatible recording
+    exists (even a zero-length prefix wins: the verdict-only run skips
+    materialization and recording overhead).  [`Ran] carries a full
+    {!record} run (the fallback, which also refreshes the recording). *)
+
+val replays : t -> int
+(** Evaluations served by prefix replay. *)
+
+val rebuilds : t -> int
+(** Full scheduler runs through {!record} (including fallbacks). *)

@@ -59,6 +59,7 @@ let capacity = 64
 
 type t = {
   enabled : bool;
+  engine : Incremental.t option;
   trace : Trace.t option;
   mutable tick : int;
   store : entry Store.t;
@@ -68,7 +69,7 @@ type t = {
   prune_counter : Trace.Counter.t;
 }
 
-let create ?(enabled = true) ?trace ?metrics () =
+let create ?(enabled = true) ?(incremental = true) ?trace ?metrics () =
   let counter name =
     match metrics with
     | Some m -> Trace.Metrics.counter m name
@@ -76,6 +77,7 @@ let create ?(enabled = true) ?trace ?metrics () =
   in
   {
     enabled;
+    engine = (if incremental then Some (Incremental.create ?trace ?metrics ()) else None);
     trace;
     tick = 0;
     store = Store.create capacity;
@@ -89,6 +91,8 @@ let hits t = Trace.Counter.get t.hit_counter
 let misses t = Trace.Counter.get t.miss_counter
 let prunes t = Trace.Counter.get t.prune_counter
 let note_prune t = Trace.Counter.incr t.prune_counter
+let replays t = match t.engine with Some e -> Incremental.replays e | None -> 0
+let rebuilds t = match t.engine with Some e -> Incremental.rebuilds e | None -> 0
 
 let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
   let k_pes =
@@ -105,7 +109,7 @@ let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
     Array.init (Vec.length arch.Arch.links) (fun i ->
         let l = Vec.get arch.Arch.links i in
         ( l.Arch.ltype.Crusade_resource.Link.id,
-          List.sort_uniq compare l.Arch.attached ))
+          List.sort_uniq Int.compare l.Arch.attached ))
   in
   let k_sites =
     let all = ref [] in
@@ -167,9 +171,16 @@ let insert t key spec clustering lib result =
     };
   Mutex.unlock t.lock
 
+(* Full (materializing) scheduler runs go through the incremental
+   engine's [record] when one is attached: the run costs the same but
+   refreshes the recording that serves subsequent {!evaluate} calls.
+   [Incremental.record] emits its own ["schedule.run"] span. *)
 let traced_run t ~copy_cap spec clustering arch =
-  Trace.span t.trace "schedule.run" (fun () ->
-      Schedule.run ~copy_cap spec clustering arch)
+  match t.engine with
+  | Some eng -> Incremental.record eng ~copy_cap spec clustering arch
+  | None ->
+      Trace.span t.trace "schedule.run" (fun () ->
+          Schedule.run ~copy_cap spec clustering arch)
 
 let run t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
@@ -187,6 +198,57 @@ let run t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
         insert t key spec clustering arch.Arch.lib result;
         result
   end
+
+(* Commit-point refresh of the replay basis: a record-only scheduler
+   run (no schedule materialization, no memo-table traffic).  A no-op
+   without an engine — the memo table needs no refreshing. *)
+let refresh t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  match t.engine with
+  | Some eng -> Incremental.refresh eng ~copy_cap spec clustering arch
+  | None -> ()
+
+let verdict_of (sched : Schedule.t) =
+  {
+    Schedule.v_tardiness = sched.Schedule.total_tardiness;
+    v_met = sched.Schedule.deadlines_met;
+    v_scheduled = sched.Schedule.scheduled_tasks;
+  }
+
+let verdict_result = function
+  | Ok sched -> Ok (verdict_of sched)
+  | Error e -> Error e
+
+(* Verdict-only candidate evaluation.  With an incremental engine the
+   memo table is bypassed entirely: candidate trials are essentially
+   unique, so the table's hit rate on this path was a handful out of
+   thousands, while the deep structural fingerprint it required cost
+   more per trial than the replay it occasionally saved — the replay
+   engine *is* the cache here.  Without an engine the table answers
+   first, as [run] does. *)
+let evaluate t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
+    (clustering : Clustering.t) (arch : Arch.t) =
+  match t.engine with
+  | Some eng -> (
+      match Incremental.evaluate eng ~copy_cap spec clustering arch with
+      | `Replayed v -> v
+      | `Ran result -> verdict_result result)
+  | None ->
+      if not t.enabled then
+        verdict_result (traced_run t ~copy_cap spec clustering arch)
+      else begin
+        let key = fingerprint ~copy_cap clustering arch in
+        match lookup t key spec clustering arch.Arch.lib with
+        | Some result ->
+            Trace.Counter.incr t.hit_counter;
+            Trace.instant t.trace "memo.hit";
+            verdict_result result
+        | None ->
+            Trace.Counter.incr t.miss_counter;
+            let result = traced_run t ~copy_cap spec clustering arch in
+            insert t key spec clustering arch.Arch.lib result;
+            verdict_result result
+      end
 
 let estimate t ?(copy_cap = Schedule.default_copy_cap) spec clustering arch =
   Trace.span t.trace "schedule.estimate" (fun () ->

@@ -25,17 +25,21 @@ type t
 
 val create :
   ?enabled:bool ->
+  ?incremental:bool ->
   ?trace:Crusade_util.Trace.t ->
   ?metrics:Crusade_util.Trace.Metrics.t ->
   unit ->
   t
 (** A fresh, empty table.  [~enabled:false] makes {!run} bypass the
     table entirely (no lookup, no counter traffic) — the synthesis
-    options use it to switch stage 2 off.  [?metrics] registers the
-    counters as ["eval.memo_hits"] / ["eval.memo_misses"] /
-    ["eval.pruned"] in the given per-run registry; [?trace] emits a
-    span around every underlying {!Schedule.run} / {!Schedule.estimate}
-    and an instant event per memo hit. *)
+    options use it to switch stage 2 off.  [~incremental:false] detaches
+    the {!Incremental} engine, making {!evaluate} fall back to full
+    scheduler runs.  [?metrics] registers the counters as
+    ["eval.memo_hits"] / ["eval.memo_misses"] / ["eval.pruned"] (and,
+    with the engine attached, ["eval.replays"] / ["eval.rebuilds"]) in
+    the given per-run registry; [?trace] emits a span around every
+    underlying {!Schedule.run} / {!Schedule.estimate} and an instant
+    event per memo hit or prefix replay. *)
 
 val run :
   t ->
@@ -44,7 +48,37 @@ val run :
   Crusade_cluster.Clustering.t ->
   Crusade_alloc.Arch.t ->
   (Schedule.t, string) result
-(** Exactly {!Schedule.run}, but consulting the memo table first. *)
+(** Exactly {!Schedule.run}, but consulting the memo table first.  When
+    the incremental engine is attached, the underlying full run also
+    refreshes its recording. *)
+
+val evaluate :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  (Schedule.verdict, string) result
+(** Verdict-only evaluation for trial candidates: same answer as
+    {!run}'s [deadlines_met] / [total_tardiness] / [scheduled_tasks],
+    bit-identical, but served where possible by an incremental prefix
+    replay that materializes no schedule.  With the engine attached the
+    memo table is bypassed (trial candidates are essentially unique, so
+    the structural fingerprint cost more than the hits it earned);
+    without it the table answers first.  Use {!run} when the schedule
+    itself is needed. *)
+
+val refresh :
+  t ->
+  ?copy_cap:int ->
+  Crusade_taskgraph.Spec.t ->
+  Crusade_cluster.Clustering.t ->
+  Crusade_alloc.Arch.t ->
+  unit
+(** Refreshes the incremental engine's replay basis with a record-only
+    scheduler run (no schedule is materialized, nothing enters the memo
+    table).  No-op when the engine is detached.  For commit points in
+    the synthesis loops, where the schedule would be discarded. *)
 
 val estimate :
   t ->
@@ -68,6 +102,14 @@ val prunes : t -> int
     evaluation loops via {!note_prune}. *)
 
 val note_prune : t -> unit
+
+val replays : t -> int
+(** Candidate evaluations served by incremental prefix replay; 0 when
+    the engine is detached. *)
+
+val rebuilds : t -> int
+(** Full scheduler runs through the incremental engine (recording
+    refreshes); 0 when the engine is detached. *)
 
 val clear : t -> unit
 (** Empties the table, leaving the counters (tests; isolates benchmark

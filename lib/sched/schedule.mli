@@ -79,3 +79,87 @@ val priorities :
 (** Deadline-based priority levels under the current (partial)
     allocation: allocated tasks use their actual execution time, edges
     internal to a cluster or PE cost zero. *)
+
+type verdict = {
+  v_tardiness : int;  (** {!t}[.total_tardiness] of the same run *)
+  v_met : bool;  (** {!t}[.deadlines_met] *)
+  v_scheduled : int;  (** {!t}[.scheduled_tasks] *)
+}
+(** What candidate evaluation actually consumes from a schedule.  The
+    incremental engine returns verdicts without materializing instance
+    records, activity windows or mode-switch counts. *)
+
+(** Low-level record/replay interface of the incremental engine (see
+    DESIGN.md "Incremental rescheduling").  [record] captures, alongside
+    a normal run, the pop sequence and the exact resource reservations of
+    every step plus a snapshot of everything the scheduler read from the
+    architecture.  [prepare] diffs a candidate architecture against that
+    snapshot and computes the provably identical prefix; [replay_verdict]
+    / [replay_run] fast-forward through it and schedule only the
+    remainder.  Exposed for {!Incremental} (the policy layer), the
+    differential tests and the fuzzer's self-test. *)
+module Replay : sig
+  type recording
+
+  val steps : recording -> int
+  (** Number of recorded scheduling steps (pops). *)
+
+  val compatible :
+    recording ->
+    ?copy_cap:int ->
+    Crusade_taskgraph.Spec.t ->
+    Crusade_cluster.Clustering.t ->
+    bool
+  (** A recording only applies to the same spec and clustering (by
+      physical identity) and the same copy cap it was captured with. *)
+
+  val record :
+    ?copy_cap:int ->
+    Crusade_taskgraph.Spec.t ->
+    Crusade_cluster.Clustering.t ->
+    Crusade_alloc.Arch.t ->
+    (t * recording, string) result
+  (** Runs the scheduler exactly as {!run} does while capturing a
+      recording of the run.  The schedule returned is bit-identical to
+      {!run}'s. *)
+
+  val record_only :
+    ?copy_cap:int ->
+    Crusade_taskgraph.Spec.t ->
+    Crusade_cluster.Clustering.t ->
+    Crusade_alloc.Arch.t ->
+    (recording, string) result
+  (** Like {!record} but skips schedule materialization (no instance
+      records, activity intervals or mode-switch counts are built).  For
+      commit points that only need to refresh the replay basis. *)
+
+  type prep
+
+  val prepare :
+    recording ->
+    Crusade_taskgraph.Spec.t ->
+    Crusade_cluster.Clustering.t ->
+    Crusade_alloc.Arch.t ->
+    prep
+  (** Diffs [arch] against the recording's snapshot and computes the
+      replayable prefix.  The caller must have checked {!compatible}. *)
+
+  val cut : prep -> int
+  (** Steps of the recording that will be replayed verbatim — equals
+      {!steps} when the candidate provably schedules identically. *)
+
+  val replay_verdict : prep -> (verdict, string) result
+  (** Replays the prefix and schedules the remainder, returning only the
+      verdict (no instance records, activity windows or mode-switch
+      counts are materialized).  Bit-identical to the verdict of a fresh
+      {!run} against the same architecture. *)
+
+  val replay_run : prep -> (t, string) result
+  (** Like {!replay_verdict} but materializes the full schedule;
+      bit-identical to a fresh {!run}. *)
+
+  val corrupt_for_selftest : recording -> bool
+  (** Mutates the recording so that a full-prefix replay diverges from a
+      fresh run (testing only: proves differential checks can fail).
+      Returns [false] when the recording has no steps to corrupt. *)
+end

@@ -96,7 +96,25 @@ let insert t ~ready ~duration =
   if duration > 0 then add t start finish;
   (start, finish)
 
-let insert_preemptible t ~ready ~duration ~max_chunks ~chunk_penalty =
+(* Append [start, stop) known to begin at or after every existing
+   interval's start, coalescing with the last one when touching.  Feeding
+   a timeline's committed intervals back in start order reproduces the
+   normalized (sorted, disjoint, coalesced) arrays [add] maintains —
+   normalization is canonical, so the rebuilt state is bit-identical no
+   matter what order the intervals were originally committed in.  Used by
+   the incremental engine's prefix replay. *)
+let append t start stop =
+  if t.n > 0 && start <= t.stops.(t.n - 1) then begin
+    if stop > t.stops.(t.n - 1) then t.stops.(t.n - 1) <- stop
+  end
+  else begin
+    ensure_capacity t;
+    t.starts.(t.n) <- start;
+    t.stops.(t.n) <- stop;
+    t.n <- t.n + 1
+  end
+
+let insert_preemptible ?on_commit t ~ready ~duration ~max_chunks ~chunk_penalty =
   if duration <= 0 then begin
     let start = find_gap t ~ready ~duration:0 in
     (start, start)
@@ -156,7 +174,11 @@ let insert_preemptible t ~ready ~duration ~max_chunks ~chunk_penalty =
       end
       else !cursor
     in
-    List.iter (fun (s, e) -> add t s e) (List.rev !placed);
+    List.iter
+      (fun (s, e) ->
+        add t s e;
+        match on_commit with Some f -> f s e | None -> ())
+      (List.rev !placed);
     (Option.value ~default:finish !first_start, finish)
   end
 

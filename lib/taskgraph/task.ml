@@ -42,6 +42,19 @@ let exec_on t pe_type =
     if time < 0 || not preferred then None else Some time
   end
 
+(* Allocation-free [exec_on] for the scheduler's per-candidate loops:
+   -1 means "cannot run there" instead of [None], so the probe stays off
+   the minor heap. *)
+let exec_us_on t pe_type =
+  if pe_type < 0 || pe_type >= Array.length t.exec then -1
+  else begin
+    let time = t.exec.(pe_type) in
+    let preferred =
+      match t.preference with None -> true | Some pref -> pref.(pe_type) <> 0
+    in
+    if time < 0 || not preferred then -1 else time
+  end
+
 let can_run_on t pe_type = exec_on t pe_type <> None
 
 let fold_feasible f init t =

@@ -57,6 +57,11 @@ val exec_on : t -> int -> int option
 (** [exec_on task pe_type] is the execution time on that PE type, [None]
     when infeasible or forbidden by the preference vector. *)
 
+val exec_us_on : t -> int -> int
+(** Allocation-free {!exec_on}: [-1] when infeasible or forbidden.  For
+    the scheduler's per-candidate hot paths, where the option box was
+    measurable garbage. *)
+
 val can_run_on : t -> int -> bool
 
 val max_exec : t -> int

@@ -18,6 +18,7 @@ let () =
       ("upgrade", Test_upgrade.suite);
       ("presets", Test_presets.suite);
       ("evaluator", Test_evaluator.suite);
+      ("incremental", Test_incremental.suite);
       ("extras", Test_extras.suite);
       ("properties", Test_properties.suite);
     ]
