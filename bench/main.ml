@@ -25,6 +25,14 @@
 
    --only NAME[,NAME] restricts table2/table3 to the named examples.
 
+   --portfolio N runs every table2/table3 synthesis as an N-trajectory
+   portfolio (Crusade_core.Portfolio; 0 = one trajectory per available
+   domain) and reports the best-of result.  Each row's wall/cpu columns
+   then cover the whole portfolio, the JSON entry gains the portfolio
+   counters and a best_cost_delta field (dollars saved vs trajectory 0,
+   the unperturbed baseline — never negative), and the cost column can
+   only improve on --portfolio 1.
+
    --audit runs the first-principles auditor (Crusade_core.audit /
    Ft.audit) on every synthesis result and records its seconds and
    violation count per entry in BENCH.json.  The audit is a single pass
@@ -124,6 +132,15 @@ let table1 () =
 
 (* --- machine-readable run log (BENCH.json) --- *)
 
+type portfolio_info = {
+  pi_n : int;
+  pi_stats : C.Portfolio.stats;
+  pi_best_traj : int;
+  pi_best_cost_delta : float option;
+      (* dollars saved vs trajectory 0 (the unperturbed baseline);
+         None only when trajectory 0 failed *)
+}
+
 type bench_record = {
   br_table : string;
   br_example : string;
@@ -135,6 +152,7 @@ type bench_record = {
   br_met : bool;
   br_stats : C.eval_stats;
   br_audit : (float * int) option;  (* audit seconds, violations found *)
+  br_portfolio : portfolio_info option;
 }
 
 let bench_records : bench_record list ref = ref []
@@ -154,19 +172,21 @@ let timed_audit violations_of =
     Some (Sys.time () -. t0, n)
   end
 
-let record_run ~table ~example ~variant ~jobs ~cost ?audit (r : C.result) =
+let record_run ~table ~example ~variant ~jobs ~cost ?audit ?wall ?cpu
+    ?portfolio (r : C.result) =
   bench_records :=
     {
       br_table = table;
       br_example = example;
       br_variant = variant;
       br_jobs = jobs;
-      br_wall = r.C.wall_seconds;
-      br_cpu = r.C.cpu_seconds;
+      br_wall = Option.value wall ~default:r.C.wall_seconds;
+      br_cpu = Option.value cpu ~default:r.C.cpu_seconds;
       br_cost = cost;
       br_met = r.C.deadlines_met;
       br_stats = r.C.eval_stats;
       br_audit = audit;
+      br_portfolio = portfolio;
     }
     :: !bench_records
 
@@ -190,24 +210,73 @@ let write_bench_json ~prune ~memo ~incremental path =
             Printf.sprintf ", \"audit_seconds\": %.6f, \"audit_violations\": %d"
               seconds violations
       in
+      let portfolio_fields =
+        match e.br_portfolio with
+        | None -> ""
+        | Some p ->
+            let s = p.pi_stats in
+            Printf.sprintf
+              ", \"portfolio_n\": %d, \"traj_launched\": %d, \
+               \"traj_completed\": %d, \"traj_aborted\": %d, \
+               \"bound_aborts\": %d, \"budget_aborts\": %d, \
+               \"incumbent_updates\": %d, \"best_traj\": %d, \
+               \"best_cost_delta\": %s"
+              p.pi_n s.C.Portfolio.launched s.C.Portfolio.completed
+              s.C.Portfolio.aborted s.C.Portfolio.bound_aborts
+              s.C.Portfolio.budget_aborts s.C.Portfolio.incumbent_updates
+              p.pi_best_traj
+              (match p.pi_best_cost_delta with
+              | Some d -> Printf.sprintf "%.3f" d
+              | None -> "null")
+      in
       Buffer.add_string b
         (Printf.sprintf
            "\n    {\"table\": %S, \"example\": %S, \"variant\": %S, \"jobs\": %d, \
             \"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, \"cost\": %.3f, \
             \"deadlines_met\": %b, \"pruned\": %d, \"memo_hits\": %d, \
             \"memo_misses\": %d, \"rollbacks\": %d, \"replays\": %d, \
-            \"rebuilds\": %d%s}"
+            \"rebuilds\": %d%s%s}"
            e.br_table e.br_example e.br_variant e.br_jobs e.br_wall e.br_cpu
            e.br_cost e.br_met e.br_stats.C.pruned e.br_stats.C.memo_hits
            e.br_stats.C.memo_misses e.br_stats.C.rollbacks e.br_stats.C.replays
-           e.br_stats.C.rebuilds audit_fields))
+           e.br_stats.C.rebuilds audit_fields portfolio_fields))
     entries;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.output_buffer oc b;
   close_out oc;
   Printf.printf "wrote %s (%d entries)\n%!" path (List.length entries)
 
-let synth_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig =
+(* Run a flow either plainly (portfolio = 1: bit-identical to the
+   pre-portfolio harness) or as an N-trajectory portfolio whose winner —
+   with the portfolio counters folded into its eval_stats — is recorded
+   with whole-portfolio wall/cpu seconds. *)
+let run_flow ~portfolio ~jobs ~options ~flow ~cost ~met =
+  if portfolio = 1 then
+    match flow options with
+    | Ok r -> Ok (r, None)
+    | Error msg -> Error msg
+  else begin
+    let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+    match C.Portfolio.run ~jobs ~n:portfolio ~options ~flow ~cost ~met () with
+    | Ok o ->
+        let wall = Unix.gettimeofday () -. w0 and cpu = Sys.time () -. c0 in
+        let info =
+          {
+            pi_n = portfolio;
+            pi_stats = o.C.Portfolio.stats;
+            pi_best_traj = o.C.Portfolio.best_index;
+            pi_best_cost_delta =
+              Option.map
+                (fun b -> b -. o.C.Portfolio.best_cost)
+                o.C.Portfolio.baseline_cost;
+          }
+        in
+        Ok (o.C.Portfolio.best, Some (info, wall, cpu))
+    | Error msg -> Error msg
+  end
+
+let synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec
+    lib reconfig =
   let options =
     {
       C.default_options with
@@ -219,17 +288,36 @@ let synth_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig 
       trace = !trace_sink;
     }
   in
-  match C.synthesize ~options spec lib with
-  | Ok r ->
+  match
+    run_flow ~portfolio ~jobs ~options
+      ~flow:(fun o -> C.synthesize ~options:o spec lib)
+      ~cost:(fun (r : C.result) -> r.C.cost)
+      ~met:(fun (r : C.result) -> r.C.deadlines_met)
+  with
+  | Ok (r, pf) ->
+      let r, portfolio, wall, cpu =
+        match pf with
+        | None -> (r, None, None, None)
+        | Some (info, wall, cpu) ->
+            ( {
+                r with
+                C.eval_stats =
+                  C.Portfolio.annotate r.C.eval_stats info.pi_stats;
+              },
+              Some info,
+              Some wall,
+              Some cpu )
+      in
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
         ~jobs ~cost:r.C.cost
         ?audit:(timed_audit (fun () -> C.audit r))
-        r;
+        ?wall ?cpu ?portfolio r;
       (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
-let ft_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig =
+let ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec lib
+    reconfig =
   let options =
     {
       C.default_options with
@@ -241,13 +329,31 @@ let ft_row ~jobs ~prune ~memo ~incremental ~table ~example spec lib reconfig =
       trace = !trace_sink;
     }
   in
-  match F.synthesize ~options spec lib with
-  | Ok r ->
+  match
+    run_flow ~portfolio ~jobs ~options
+      ~flow:(fun o -> F.synthesize ~options:o spec lib)
+      ~cost:(fun (r : F.result) -> r.F.total_cost)
+      ~met:(fun (r : F.result) -> r.F.core.C.deadlines_met)
+  with
+  | Ok (r, pf) ->
+      let core, portfolio, wall, cpu =
+        match pf with
+        | None -> (r.F.core, None, None, None)
+        | Some (info, wall, cpu) ->
+            ( {
+                r.F.core with
+                C.eval_stats =
+                  C.Portfolio.annotate r.F.core.C.eval_stats info.pi_stats;
+              },
+              Some info,
+              Some wall,
+              Some cpu )
+      in
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
         ~jobs ~cost:r.F.total_cost
         ?audit:(timed_audit (fun () -> F.audit r))
-        r.F.core;
+        ?wall ?cpu ?portfolio core;
       ( r.F.n_pes_with_spares,
         r.F.core.C.n_links,
         r.F.core.C.cpu_seconds,
@@ -307,25 +413,25 @@ let comparison_table ~title ~paper ~scale ~only ~row_of =
        ~header rows);
   print_newline ()
 
-let table2 ~scale ~jobs ~prune ~memo ~incremental ~only () =
+let table2 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only () =
   comparison_table
     ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
     ~paper:paper_table2 ~scale ~only
-    ~row_of:(synth_row ~jobs ~prune ~memo ~incremental ~table:"table2")
+    ~row_of:(synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table:"table2")
 
-let table3 ~scale ~jobs ~prune ~memo ~incremental ~only () =
+let table3 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only () =
   comparison_table
     ~title:
       "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
     ~paper:paper_table3 ~scale ~only
-    ~row_of:(ft_row ~jobs ~prune ~memo ~incremental ~table:"table3")
+    ~row_of:(ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table:"table3")
 
 let figures ~prune ~memo ~incremental () =
   print_endline "== Fig. 2 motivation example (small library) ==";
   let lib = Crusade_resource.Library.small () in
   let spec = Ex.figure2 lib in
   let fig_row =
-    synth_row ~jobs:1 ~prune ~memo ~incremental ~table:"figures"
+    synth_row ~jobs:1 ~prune ~memo ~incremental ~portfolio:1 ~table:"figures"
       ~example:"figure2"
   in
   let p0, l0, _, c0, _ = fig_row spec lib false in
@@ -507,13 +613,13 @@ let () =
      few MB of RSS for fewer collections. *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1024 * 1024 };
   let args = Array.to_list Sys.argv in
-  let int_flag flag default =
+  let int_flag ?(min = 1) flag default =
     let rec find = function
       | f :: n :: _ when f = flag -> (
           match int_of_string_opt n with
-          | Some v when v >= 1 -> v
+          | Some v when v >= min -> v
           | _ ->
-              Printf.eprintf "%s expects a positive integer, got %S\n" flag n;
+              Printf.eprintf "%s expects an integer >= %d, got %S\n" flag min n;
               exit 2)
       | _ :: rest -> find rest
       | [] -> default
@@ -530,6 +636,9 @@ let () =
   in
   let scale = int_flag "--scale" 8 in
   let jobs = int_flag "--jobs" (Crusade_util.Pool.default_jobs ()) in
+  (* 0 = one trajectory per available domain (Pool.size); resolved here
+     so every row reports the concrete trajectory count. *)
+  let portfolio = C.Portfolio.resolve_n (int_flag ~min:0 "--portfolio" 1) in
   let prune = not (List.mem "--no-prune" args) in
   let memo = not (List.mem "--no-memo" args) in
   let incremental = not (List.mem "--no-incremental" args) in
@@ -568,8 +677,10 @@ let () =
   in
   if wants "figures" then figures ~prune ~memo ~incremental ();
   if wants "table1" then table1 ();
-  if wants "table2" then table2 ~scale ~jobs ~prune ~memo ~incremental ~only ();
-  if wants "table3" then table3 ~scale ~jobs ~prune ~memo ~incremental ~only ();
+  if wants "table2" then
+    table2 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only ();
+  if wants "table3" then
+    table3 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only ();
   if wants "ablation" then ablation ();
   if wants "bench" then bechamel_benches ();
   (* speedup re-runs the same synthesis at every jobs count, so it only

@@ -95,6 +95,68 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let portfolio_arg =
+  let doc =
+    "Run $(docv) perturbed synthesis trajectories in parallel and keep the \
+     cheapest feasible result (0 = one trajectory per available domain).  \
+     Trajectory 0 is the unperturbed flow, so the portfolio never returns a \
+     worse architecture than the plain run; 1 (the default) is the plain run \
+     itself, bit for bit."
+  in
+  Arg.(
+    value
+    & opt (some (non_negative_int "--portfolio")) None
+    & info [ "portfolio" ] ~docv:"N" ~doc)
+
+let budget_ms_arg =
+  let doc =
+    "Anytime wall-clock budget in milliseconds: trajectories past the \
+     deadline abort at their next check point and the best architecture \
+     found so far is returned.  The unperturbed trajectory is exempt, so a \
+     result is always produced."
+  in
+  Arg.(
+    value
+    & opt (some (positive_int "--budget-ms")) None
+    & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let quality_arg =
+  let doc =
+    "Effort preset: $(b,fast) = single trajectory, $(b,balanced) = 4 \
+     trajectories, $(b,max) = one trajectory per available domain.  An \
+     explicit $(b,--portfolio) overrides it."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("fast", `Fast); ("balanced", `Balanced); ("max", `Max) ])) None
+    & info [ "quality" ] ~docv:"LEVEL" ~doc)
+
+(* --portfolio wins over --quality; no flag at all means the plain flow. *)
+let resolve_portfolio portfolio quality =
+  match (portfolio, quality) with
+  | Some n, _ -> n
+  | None, Some `Fast -> 1
+  | None, Some `Balanced -> 4
+  | None, Some `Max -> 0
+  | None, None -> 1
+
+let pp_portfolio_summary (stats : C.Portfolio.stats) ~best_index ~best_cost
+    ~baseline_cost =
+  Format.printf
+    "portfolio    : best of %d trajectories is #%d (%d completed, %d failed, \
+     %d aborted: %d bound / %d budget; %d incumbent updates)@."
+    stats.C.Portfolio.launched best_index stats.C.Portfolio.completed
+    stats.C.Portfolio.failed stats.C.Portfolio.aborted
+    stats.C.Portfolio.bound_aborts stats.C.Portfolio.budget_aborts
+    stats.C.Portfolio.incumbent_updates;
+  match baseline_cost with
+  | Some b ->
+      Format.printf "vs trajectory 0: $%s -> $%s (saved $%s)@."
+        (Crusade_util.Text_table.fmt_dollars b)
+        (Crusade_util.Text_table.fmt_dollars best_cost)
+        (Crusade_util.Text_table.fmt_dollars (b -. best_cost))
+  | None -> ()
+
 let no_incremental_arg =
   let doc =
     "Disable incremental rescheduling (candidate evaluation by prefix replay \
@@ -160,7 +222,7 @@ let with_trace trace_file k =
     (fun () -> k trace)
 
 let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
-    trace_file audit =
+    trace_file audit portfolio budget_ms quality =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -171,17 +233,46 @@ let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
             options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window
               ~trace
           in
-          match C.synthesize ~options spec lib with
-          | Ok r ->
-              Format.printf "%a@." C.pp_report r;
-              let base = if r.C.deadlines_met then 0 else 2 in
-              audit_exit ~audit (if audit then C.audit r else []) base
-          | Error msg ->
-              prerr_endline msg;
-              1)
+          let n = resolve_portfolio portfolio quality in
+          if n = 1 && budget_ms = None then
+            match C.synthesize ~options spec lib with
+            | Ok r ->
+                Format.printf "%a@." C.pp_report r;
+                let base = if r.C.deadlines_met then 0 else 2 in
+                audit_exit ~audit (if audit then C.audit r else []) base
+            | Error msg ->
+                prerr_endline msg;
+                1
+          else
+            match
+              C.Portfolio.run ?budget_ms ~n ~options
+                ~flow:(fun o -> C.synthesize ~options:o spec lib)
+                ~cost:(fun (r : C.result) -> r.C.cost)
+                ~met:(fun (r : C.result) -> r.C.deadlines_met)
+                ()
+            with
+            | Ok o ->
+                let r =
+                  {
+                    o.C.Portfolio.best with
+                    C.eval_stats =
+                      C.Portfolio.annotate o.C.Portfolio.best.C.eval_stats
+                        o.C.Portfolio.stats;
+                  }
+                in
+                Format.printf "%a@." C.pp_report r;
+                pp_portfolio_summary o.C.Portfolio.stats
+                  ~best_index:o.C.Portfolio.best_index
+                  ~best_cost:o.C.Portfolio.best_cost
+                  ~baseline_cost:o.C.Portfolio.baseline_cost;
+                let base = if r.C.deadlines_met then 0 else 2 in
+                audit_exit ~audit (if audit then C.audit r else []) base
+            | Error msg ->
+                prerr_endline msg;
+                1)
 
 let ft_run name scale no_reconfig no_incremental copy_cap eval_window seed
-    trace_file audit =
+    trace_file audit portfolio budget_ms quality =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -191,18 +282,55 @@ let ft_run name scale no_reconfig no_incremental copy_cap eval_window seed
       let options =
         options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window ~trace
       in
-      match F.synthesize ~options spec lib with
-      | Ok r ->
-          Format.printf "%a@." C.pp_report r.F.core;
-          Format.printf "spares cost $%s; total $%s@."
-            (Crusade_util.Text_table.fmt_dollars
-               r.F.provisioning.Crusade_fault.Dependability.spare_cost)
-            (Crusade_util.Text_table.fmt_dollars r.F.total_cost);
-          let base = if r.F.core.C.deadlines_met then 0 else 2 in
-          audit_exit ~audit (if audit then F.audit r else []) base
-      | Error msg ->
-          prerr_endline msg;
-          1)
+      let report (r : F.result) portfolio_outcome =
+        Format.printf "%a@." C.pp_report r.F.core;
+        Format.printf "spares cost $%s; total $%s@."
+          (Crusade_util.Text_table.fmt_dollars
+             r.F.provisioning.Crusade_fault.Dependability.spare_cost)
+          (Crusade_util.Text_table.fmt_dollars r.F.total_cost);
+        (match portfolio_outcome with
+        | None -> ()
+        | Some o ->
+            pp_portfolio_summary o.C.Portfolio.stats
+              ~best_index:o.C.Portfolio.best_index
+              ~best_cost:o.C.Portfolio.best_cost
+              ~baseline_cost:o.C.Portfolio.baseline_cost);
+        let base = if r.F.core.C.deadlines_met then 0 else 2 in
+        audit_exit ~audit (if audit then F.audit r else []) base
+      in
+      let n = resolve_portfolio portfolio quality in
+      if n = 1 && budget_ms = None then
+        match F.synthesize ~options spec lib with
+        | Ok r -> report r None
+        | Error msg ->
+            prerr_endline msg;
+            1
+      else
+        match
+          C.Portfolio.run ?budget_ms ~n ~options
+            ~flow:(fun o -> F.synthesize ~options:o spec lib)
+            ~cost:(fun (r : F.result) -> r.F.total_cost)
+            ~met:(fun (r : F.result) -> r.F.core.C.deadlines_met)
+            ()
+        with
+        | Ok o ->
+            let best = o.C.Portfolio.best in
+            let r =
+              {
+                best with
+                F.core =
+                  {
+                    best.F.core with
+                    C.eval_stats =
+                      C.Portfolio.annotate best.F.core.C.eval_stats
+                        o.C.Portfolio.stats;
+                  };
+              }
+            in
+            report r (Some o)
+        | Error msg ->
+            prerr_endline msg;
+            1)
 
 let delay_run circuit =
   match
@@ -246,14 +374,16 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const synth_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
-      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
+      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg
+      $ portfolio_arg $ budget_ms_arg $ quality_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
     Term.(
       const ft_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
-      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg)
+      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg
+      $ portfolio_arg $ budget_ms_arg $ quality_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

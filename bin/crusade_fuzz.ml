@@ -11,6 +11,12 @@
    (b) the reference result passes the end-to-end audit
        ([Crusade_core.audit] / [Ft.audit]), which includes the
        independent schedule validation;
+   (b') on the reconfiguration flavor, a portfolio axis: --portfolio 1
+       reproduces the plain flow bit for bit, and at --portfolio 4 the
+       winner passes the audit, is never worse than the unperturbed
+       trajectory 0, and is identical with the shared incumbent bound
+       on or off (so bound aborts provably never kill a would-be
+       winner);
    (c) on any failure, a minimized repro (seed + generator parameters +
        configuration + findings) is written as JSON and the exit status
        is nonzero.
@@ -231,6 +237,85 @@ let signature_of (r : Core.result) =
 let violation_strings vs =
   List.map (fun (v : Audit.violation) -> Printf.sprintf "[%s] %s" v.Audit.rule v.Audit.detail) vs
 
+(* Portfolio axis (reconfig flavor only, to bound the per-seed cost):
+   --portfolio 1 must be the plain flow bit for bit; at --portfolio 4
+   the winner must pass the end-to-end audit, must never be worse than
+   trajectory 0 (the unperturbed baseline), and must be the same with
+   the incumbent bound on or off — the differential oracle that a bound
+   abort never killed a trajectory that would have won. *)
+let portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig =
+  let config jobs = { reconfig; prune = true; memo = true; inc = true; jobs } in
+  let flow o = Core.synthesize ~options:o spec lib in
+  let cost (r : Core.result) = r.Core.cost in
+  let met (r : Core.result) = r.Core.deadlines_met in
+  (match
+     Core.Portfolio.run ~n:1 ~options:(options_of (config 1)) ~flow ~cost ~met
+       ()
+   with
+  | Error msg ->
+      fail ~out ~kind:"portfolio-error" ~seed ~params ~config:(config 1) [ msg ]
+  | Ok o ->
+      let s = signature_of o.Core.Portfolio.best in
+      if s <> ref_sig then
+        fail ~out ~kind:"portfolio-passthrough-mismatch" ~seed ~params
+          ~config:(config 1)
+          [
+            Printf.sprintf "plain flow:    %s" ref_sig;
+            Printf.sprintf "portfolio 1:   %s" s;
+          ]);
+  let pf_config = config jobs_max in
+  let run_4 use_bound =
+    match
+      Core.Portfolio.run ~n:4 ~use_bound ~options:(options_of pf_config) ~flow
+        ~cost ~met ()
+    with
+    | Error msg ->
+        fail ~out ~kind:"portfolio-error" ~seed ~params ~config:pf_config [ msg ]
+    | Ok o -> o
+  in
+  let on = run_4 true in
+  let off = run_4 false in
+  let key (o : Core.result Core.Portfolio.outcome) =
+    ( o.Core.Portfolio.best_index,
+      signature_of o.Core.Portfolio.best )
+  in
+  if key on <> key off then
+    fail ~out ~kind:"portfolio-bound-mismatch" ~seed ~params ~config:pf_config
+      [
+        Printf.sprintf "bound on:  trajectory %d, %s" on.Core.Portfolio.best_index
+          (signature_of on.Core.Portfolio.best);
+        Printf.sprintf "bound off: trajectory %d, %s"
+          off.Core.Portfolio.best_index
+          (signature_of off.Core.Portfolio.best);
+      ];
+  (match on.Core.Portfolio.trajectories.(0) with
+  | Core.Portfolio.Completed { t_cost; t_met } ->
+      (* The winner may only beat trajectory 0 (feasibility first, then
+         cost); it can exceed its cost only by fixing a deadline miss. *)
+      let best_met = on.Core.Portfolio.best_met in
+      if (t_met && not best_met)
+         || (t_met = best_met && on.Core.Portfolio.best_cost > t_cost)
+      then
+        fail ~out ~kind:"portfolio-worse-than-baseline" ~seed ~params
+          ~config:pf_config
+          [
+            Printf.sprintf "trajectory 0: cost=%h met=%b" t_cost t_met;
+            Printf.sprintf "winner (%d):  cost=%h met=%b"
+              on.Core.Portfolio.best_index on.Core.Portfolio.best_cost best_met;
+          ]
+  | Core.Portfolio.Failed msg ->
+      fail ~out ~kind:"portfolio-baseline-failed" ~seed ~params ~config:pf_config
+        [ msg ]
+  | Core.Portfolio.Aborted _ ->
+      fail ~out ~kind:"portfolio-baseline-aborted" ~seed ~params
+        ~config:pf_config
+        [ "trajectory 0 is exempt from bound and budget; it cannot abort" ]);
+  match Core.audit on.Core.Portfolio.best with
+  | [] -> ()
+  | vs ->
+      fail ~out ~kind:"portfolio-audit-violation" ~seed ~params ~config:pf_config
+        (violation_strings vs)
+
 let run_seed ~out ~jobs_max ~with_ft seed =
   let params = params_of_seed seed in
   let spec = W.generate lib params in
@@ -261,11 +346,13 @@ let run_seed ~out ~jobs_max ~with_ft seed =
                 Printf.sprintf "divergent (%s): %s" (describe_config c) s;
               ])
         others;
-      match Core.audit reference with
+      (match Core.audit reference with
       | [] -> ()
       | vs ->
           fail ~out ~kind:"audit-violation" ~seed ~params ~config:ref_config
-            (violation_strings vs))
+            (violation_strings vs));
+      if reconfig then
+        portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig)
     [ true; false ];
   if with_ft then begin
     match Ft.synthesize ~options:Core.default_options spec lib with
@@ -543,7 +630,9 @@ let () =
   if a.selftest then selftest ~out:a.out
   else begin
     let n = a.seed_hi - a.seed_lo + 1 in
-    Printf.printf "fuzzing seeds %d..%d (%d seeds x 12 configurations, jobs_max=%d)\n%!"
+    Printf.printf
+      "fuzzing seeds %d..%d (%d seeds x 12 configurations + portfolio \
+       {1,4}x{bound on,off}, jobs_max=%d)\n%!"
       a.seed_lo a.seed_hi n a.jobs_max;
     for seed = a.seed_lo to a.seed_hi do
       let with_ft = (seed - a.seed_lo) mod a.ft_every = 0 in

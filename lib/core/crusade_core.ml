@@ -10,7 +10,43 @@ module Merge = Crusade_reconfig.Merge
 module Interface = Crusade_reconfig.Interface
 module Vec = Crusade_util.Vec
 module Pool = Crusade_util.Pool
+module Rng = Crusade_util.Rng
 module Trace = Crusade_util.Trace
+
+(* ---------------- Portfolio trajectory control ----------------
+
+   A portfolio run launches N perturbed copies of the synthesis flow.
+   Each copy carries a [traj] control block in its options: its index,
+   the seed of its perturbation stream, the shared incumbent bound, and
+   its wall-clock deadline.  The flow raises [Trajectory_abort] from its
+   commit points when the incumbent bound proves the trajectory can
+   never produce the winning result, or when the budget expired. *)
+
+type bound_state = {
+  b_best : (float * int) option Atomic.t;
+      (* best completed feasible (cost, trajectory index), lexicographic
+         minimum; only completed results are published, so an abort
+         decision never depends on a speculative value *)
+  b_updates : int Atomic.t;
+}
+
+type abort_reason =
+  | Bound_abort of {
+      floor : float;
+      incumbent_cost : float;
+      incumbent_index : int;
+    }
+  | Budget_abort
+
+exception Trajectory_abort of abort_reason
+
+type traj = {
+  t_index : int;
+  t_seed : int;  (* perturbation stream seed; unused when t_index = 0 *)
+  t_bound : bound_state option;
+  t_deadline : float option;  (* absolute wall clock *)
+  t_fit_scale : float * float;  (* merge PFU/pin cap scale, each <= 1.0 *)
+}
 
 type options = {
   dynamic_reconfiguration : bool;
@@ -25,6 +61,7 @@ type options = {
   memo : bool;
   incremental : bool;
   trace : Trace.t option;
+  portfolio : traj option;
 }
 
 let default_options =
@@ -41,6 +78,7 @@ let default_options =
     memo = true;
     incremental = true;
     trace = None;
+    portfolio = None;
   }
 
 type eval_stats = {
@@ -50,6 +88,11 @@ type eval_stats = {
   rollbacks : int;
   replays : int;
   rebuilds : int;
+  traj_launched : int;
+  traj_completed : int;
+  traj_aborted : int;
+  bound_aborts : int;
+  incumbent_updates : int;
 }
 
 type result = {
@@ -85,10 +128,29 @@ type ctx = {
   metrics : Trace.Metrics.t;
   rollback_counter : Trace.Counter.t;
   trace : Trace.t option;
+  check_budget : unit -> unit;
+      (* raises [Trajectory_abort Budget_abort] past the deadline; a
+         no-op closure outside portfolio runs *)
+  perturb : Rng.t option;
+      (* the trajectory's perturbation stream; [None] for trajectory 0
+         and plain runs, which therefore stay bit-identical *)
 }
 
 let make_ctx (opts : options) =
   let metrics = Trace.Metrics.create () in
+  let check_budget =
+    match opts.portfolio with
+    | Some { t_deadline = Some d; _ } ->
+        fun () ->
+          if Unix.gettimeofday () > d then
+            raise (Trajectory_abort Budget_abort)
+    | Some { t_deadline = None; _ } | None -> fun () -> ()
+  in
+  let perturb =
+    match opts.portfolio with
+    | Some t when t.t_index > 0 -> Some (Rng.create t.t_seed)
+    | Some _ | None -> None
+  in
   {
     memo =
       Memo.create ~enabled:opts.memo ~incremental:opts.incremental
@@ -96,6 +158,8 @@ let make_ctx (opts : options) =
     metrics;
     rollback_counter = Trace.Metrics.counter metrics "eval.rollbacks";
     trace = opts.trace;
+    check_budget;
+    perturb;
   }
 
 let eval_stats_of ctx =
@@ -106,7 +170,102 @@ let eval_stats_of ctx =
     rollbacks = Trace.Counter.get ctx.rollback_counter;
     replays = Memo.replays ctx.memo;
     rebuilds = Memo.rebuilds ctx.memo;
+    traj_launched = 0;
+    traj_completed = 0;
+    traj_aborted = 0;
+    bound_aborts = 0;
+    incumbent_updates = 0;
   }
+
+(* ---------------- Incumbent-bound cost floors ----------------
+
+   A trajectory may abort only when its floor — an admissible lower
+   bound on the cost of the result it would eventually return — already
+   loses to the incumbent (a *completed* feasible result), because then
+   the trajectory provably cannot become the portfolio winner, whatever
+   the interleaving.  Soundness rests on what the remaining phases can
+   remove:
+
+   - the merge phase only collapses programmable devices and drops
+     detached links; it never vacates a CPU or ASIC, and mode combining
+     stays on one device.  So the base + memory cost of in-use
+     non-programmable PEs survives merging, and if any programmable
+     device hosts clusters, at least one (from the current in-use set)
+     survives too;
+   - repair performs at most 20 rip-up attempts, each vacating at most
+     the one PE the ripped cluster sat on (re-allocation only adds), so
+     during allocation the floor is discounted by the costliest in-use
+     PEs repair could still vacate — all 20 slots during allocation,
+     only the remaining attempts once repair is under way.  With
+     reconfiguration off the merge phase never runs, so the floor counts
+     *every* in-use PE (headroom then also ranges over every in-use PE,
+     as rip-ups can vacate programmable devices too); with it on, only
+     non-programmable PEs are entitled to survive, and the headroom
+     ranges over those;
+   - interface synthesis replaces the PROM component of the cost with
+     [interface_cost >= 0], so every floor excludes PROM and link terms
+     it is not entitled to; fault-tolerance spare provisioning only adds
+     cost on top of the core result. *)
+
+let pe_floor_cost (pe : Arch.pe_inst) =
+  pe.Arch.ptype.Pe.cost
+  +.
+  match pe.Arch.ptype.Pe.pe_class with
+  | Pe.General_purpose cpu ->
+      float_of_int (Arch.memory_banks pe) *. cpu.Pe.memory_bank_cost
+  | Pe.Asic_pe _ | Pe.Programmable _ -> 0.0
+
+let floor_nonprog arch =
+  Vec.fold
+    (fun acc (pe : Arch.pe_inst) ->
+      if Arch.pe_in_use pe && not (Pe.is_programmable pe.Arch.ptype) then
+        acc +. pe_floor_cost pe
+      else acc)
+    0.0 arch.Arch.pes
+
+(* Sum of the [rip_budget] costliest in-use PEs repair could still
+   vacate or shrink: each remaining rip-up attempt vacates at most one
+   PE.  [all] widens the candidate set to programmable devices — needed
+   when the floor itself counts them (reconfiguration off). *)
+let repair_headroom ?(rip_budget = 20) ~all arch =
+  let costs =
+    Vec.fold
+      (fun acc (pe : Arch.pe_inst) ->
+        if Arch.pe_in_use pe && (all || not (Pe.is_programmable pe.Arch.ptype))
+        then pe_floor_cost pe :: acc
+        else acc)
+      [] arch.Arch.pes
+  in
+  let sorted = List.sort (fun a b -> compare b a) costs in
+  let rec top n acc = function
+    | [] -> acc
+    | _ when n <= 0 -> acc
+    | c :: tl -> top (n - 1) (acc +. c) tl
+  in
+  top rip_budget 0.0 sorted
+
+(* Cheapest in-use programmable device: merging can collapse the PPEs
+   down to (at least) one of the current in-use set when any cluster
+   lives on a programmable device. *)
+let floor_min_ppe arch =
+  Vec.fold
+    (fun acc (pe : Arch.pe_inst) ->
+      if Arch.pe_in_use pe && Pe.is_programmable pe.Arch.ptype then
+        match acc with
+        | None -> Some pe.Arch.ptype.Pe.cost
+        | Some m -> Some (Float.min m pe.Arch.ptype.Pe.cost)
+      else acc)
+    None arch.Arch.pes
+  |> Option.value ~default:0.0
+
+(* Once the PE set is final (post-merge, or post-repair without the
+   merge phase): base + memory of everything in use; PROM and links
+   still excluded (interface synthesis is pending). *)
+let floor_all arch =
+  Vec.fold
+    (fun acc (pe : Arch.pe_inst) ->
+      if Arch.pe_in_use pe then acc +. pe_floor_cost pe else acc)
+    0.0 arch.Arch.pes
 
 (* One counter sample per phase boundary: the evaluator counters as a
    Chrome counter track, so the trace shows where the prunes/hits
@@ -172,6 +331,29 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
   else begin
     let debug = Sys.getenv_opt "CRUSADE_DEBUG" <> None in
     let candidates = Array.of_list candidates in
+    (* Portfolio perturbation: allocation tie-break jitter.  The
+       candidate array arrives sorted by (delta cost, affinity desc); a
+       multiplicative jitter on the delta-cost key reorders near-ties so
+       perturbed trajectories explore different commit orders.  The sort
+       falls back to the original index, so equal keys keep the
+       unperturbed order, and exactly one draw per candidate keeps the
+       trajectory's stream aligned whatever the evaluation path does. *)
+    let candidates =
+      match ctx.perturb with
+      | None -> candidates
+      | Some rng ->
+          let keyed =
+            Array.mapi
+              (fun i (c : Options.t) ->
+                (c.Options.delta_cost *. (1.0 +. Rng.float rng 0.15), i, c))
+              candidates
+          in
+          Array.sort
+            (fun (ka, ia, _) (kb, ib, _) ->
+              match compare (ka : float) kb with 0 -> compare ia ib | c -> c)
+            keyed;
+          Array.map (fun (_, _, c) -> c) keyed
+    in
     let n = Array.length candidates in
     let jobs = max 1 opts.jobs in
     let rollback a ck =
@@ -225,6 +407,7 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
       match
         let i = ref 0 in
         while !i < n && window_open () do
+          ctx.check_budget ();
           Trace.span ctx.trace
             ~args:[ ("index", Trace.Num !i) ]
             "alloc.candidate"
@@ -323,6 +506,7 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
       match
         let i = ref 0 in
         while !i < n && window_open () do
+          ctx.check_budget ();
           let base = !i in
           let batch = min jobs (n - base) in
           let incumbent = Option.map fst !best_fallback in
@@ -371,7 +555,34 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
 let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0 ~skip =
   ignore lib;
   let ctx = make_ctx opts in
+  let traj = opts.portfolio in
+  (* Incumbent-bound check: abort iff (floor, index) strictly loses to
+     the incumbent (cost, index) lexicographically — the final result's
+     cost is >= floor, so it would lose too, whatever the interleaving.
+     The floor thunk only runs when a bound is armed. *)
+  let check_bound floor_of =
+    match traj with
+    | Some { t_bound = Some b; t_index; _ } -> (
+        match Atomic.get b.b_best with
+        | Some (bc, bi) ->
+            let floor = floor_of () in
+            if floor > bc || (floor = bc && t_index > bi) then
+              raise
+                (Trajectory_abort
+                   (Bound_abort
+                      { floor; incumbent_cost = bc; incumbent_index = bi }))
+        | None -> ())
+    | Some { t_bound = None; _ } | None -> ()
+  in
   let arch = ref arch0 in
+  (* Admissible floor while repair (and, with reconfiguration on, the
+     merge phase) is still ahead.  [rip_budget] is how many rip-up
+     attempts remain: 20 during allocation, fewer once repair runs. *)
+  let pre_merge_floor ?rip_budget () =
+    if opts.dynamic_reconfiguration then
+      floor_nonprog !arch -. repair_headroom ?rip_budget ~all:false !arch
+    else floor_all !arch -. repair_headroom ?rip_budget ~all:true !arch
+  in
   let total = Array.length clustering.Clustering.clusters in
   let allocated = Array.make total false in
   let remaining = ref 0 in
@@ -381,6 +592,25 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
         allocated.(c.cid) <- true
       else incr remaining)
     clustering.Clustering.clusters;
+  (* Portfolio perturbation: cluster pop-order jitter.  A fixed additive
+     offset per cluster, drawn once in cid order with an amplitude set
+     by the spread of the initial priority levels, nudges the
+     greedy pop order without drowning the levels themselves. *)
+  let pop_jitter =
+    match ctx.perturb with
+    | Some rng when total > 1 ->
+        let levels = Schedule.priorities spec clustering !arch in
+        let lo = ref max_int and hi = ref min_int in
+        Array.iter
+          (fun (c : Clustering.cluster) ->
+            let l = Clustering.cluster_priority clustering levels c.cid in
+            if l < !lo then lo := l;
+            if l > !hi then hi := l)
+          clustering.Clustering.clusters;
+        let amp = max 1 ((!hi - !lo) / 6) in
+        Some (Array.init total (fun _ -> Rng.int rng (amp + 1)))
+    | Some _ | None -> None
+  in
   let rec allocate_all remaining =
     if remaining = 0 then Ok ()
     else begin
@@ -389,7 +619,10 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       Array.iter
         (fun (c : Clustering.cluster) ->
           if not allocated.(c.cid) then begin
-            let level = Clustering.cluster_priority clustering levels c.cid in
+            let level =
+              Clustering.cluster_priority clustering levels c.cid
+              + (match pop_jitter with Some j -> j.(c.cid) | None -> 0)
+            in
             if !next < 0 || level > !next_level then begin
               next := c.cid;
               next_level := level
@@ -418,6 +651,10 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
           if opts.incremental then
             Memo.refresh ctx.memo ~copy_cap:opts.copy_cap spec clustering !arch;
           allocated.(cluster.cid) <- true;
+          ctx.check_budget ();
+          (* During allocation, repair (<= 20 vacating rip-ups) and the
+             merge phase are still ahead: discount accordingly. *)
+          check_bound (fun () -> pre_merge_floor ());
           allocate_all (remaining - 1)
     end
   in
@@ -485,6 +722,10 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
     in
     let rec attempt k =
       if k > 0 then begin
+        ctx.check_budget ();
+        (* Each attempt is a full rip-up/re-allocate cycle; at most [k]
+           remain, so the headroom discount shrinks as repair proceeds. *)
+        check_bound (fun () -> pre_merge_floor ~rip_budget:k ());
         match Memo.run ctx.memo ~copy_cap:opts.copy_cap spec clustering !arch with
         | Error _ -> ()
         | Ok sched ->
@@ -535,15 +776,51 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       sample_eval_counters ctx;
       Trace.span ctx.trace "repair" repair;
       sample_eval_counters ctx;
+      ctx.check_budget ();
+      (* Post-repair, a positive tardiness lower bound is terminal: the
+         merge phase only accepts feasible trials and interface
+         synthesis never flips a missed verdict, so the trajectory ends
+         infeasible and loses to any feasible incumbent. *)
+      (match traj with
+      | Some { t_bound = Some b; _ } -> (
+          match Atomic.get b.b_best with
+          | Some (bc, bi) -> (
+              match
+                Memo.estimate ctx.memo ~copy_cap:opts.copy_cap spec clustering
+                  !arch
+              with
+              | Ok lb when lb > 0 ->
+                  raise
+                    (Trajectory_abort
+                       (Bound_abort
+                          {
+                            floor = infinity;
+                            incumbent_cost = bc;
+                            incumbent_index = bi;
+                          }))
+              | Ok _ | Error _ -> ())
+          | None -> ())
+      | Some { t_bound = None; _ } | None -> ());
+      check_bound (fun () ->
+          if opts.dynamic_reconfiguration then
+            floor_nonprog !arch +. floor_min_ppe !arch
+          else floor_all !arch);
       (* Dynamic-reconfiguration generation. *)
+      let fit_scale =
+        match traj with Some t -> t.t_fit_scale | None -> (1.0, 1.0)
+      in
+      let on_pass a =
+        ctx.check_budget ();
+        check_bound (fun () -> floor_nonprog a +. floor_min_ppe a)
+      in
       let merged =
         if opts.dynamic_reconfiguration then begin
           match
             Trace.span ctx.trace "merge" (fun () ->
                 Merge.optimize ~copy_cap:opts.copy_cap
                   ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs
-                  ~prune:opts.prune ?trace:ctx.trace ~memo:ctx.memo spec clustering
-                  !arch)
+                  ~prune:opts.prune ~fit_scale ~on_pass ?trace:ctx.trace
+                  ~memo:ctx.memo spec clustering !arch)
           with
           | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
           | Error msg -> Error msg
@@ -558,6 +835,8 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       | Error msg -> Error msg
       | Ok (final_arch, sched, merge_stats) ->
           sample_eval_counters ctx;
+          ctx.check_budget ();
+          check_bound (fun () -> floor_all final_arch);
           (* Reconfiguration controller interface synthesis (Section 4.4):
              cheapest interface meeting the boot-time requirement without
              breaking deadlines. *)
@@ -646,6 +925,251 @@ let continue_allocation ?(options = default_options) (base : result) =
       run_flow ~opts:options ~t0 ~w0 base.spec base.arch.Arch.lib base.clustering
         arch
         ~skip:(fun _ -> false))
+
+(* ---------------- Anytime portfolio search ---------------- *)
+
+module Portfolio = struct
+  type stats = {
+    launched : int;
+    completed : int;
+    failed : int;
+    aborted : int;
+    bound_aborts : int;
+    budget_aborts : int;
+    incumbent_updates : int;
+  }
+
+  type trajectory_report =
+    | Completed of { t_cost : float; t_met : bool }
+    | Failed of string
+    | Aborted of abort_reason
+
+  type 'a outcome = {
+    best : 'a;
+    best_index : int;
+    best_cost : float;
+    best_met : bool;
+    baseline_cost : float option;
+    trajectories : trajectory_report array;
+    stats : stats;
+  }
+
+  let resolve_n ?pool n =
+    if n > 0 then n
+    else Pool.size (match pool with Some p -> p | None -> Pool.global ())
+
+  (* Knob derivation for trajectory [index]: a short dedicated stream
+     seeded from (seed, index) draws the option-level knobs in a fixed
+     order, plus the seed of the flow-level jitter stream.  Trajectory 0
+     is the unperturbed reference — no control block at all, so it is
+     bit-identical to the plain flow and exempt from bound and budget
+     aborts (it is the anytime fallback and the [baseline_cost]). *)
+  let make_traj_options (base : options) ~seed ~index ~inner_jobs ~bound
+      ~deadline =
+    if index = 0 then { base with jobs = inner_jobs }
+    else begin
+      let kr = Rng.create ((seed * 1_000_003) + (index * 7919)) in
+      let flow_seed = Rng.int_in kr 1 max_int in
+      let eval_window =
+        let w = base.eval_window in
+        max 4 (w + Rng.int_in kr (-(w / 3)) (w / 2))
+      in
+      let copy_cap =
+        (* Upward only: the scheduler may exploit more copies; the audit
+           never re-derives the cap, so any value is sound. *)
+        if Rng.chance kr 0.25 then min 128 (base.copy_cap * 2)
+        else base.copy_cap
+      in
+      let merge_trials_per_pass =
+        if Rng.chance kr 0.25 then base.merge_trials_per_pass * 2
+        else base.merge_trials_per_pass
+      in
+      let scales = [| 1.0; 0.95; 0.9; 0.8 |] in
+      let t_fit_scale = (Rng.pick kr scales, Rng.pick kr scales) in
+      {
+        base with
+        jobs = inner_jobs;
+        eval_window;
+        copy_cap;
+        merge_trials_per_pass;
+        portfolio =
+          Some
+            {
+              t_index = index;
+              t_seed = flow_seed;
+              t_bound = bound;
+              t_deadline = deadline;
+              t_fit_scale;
+            };
+      }
+    end
+
+  let trajectory_options (base : options) ~seed ~index =
+    make_traj_options base ~seed ~index ~inner_jobs:base.jobs ~bound:None
+      ~deadline:None
+
+  let offer_incumbent bound ~cost ~index =
+    match bound with
+    | None -> ()
+    | Some b ->
+        let rec loop () =
+          let cur = Atomic.get b.b_best in
+          let better =
+            match cur with
+            | None -> true
+            | Some (c, i) -> cost < c || (cost = c && index < i)
+          in
+          if better then
+            if Atomic.compare_and_set b.b_best cur (Some (cost, index)) then
+              Atomic.incr b.b_updates
+            else loop ()
+        in
+        loop ()
+
+  let annotate (es : eval_stats) (s : stats) =
+    {
+      es with
+      traj_launched = s.launched;
+      traj_completed = s.completed;
+      traj_aborted = s.aborted;
+      bound_aborts = s.bound_aborts;
+      incumbent_updates = s.incumbent_updates;
+    }
+
+  let run ?pool ?jobs ?budget_ms ?(seed = 0) ?(use_bound = true) ~n ~options
+      ~flow ~cost ~met () =
+    let pool = match pool with Some p -> p | None -> Pool.global () in
+    let n = if n > 0 then n else Pool.size pool in
+    if n = 1 && budget_ms = None then
+      (* Pure passthrough: [--portfolio 1] is the plain flow, options
+         untouched, bit for bit. *)
+      match flow options with
+      | Error _ as e -> e
+      | Ok r ->
+          let c = cost r and m = met r in
+          Ok
+            {
+              best = r;
+              best_index = 0;
+              best_cost = c;
+              best_met = m;
+              baseline_cost = Some c;
+              trajectories = [| Completed { t_cost = c; t_met = m } |];
+              stats =
+                {
+                  launched = 1;
+                  completed = 1;
+                  failed = 0;
+                  aborted = 0;
+                  bound_aborts = 0;
+                  budget_aborts = 0;
+                  incumbent_updates = 0;
+                };
+            }
+    else begin
+      let jobs =
+        match jobs with
+        | Some j -> max 1 j
+        | None -> min n (Pool.size pool)
+      in
+      (* Cores are spent across trajectories first; leftover factors go
+         to each trajectory's inner candidate evaluation (results are
+         bit-identical for any inner [jobs], so this only affects
+         speed). *)
+      let inner_jobs = max 1 (jobs / n) in
+      let w0 = wall_now () in
+      let deadline =
+        Option.map (fun ms -> w0 +. (float_of_int ms /. 1000.0)) budget_ms
+      in
+      let bound =
+        if use_bound then
+          Some { b_best = Atomic.make None; b_updates = Atomic.make 0 }
+        else None
+      in
+      let run_traj k =
+        let expired =
+          k > 0
+          &&
+          match deadline with Some d -> wall_now () > d | None -> false
+        in
+        if expired then `Abort Budget_abort
+        else begin
+          let opts_k =
+            make_traj_options options ~seed ~index:k ~inner_jobs
+              ~bound:(if k = 0 then None else bound)
+              ~deadline:(if k = 0 then None else deadline)
+          in
+          match flow opts_k with
+          | Ok r ->
+              let c = cost r and m = met r in
+              (* Only completed feasible results arm the bound: an abort
+                 decision can then never rest on a result that is not in
+                 the final pool, which is what makes the winner
+                 interleaving-independent. *)
+              if m then offer_incumbent bound ~cost:c ~index:k;
+              `Done (r, c, m)
+          | Error e -> `Err e
+          | exception Trajectory_abort reason -> `Abort reason
+        end
+      in
+      let cells = Pool.map_n ~jobs pool run_traj n in
+      let best = ref None in
+      Array.iteri
+        (fun k cell ->
+          match cell with
+          | `Done (r, c, m) ->
+              let key = ((if m then 0 else 1), c, k) in
+              (match !best with
+              | Some (bkey, _) when bkey <= key -> ()
+              | _ -> best := Some (key, (r, c, m, k)))
+          | `Err _ | `Abort _ -> ())
+        cells;
+      let trajectories =
+        Array.map
+          (function
+            | `Done (_, c, m) -> Completed { t_cost = c; t_met = m }
+            | `Err e -> Failed e
+            | `Abort reason -> Aborted reason)
+          cells
+      in
+      let count p = Array.fold_left (fun a t -> if p t then a + 1 else a) 0 trajectories in
+      let stats =
+        {
+          launched = n;
+          completed = count (function Completed _ -> true | _ -> false);
+          failed = count (function Failed _ -> true | _ -> false);
+          aborted = count (function Aborted _ -> true | _ -> false);
+          bound_aborts =
+            count (function Aborted (Bound_abort _) -> true | _ -> false);
+          budget_aborts =
+            count (function Aborted Budget_abort -> true | _ -> false);
+          incumbent_updates =
+            (match bound with Some b -> Atomic.get b.b_updates | None -> 0);
+        }
+      in
+      let baseline_cost =
+        match trajectories.(0) with
+        | Completed { t_cost; _ } -> Some t_cost
+        | Failed _ | Aborted _ -> None
+      in
+      match !best with
+      | Some (_, (r, c, m, k)) ->
+          Ok
+            {
+              best = r;
+              best_index = k;
+              best_cost = c;
+              best_met = m;
+              baseline_cost;
+              trajectories;
+              stats;
+            }
+      | None -> (
+          match cells.(0) with
+          | `Err e -> Error e
+          | `Done _ | `Abort _ -> Error "portfolio: no trajectory completed")
+    end
+end
 
 module Audit = Crusade_alloc.Audit
 module Validate = Crusade_sched.Validate

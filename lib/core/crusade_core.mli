@@ -6,6 +6,23 @@
     merging of programmable devices into multi-mode devices, and
     reconfiguration-controller interface synthesis). *)
 
+type abort_reason =
+  | Bound_abort of {
+      floor : float;
+          (** admissible lower bound on the cost the trajectory would
+              have returned; [infinity] encodes "provably infeasible"
+              (positive tardiness lower bound after repair) *)
+      incumbent_cost : float;
+      incumbent_index : int;
+    }
+  | Budget_abort
+      (** the wall-clock budget expired at a cooperative check point *)
+
+type traj
+(** Per-trajectory portfolio control block carried in {!options}
+    ([portfolio] field).  Constructed only by
+    {!Portfolio.trajectory_options} / {!Portfolio.run}. *)
+
 type options = {
   dynamic_reconfiguration : bool;
       (** enable multi-mode PPEs (new-mode allocations and the merge
@@ -55,6 +72,13 @@ type options = {
           boundaries; [None] (the default) takes a no-op fast path that
           never reads the clock, and synthesis output is bit-identical
           either way.  Export with {!Crusade_util.Trace.write_file}. *)
+  portfolio : traj option;
+      (** portfolio trajectory control block ([None], the default, for
+          plain runs — zero overhead).  When set (by {!Portfolio}), the
+          flow perturbs its cluster pop order, allocation tie-breaks and
+          merge knobs from the trajectory's seeded stream, and checks
+          the shared incumbent bound / wall-clock budget at commit
+          points, aborting when it provably cannot win. *)
 }
 
 val default_options : options
@@ -70,10 +94,23 @@ type eval_stats = {
   rebuilds : int;
       (** full scheduler runs through the incremental engine; 0 when
           [options.incremental] is off *)
+  traj_launched : int;
+      (** portfolio trajectories launched; 0 outside portfolio runs
+          (the winning result is annotated via {!Portfolio.annotate}) *)
+  traj_completed : int;  (** trajectories that ran to completion *)
+  traj_aborted : int;  (** bound- or budget-aborted trajectories *)
+  bound_aborts : int;
+      (** trajectories aborted by the shared incumbent bound; the count
+          (unlike the winner) depends on domain interleaving *)
+  incumbent_updates : int;
+      (** times a completed feasible result improved the shared bound *)
 }
 (** Two-stage-evaluator counters of one synthesis flow.  Each flow owns
     its counters (and its memo table), so back-to-back or concurrent
-    syntheses in one process report fully independent, exact statistics. *)
+    syntheses in one process report fully independent, exact statistics.
+    The [traj_*]/[bound_aborts]/[incumbent_updates] fields are zero for
+    plain flows; {!Portfolio.annotate} folds a portfolio run's counters
+    into its winning result. *)
 
 type result = {
   spec : Crusade_taskgraph.Spec.t;
@@ -114,6 +151,98 @@ val continue_allocation :
     [options.allow_new_pes = false] this asks: can the remaining
     functionality be accommodated purely by reprogramming the deployed
     hardware? *)
+
+(** Anytime portfolio-parallel search (DESIGN.md "Portfolio search").
+
+    Runs N perturbed copies of a synthesis flow concurrently on the
+    {!Crusade_util.Pool} domain pool.  Trajectory 0 is the unperturbed
+    reference (bit-identical to the plain flow, exempt from aborts);
+    trajectories 1..N-1 draw deterministic perturbations — cluster
+    pop-order jitter, allocation tie-break jitter, evaluation-window /
+    copy-cap / merge-knob variation — from a stream seeded by
+    (seed, index).  Completed feasible results publish into a shared
+    atomic incumbent (cost, index) bound; at its commit points a
+    trajectory compares an admissible cost floor against the incumbent
+    and aborts when it provably cannot win.  Because aborts only ever
+    remove trajectories that could not have won, the winner — resolved
+    as the lexicographic minimum of (deadlines missed, cost, index) over
+    completed trajectories — is identical for a fixed (seed, N)
+    whatever the domain interleaving or [jobs] value; only the abort
+    counters vary.  With a [budget_ms] wall-clock budget, trajectories
+    past the deadline abort at their next check point and the best
+    result found so far is returned (determinism then extends only to
+    the trajectories that completed). *)
+module Portfolio : sig
+  type stats = {
+    launched : int;
+    completed : int;
+    failed : int;  (** flows that returned [Error] *)
+    aborted : int;
+    bound_aborts : int;
+    budget_aborts : int;
+    incumbent_updates : int;
+  }
+
+  type trajectory_report =
+    | Completed of { t_cost : float; t_met : bool }
+    | Failed of string
+    | Aborted of abort_reason
+
+  type 'a outcome = {
+    best : 'a;
+    best_index : int;
+    best_cost : float;
+    best_met : bool;
+    baseline_cost : float option;
+        (** trajectory 0's (unperturbed) cost; [None] only if it failed *)
+    trajectories : trajectory_report array;
+        (** per-trajectory diagnostics; which losing trajectories show
+            as [Aborted] (vs [Completed]) depends on interleaving *)
+    stats : stats;
+  }
+
+  val resolve_n : ?pool:Crusade_util.Pool.t -> int -> int
+  (** [resolve_n n] maps the CLI convention: [n <= 0] means one
+      trajectory per available domain ({!Crusade_util.Pool.size}). *)
+
+  val trajectory_options : options -> seed:int -> index:int -> options
+  (** The exact options trajectory [index] of a [run] with this [seed]
+      executes, minus bound and budget — for rerunning a trajectory to
+      completion (abort-soundness oracles, debugging).  [index = 0]
+      returns the base options (the unperturbed reference). *)
+
+  val annotate : eval_stats -> stats -> eval_stats
+  (** Folds portfolio counters into a result's [eval_stats] (used by the
+      CLI/bench drivers on the winning result). *)
+
+  val run :
+    ?pool:Crusade_util.Pool.t ->
+    ?jobs:int ->
+    ?budget_ms:int ->
+    ?seed:int ->
+    ?use_bound:bool ->
+    n:int ->
+    options:options ->
+    flow:(options -> ('a, string) Stdlib.result) ->
+    cost:('a -> float) ->
+    met:('a -> bool) ->
+    unit ->
+    ('a outcome, string) Stdlib.result
+  (** [run ~n ~options ~flow ~cost ~met ()] drives the portfolio.
+      [flow] is the full synthesis entry point (e.g.
+      [fun o -> synthesize ~options:o spec lib], or the fault-tolerant
+      flow); it receives each trajectory's derived options and must let
+      exceptions pass through.  [cost]/[met] project the comparison key
+      out of a flow result.  [n <= 0] resolves via {!resolve_n};
+      [n = 1] without budget is a pure passthrough of [flow options].
+      [jobs] (default [min n (Pool.size pool)]) caps concurrent
+      trajectory runners; leftover factors of [jobs / n] go to each
+      trajectory's inner candidate evaluation.  [use_bound:false]
+      disarms the incumbent bound (every trajectory runs to completion —
+      the differential oracle for abort soundness).  [Error] is returned
+      only when no trajectory completed — trajectory 0 cannot abort, so
+      in practice exactly when the plain flow errors. *)
+end
 
 val audit : result -> Crusade_alloc.Audit.violation list
 (** End-to-end first-principles audit of a synthesis result, empty when

@@ -40,13 +40,23 @@ let graphs_of_pe (clustering : Clustering.t) (pe : Arch.pe_inst) =
          @ acc)
        [] pe.Arch.modes)
 
+(* Usable-capacity caps, optionally tightened by a portfolio
+   perturbation.  Scales are in (0, 1]: a scale below 1.0 only ever
+   REJECTS merges the unperturbed pass would accept, so every
+   architecture a scaled pass produces is one the audit accepts. *)
+let scaled_caps ~fit_scale (ptype : Pe.t) =
+  let spf, spin = fit_scale in
+  ( int_of_float (spf *. float_of_int (Caps.usable_pfus ptype)),
+    int_of_float (spin *. float_of_int (Caps.usable_pins ptype)) )
+
 (* Can every mode of [src] move (as a whole) onto a fresh mode of
    [dst]'s device type? *)
-let modes_fit (src : Arch.pe_inst) (dst : Arch.pe_inst) clustering =
+let modes_fit ~fit_scale (src : Arch.pe_inst) (dst : Arch.pe_inst) clustering =
+  let pfus, pins = scaled_caps ~fit_scale dst.Arch.ptype in
   List.for_all
     (fun (m : Arch.mode) ->
-      m.Arch.m_gates <= Caps.usable_pfus dst.Arch.ptype
-      && m.Arch.m_pins <= Caps.usable_pins dst.Arch.ptype
+      m.Arch.m_gates <= pfus
+      && m.Arch.m_pins <= pins
       && List.for_all
            (fun cid ->
              clustering.Clustering.clusters.(cid).Clustering.feasible_mask
@@ -108,7 +118,8 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
 let feasible (v : Schedule.verdict) = v.Schedule.v_met
 
 let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
-    ?(jobs = 1) ?(prune = true) ?trace ~memo spec clustering arch =
+    ?(jobs = 1) ?(prune = true) ?(fit_scale = (1.0, 1.0)) ?(on_pass = fun _ -> ())
+    ?trace ~memo spec clustering arch =
   let jobs = max 1 jobs in
   let pool = Pool.global () in
   let run_schedule a = Memo.run memo ~copy_cap spec clustering a in
@@ -142,6 +153,9 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
         improved := false;
         incr iterations;
         Trace.instant trace "merge.pass";
+        (* Portfolio hook: bound/budget checks may raise to abort the
+           trajectory between passes. *)
+        on_pass !current;
         let compat = Compat.matrix spec !current_sched in
         (* Merge array: candidate (src, dst) PPE pairs, best saving first. *)
         let ppes =
@@ -161,7 +175,7 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
                   and dst_graphs = graphs_of_pe clustering dst in
                   if
                     Compat.graphs_compatible compat src_graphs dst_graphs
-                    && modes_fit src dst clustering
+                    && modes_fit ~fit_scale src dst clustering
                   then begin
                     let saving = src.Arch.ptype.Pe.cost in
                     candidates := (saving, src.Arch.p_id, dst.Arch.p_id) :: !candidates
@@ -196,7 +210,7 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
             and dst = Vec.get !current.Arch.pes dst_id in
             if
               Arch.n_images src > 0 && Arch.n_images dst > 0
-              && modes_fit src dst clustering
+              && modes_fit ~fit_scale src dst clustering
             then begin
               batch := (!pos, src_id, dst_id) :: !batch;
               incr collected
@@ -259,9 +273,10 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
             | (a : Arch.mode) :: rest when rest <> [] ->
                 List.iter
                   (fun (b : Arch.mode) ->
+                    let pfus, pins = scaled_caps ~fit_scale pe.Arch.ptype in
                     let fits =
-                      a.Arch.m_gates + b.Arch.m_gates <= Caps.usable_pfus pe.Arch.ptype
-                      && a.Arch.m_pins + b.Arch.m_pins <= Caps.usable_pins pe.Arch.ptype
+                      a.Arch.m_gates + b.Arch.m_gates <= pfus
+                      && a.Arch.m_pins + b.Arch.m_pins <= pins
                     in
                     if fits then
                       Trace.span trace

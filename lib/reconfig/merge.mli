@@ -25,6 +25,8 @@ val optimize :
   ?max_trials_per_pass:int ->
   ?jobs:int ->
   ?prune:bool ->
+  ?fit_scale:float * float ->
+  ?on_pass:(Crusade_alloc.Arch.t -> unit) ->
   ?trace:Crusade_util.Trace.t ->
   memo:Crusade_sched.Memo.t ->
   Crusade_taskgraph.Spec.t ->
@@ -45,4 +47,12 @@ val optimize :
     schedules are served from it (create it with [~enabled:false] to
     switch stage 2 off).  Both leave the accepted architectures and the
     [stats] counters bit-identical.  [trace] adds ["merge.trial"] /
-    ["merge.combine"] spans and a ["merge.pass"] instant per pass. *)
+    ["merge.combine"] spans and a ["merge.pass"] instant per pass.
+
+    [fit_scale] (default [(1.0, 1.0)]) scales the usable PFU/pin caps
+    used by the fit checks; portfolio trajectories perturb it
+    {e downward} only, so a scaled pass can only reject merges the
+    unperturbed pass would accept — never produce an over-capacity
+    architecture.  [on_pass] is called with the current architecture at
+    the start of every pass; a portfolio trajectory's incumbent-bound /
+    budget check may raise from it to abort the optimization. *)

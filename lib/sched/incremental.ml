@@ -3,24 +3,34 @@ module Clustering = Crusade_cluster.Clustering
 module Arch = Crusade_alloc.Arch
 module Trace = Crusade_util.Trace
 
-(* The policy layer over [Schedule.Replay]: keep the latest recording of
-   a full scheduler run alive, and when the next candidate shares its
-   spec/clustering, diff the candidate against the recording's snapshot
-   and replay the provably identical prefix instead of rebuilding the
-   timelines from scratch.  Candidate evaluation perturbs one cluster at
-   a time, so successive architectures mostly agree and the replayable
-   prefix is usually large.
+(* The policy layer over [Schedule.Replay]: keep recordings of recent
+   full scheduler runs alive, and when the next candidate shares the
+   spec/clustering of one of them, diff the candidate against that
+   recording's snapshot and replay the provably identical prefix instead
+   of rebuilding the timelines from scratch.  Candidate evaluation
+   perturbs one cluster at a time, so successive architectures mostly
+   agree and the replayable prefix is usually large.
 
-   The slot is a single [Atomic]: recordings are immutable once
-   captured, so concurrent evaluation domains may read one slot safely,
-   and a lost race on publication merely keeps an equally valid
-   recording. *)
+   Recordings live in a small MRU list keyed by the recording's own
+   (spec, clustering, copy_cap) identity — [Schedule.Replay.compatible]
+   is exactly that key check — so a trajectory that restarts from a
+   clustering it has seen before (portfolio rounds, rescheduling)
+   replays against its previous basis instead of paying a cold rebuild.
+   The list is a single [Atomic]: recordings are immutable once
+   captured, so concurrent evaluation domains may read it safely, and a
+   lost race on publication merely keeps equally valid recordings. *)
 type t = {
-  slot : Schedule.Replay.recording option Atomic.t;
+  slots : Schedule.Replay.recording list Atomic.t;
   trace : Trace.t option;
   replay_counter : Trace.Counter.t;
   rebuild_counter : Trace.Counter.t;
 }
+
+(* How many distinct (spec, clustering, copy_cap) bases to keep.  A
+   synthesis run touches one clustering at a time; a portfolio
+   trajectory revisits at most a couple, so a short list suffices and
+   keeps lookup O(1)-ish. *)
+let slot_capacity = 4
 
 let create ?trace ?metrics () =
   let counter name =
@@ -29,11 +39,39 @@ let create ?trace ?metrics () =
     | None -> Trace.Counter.make ()
   in
   {
-    slot = Atomic.make None;
+    slots = Atomic.make [];
     trace;
     replay_counter = counter "eval.replays";
     rebuild_counter = counter "eval.rebuilds";
   }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Move the new recording to the front of the MRU list, dropping any
+   stale basis for the same key and trimming to capacity.  Bounded CAS
+   retries: losing every race just means concurrent publishes won, and
+   any published recording is a valid basis. *)
+let publish t ~copy_cap spec clustering recording =
+  let attempt () =
+    let cur = Atomic.get t.slots in
+    let rest =
+      List.filter
+        (fun r ->
+          not (Schedule.Replay.compatible r ~copy_cap spec clustering))
+        cur
+    in
+    Atomic.compare_and_set t.slots cur
+      (recording :: take (slot_capacity - 1) rest)
+  in
+  ignore (attempt () || attempt () || attempt () || attempt ())
+
+let lookup t ~copy_cap spec clustering =
+  List.find_opt
+    (fun r -> Schedule.Replay.compatible r ~copy_cap spec clustering)
+    (Atomic.get t.slots)
 
 let replays t = Trace.Counter.get t.replay_counter
 let rebuilds t = Trace.Counter.get t.rebuild_counter
@@ -45,9 +83,9 @@ let record t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     Trace.span t.trace "schedule.run" (fun () ->
         Schedule.Replay.record ~copy_cap spec clustering arch)
   with
-  | Error _ as e -> e  (* keep the previous recording *)
+  | Error _ as e -> e  (* keep the previous recordings *)
   | Ok (sched, recording) ->
-      Atomic.set t.slot (Some recording);
+      publish t ~copy_cap spec clustering recording;
       Ok sched
 
 (* Refresh the replay basis without materializing a schedule: the
@@ -60,8 +98,8 @@ let refresh t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     Trace.span t.trace "schedule.run" (fun () ->
         Schedule.Replay.record_only ~copy_cap spec clustering arch)
   with
-  | Error _ -> ()  (* keep the previous recording *)
-  | Ok recording -> Atomic.set t.slot (Some recording)
+  | Error _ -> ()  (* keep the previous recordings *)
+  | Ok recording -> publish t ~copy_cap spec clustering recording
 
 (* A recording never stops being a valid diff basis (it is immutable and
    the diff is computed against the candidate), so evaluation always
@@ -73,10 +111,10 @@ let refresh t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
    [Memo.run] goes through [record]). *)
 let evaluate t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
-  match Atomic.get t.slot with
-  | Some r when Schedule.Replay.compatible r ~copy_cap spec clustering ->
+  match lookup t ~copy_cap spec clustering with
+  | Some r ->
       let prep = Schedule.Replay.prepare r spec clustering arch in
       Trace.Counter.incr t.replay_counter;
       Trace.instant t.trace "eval.replay";
       `Replayed (Schedule.Replay.replay_verdict prep)
-  | Some _ | None -> `Ran (record t ~copy_cap spec clustering arch)
+  | None -> `Ran (record t ~copy_cap spec clustering arch)

@@ -14,9 +14,13 @@
     downstream, and cuts the prefix before the first pop any marked
     instance could influence).
 
-    One engine is scoped to a synthesis run, like {!Memo}; the recording
-    slot is an atomic holding an immutable value, so the parallel
-    evaluation path may share it across domains. *)
+    One engine is scoped to a synthesis trajectory, like {!Memo}; the
+    recording slots form a small MRU list keyed by (spec, clustering,
+    copy_cap) identity, so revisiting a clustering seen earlier (a
+    portfolio trajectory restart, a rescheduling round) replays against
+    the retained basis instead of paying a cold rebuild.  The list is an
+    atomic holding immutable values, so the parallel evaluation path may
+    share it across domains. *)
 
 type t
 
@@ -25,7 +29,7 @@ val create :
   ?metrics:Crusade_util.Trace.Metrics.t ->
   unit ->
   t
-(** A fresh engine with an empty recording slot.  [?metrics] registers
+(** A fresh engine with no recordings.  [?metrics] registers
     the counters as ["eval.replays"] / ["eval.rebuilds"]; [?trace] emits
     an instant event per replayed evaluation. *)
 

@@ -53,19 +53,41 @@ let shutdown t =
   t.workers <- [];
   t.stop <- false
 
-(* Grow the worker set to [n] domains (idempotent, caller-side only:
-   pools are driven from one orchestrating domain at a time). *)
+(* Grow the worker set to [n] domains (idempotent).  [t.workers] is
+   mutated under the pool mutex: portfolio trajectories running on
+   worker domains may hit a nested [map_n] concurrently with the
+   orchestrating domain growing the pool. *)
 let ensure_workers t n =
   let n = min n max_workers in
+  Mutex.lock t.mutex;
   let have = List.length t.workers in
   if have < n then
     for _ = have + 1 to n do
       t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
-    done
+    done;
+  Mutex.unlock t.mutex
+
+let size _t = max 1 (min max_workers (recommended_jobs ()))
+
+(* More runners than the machine has domains never helps a CPU-bound
+   work-steal: the extra runners just time-share cores and pay
+   cross-domain GC synchronization for it.  The caller participates as
+   a runner, so the cap is the full recommended count (not one less).
+   Results are index-addressed, so the runner count never changes
+   them. *)
+let effective_jobs j = max 1 (min j (Domain.recommended_domain_count ()))
+
+let warm t n = ensure_workers t n
+
+let submit t task =
+  Mutex.lock t.mutex;
+  Queue.push task t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
 
 let map_n ?jobs t f n =
   let jobs =
-    match jobs with Some j -> max 1 j | None -> recommended_jobs ()
+    match jobs with Some j -> effective_jobs j | None -> recommended_jobs ()
   in
   if n <= 0 then [||]
   else if jobs <= 1 || n = 1 then Array.init n f
@@ -116,7 +138,7 @@ let parallel_map ?jobs t f arr = map_n ?jobs t (fun i -> f arr.(i)) (Array.lengt
 
 let parallel_find_first ?jobs t f n =
   let jobs =
-    match jobs with Some j -> max 1 j | None -> recommended_jobs ()
+    match jobs with Some j -> effective_jobs j | None -> recommended_jobs ()
   in
   if jobs <= 1 then begin
     let rec scan i = if i >= n then None else match f i with Some _ as r -> r | None -> scan (i + 1) in

@@ -31,10 +31,32 @@ val default_jobs : unit -> int
 (** Value of the [CRUSADE_JOBS] environment variable clamped to
     [1 .. recommended_jobs ()]; [1] when unset or unparsable. *)
 
+val size : t -> int
+(** Number of concurrent tasks this pool can usefully run: the worker
+    ceiling clamped to what the machine delivers ({!recommended_jobs}).
+    [--portfolio 0] resolves to this many trajectories. *)
+
+val warm : t -> int -> unit
+(** [warm t n] grows the pool to [n] worker domains (clamped to the
+    internal ceiling) without submitting work.  Idempotent; spawned
+    domains are reused across successive rounds rather than torn down
+    per batch. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit t task] enqueues [task] to run on some worker domain and
+    returns immediately.  The task must catch its own exceptions (a
+    stray raise is swallowed by the worker backstop) and signal its own
+    completion.  Pair with {!warm}: submission does not spawn workers,
+    so an unwarmed pool only drains tasks once a parallel entry point
+    spawns some. *)
+
 val map_n : ?jobs:int -> t -> (int -> 'a) -> int -> 'a array
 (** [map_n ~jobs t f n] computes [|f 0; f 1; ...; f (n-1)|] with up to
-    [jobs] domains (default {!recommended_jobs}).  Results are in index
-    order; the lowest-index exception is re-raised. *)
+    [jobs] domains (default {!recommended_jobs}).  An explicit [jobs]
+    is capped at [Domain.recommended_domain_count ()] — surplus runners
+    would only time-share cores — and the cap never changes results,
+    which are in index order; the lowest-index exception is
+    re-raised. *)
 
 val parallel_map : ?jobs:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Element-wise {!map_n} over an array. *)

@@ -236,11 +236,43 @@ let replay_exact_under_perturbation =
           | Ok _, Error _ | Error _, Ok _ -> false)
         [ 1; 2; 3 ])
 
+(* Keyed recording slots: evaluating clustering A, then B, then A again
+   must replay A from its retained basis — a single-slot engine would
+   have evicted it and paid a cold rebuild.  This is what lets a
+   portfolio trajectory that restarts from a clustering seen earlier
+   reuse its scheduling basis. *)
+let keyed_slots () =
+  let module I = Crusade_sched.Incremental in
+  let lib = Helpers.stock_lib in
+  let spec = W.generate lib (tiny_params 3) in
+  let cl_a = Clustering.run ~max_cluster_size:4 spec lib in
+  let cl_b = Clustering.run ~max_cluster_size:2 spec lib in
+  let arch_a = Arch.create lib in
+  place_all spec cl_a arch_a;
+  let arch_b = Arch.create lib in
+  place_all spec cl_b arch_b;
+  let eng = I.create () in
+  let expect what = function
+    | `Ran (Ok _) when what = `Ran -> ()
+    | `Replayed (Ok _) when what = `Replayed -> ()
+    | `Ran (Error msg) | `Replayed (Error msg) ->
+        Alcotest.failf "evaluation failed: %s" msg
+    | `Ran (Ok _) -> Alcotest.fail "expected a replay, got a cold rebuild"
+    | `Replayed (Ok _) -> Alcotest.fail "expected a rebuild, got a replay"
+  in
+  expect `Ran (I.evaluate eng spec cl_a arch_a);
+  expect `Ran (I.evaluate eng spec cl_b arch_b);
+  expect `Replayed (I.evaluate eng spec cl_a arch_a);
+  expect `Replayed (I.evaluate eng spec cl_b arch_b);
+  check Alcotest.int "rebuilds" 2 (I.rebuilds eng);
+  check Alcotest.int "replays" 2 (I.replays eng)
+
 let suite =
   [
     ("single PE", `Quick, single_pe);
     ("shared link", `Quick, shared_link);
     ("mode-window boundary", `Quick, mode_window);
     ("copy-cap extrapolation edge", `Quick, copy_cap_edge);
+    ("keyed recording slots", `Quick, keyed_slots);
     qcheck replay_exact_under_perturbation;
   ]

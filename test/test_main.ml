@@ -19,6 +19,7 @@ let () =
       ("presets", Test_presets.suite);
       ("evaluator", Test_evaluator.suite);
       ("incremental", Test_incremental.suite);
+      ("portfolio", Test_portfolio.suite);
       ("extras", Test_extras.suite);
       ("properties", Test_properties.suite);
     ]

@@ -81,8 +81,64 @@ let preset_count () =
         [ false; true ])
     W.preset_names
 
+(* Portfolio goldens: best-of-4 (seed 0, reconfiguration on) is pinned
+   for two presets.  The portfolio winner is deterministic for a fixed
+   (seed, N) whatever the jobs count, so these rows are as stable as the
+   plain goldens above — and jobs=2 here exercises the concurrent path. *)
+type portfolio_row = { p_best : int; p_row : row }
+
+let portfolio_golden =
+  [
+    ("A1TR", { p_best = 0; p_row = { cost = "431.320"; met = true; n_pes = 5; n_links = 1; n_modes = 7 } });
+    ("B192G", { p_best = 0; p_row = { cost = "2462.120"; met = true; n_pes = 26; n_links = 8; n_modes = 37 } });
+  ]
+
+let actual_portfolio_row name =
+  let spec = W.generate Helpers.stock_lib (W.scaled (W.preset name) 16.0) in
+  match
+    C.Portfolio.run ~jobs:2 ~n:4 ~options:C.default_options
+      ~flow:(fun o -> C.synthesize ~options:o spec Helpers.stock_lib)
+      ~cost:(fun (r : C.result) -> r.C.cost)
+      ~met:(fun (r : C.result) -> r.C.deadlines_met)
+      ()
+  with
+  | Error msg -> Alcotest.failf "portfolio synthesis of %s failed: %s" name msg
+  | Ok o ->
+      let r = o.C.Portfolio.best in
+      {
+        p_best = o.C.Portfolio.best_index;
+        p_row =
+          {
+            cost = Printf.sprintf "%.3f" r.C.cost;
+            met = r.C.deadlines_met;
+            n_pes = r.C.n_pes;
+            n_links = r.C.n_links;
+            n_modes = r.C.n_modes;
+          };
+      }
+
+let show_portfolio name { p_best; p_row = { cost; met; n_pes; n_links; n_modes } } =
+  Printf.sprintf
+    "(%S, { p_best = %d; p_row = { cost = %S; met = %b; n_pes = %d; n_links = \
+     %d; n_modes = %d } });"
+    name p_best cost met n_pes n_links n_modes
+
+let run_portfolio () =
+  let drift =
+    List.filter_map
+      (fun (name, expected) ->
+        let actual = actual_portfolio_row name in
+        if actual = expected then None else Some (show_portfolio name actual))
+      portfolio_golden
+  in
+  if drift <> [] then
+    Alcotest.failf "portfolio golden drift in %d row(s); if intended, re-pin with:\n%s"
+      (List.length drift)
+      (String.concat "\n" drift)
+
 let suite =
   [
     Alcotest.test_case "golden table covers all presets" `Quick preset_count;
     Alcotest.test_case "preset costs and deadlines pinned" `Slow run_all;
+    Alcotest.test_case "portfolio best-of-4 pinned" `Slow run_portfolio;
   ]

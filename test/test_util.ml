@@ -465,6 +465,30 @@ let pool_exception_propagation () =
   check Alcotest.int "pool still usable" 8 (Array.length again);
   Pool.shutdown pool
 
+let pool_size_warm_submit () =
+  let pool = Pool.create () in
+  let size = Pool.size pool in
+  if size < 1 || size > 15 then Alcotest.failf "size out of range: %d" size;
+  Pool.warm pool 2;
+  Pool.warm pool 2 (* idempotent *);
+  let n = 16 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to n do
+    Pool.submit pool (fun () -> Atomic.incr hits)
+  done;
+  (* submit is fire-and-forget; the tasks signal completion through the
+     shared counter.  Sys.time keeps ticking while we spin, so a stuck
+     pool fails the test instead of hanging it. *)
+  let give_up = Sys.time () +. 30.0 in
+  while Atomic.get hits < n && Sys.time () < give_up do
+    Domain.cpu_relax ()
+  done;
+  check Alcotest.int "all submitted tasks ran" n (Atomic.get hits);
+  (* submitted work coexists with the map entry points on one queue *)
+  let doubled = Pool.map_n ~jobs:2 pool (fun i -> 2 * i) 6 in
+  check Alcotest.(array int) "map after submit" [| 0; 2; 4; 6; 8; 10 |] doubled;
+  Pool.shutdown pool
+
 let pool_find_first () =
   let pool = Pool.create () in
   check
@@ -536,4 +560,5 @@ let suite =
     Alcotest.test_case "pool map ordering" `Quick pool_map_ordering;
     Alcotest.test_case "pool exception propagation" `Quick pool_exception_propagation;
     Alcotest.test_case "pool find first" `Quick pool_find_first;
+    Alcotest.test_case "pool size/warm/submit" `Quick pool_size_warm_submit;
   ]
