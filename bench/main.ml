@@ -146,6 +146,7 @@ type bench_record = {
   br_example : string;
   br_variant : string;  (* "plain" or "reconfig" *)
   br_jobs : int;
+  br_scale : int;  (* task-count divisor; 1 = full paper size *)
   br_wall : float;
   br_cpu : float;
   br_cost : float;
@@ -172,7 +173,7 @@ let timed_audit violations_of =
     Some (Sys.time () -. t0, n)
   end
 
-let record_run ~table ~example ~variant ~jobs ~cost ?audit ?wall ?cpu
+let record_run ~table ~example ~variant ~jobs ~scale ~cost ?audit ?wall ?cpu
     ?portfolio (r : C.result) =
   bench_records :=
     {
@@ -180,6 +181,7 @@ let record_run ~table ~example ~variant ~jobs ~cost ?audit ?wall ?cpu
       br_example = example;
       br_variant = variant;
       br_jobs = jobs;
+      br_scale = scale;
       br_wall = Option.value wall ~default:r.C.wall_seconds;
       br_cpu = Option.value cpu ~default:r.C.cpu_seconds;
       br_cost = cost;
@@ -190,15 +192,17 @@ let record_run ~table ~example ~variant ~jobs ~cost ?audit ?wall ?cpu
     }
     :: !bench_records
 
-let write_bench_json ~prune ~memo ~incremental path =
+let write_bench_json ~prune ~memo ~incremental ~incremental_merge path =
   let entries = List.rev !bench_records in
   let oc = open_out path in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"crusade-bench-1\",\n";
+  Buffer.add_string b "  \"schema\": \"crusade-bench-2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"prune\": %b,\n" prune);
   Buffer.add_string b (Printf.sprintf "  \"memo\": %b,\n" memo);
   Buffer.add_string b (Printf.sprintf "  \"incremental\": %b,\n" incremental);
+  Buffer.add_string b
+    (Printf.sprintf "  \"incremental_merge\": %b,\n" incremental_merge);
   Buffer.add_string b "  \"entries\": [";
   List.iteri
     (fun i e ->
@@ -232,14 +236,21 @@ let write_bench_json ~prune ~memo ~incremental path =
       Buffer.add_string b
         (Printf.sprintf
            "\n    {\"table\": %S, \"example\": %S, \"variant\": %S, \"jobs\": %d, \
+            \"scale\": %d, \
             \"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, \"cost\": %.3f, \
             \"deadlines_met\": %b, \"pruned\": %d, \"memo_hits\": %d, \
-            \"memo_misses\": %d, \"rollbacks\": %d, \"replays\": %d, \
-            \"rebuilds\": %d%s%s}"
-           e.br_table e.br_example e.br_variant e.br_jobs e.br_wall e.br_cpu
-           e.br_cost e.br_met e.br_stats.C.pruned e.br_stats.C.memo_hits
-           e.br_stats.C.memo_misses e.br_stats.C.rollbacks e.br_stats.C.replays
-           e.br_stats.C.rebuilds audit_fields portfolio_fields))
+            \"memo_misses\": %d, \"memo_bypassed\": %d, \"rollbacks\": %d, \
+            \"replays\": %d, \"rebuilds\": %d, \"merge_replays\": %d, \
+            \"merge_rebuilds\": %d, \"basis_adoptions\": %d, \
+            \"basis_cuts\": %d%s%s}"
+           e.br_table e.br_example e.br_variant e.br_jobs e.br_scale e.br_wall
+           e.br_cpu e.br_cost e.br_met e.br_stats.C.pruned
+           e.br_stats.C.memo_hits e.br_stats.C.memo_misses
+           e.br_stats.C.memo_bypassed e.br_stats.C.rollbacks
+           e.br_stats.C.replays e.br_stats.C.rebuilds
+           e.br_stats.C.merge_replays e.br_stats.C.merge_rebuilds
+           e.br_stats.C.basis_adoptions e.br_stats.C.basis_cuts audit_fields
+           portfolio_fields))
     entries;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.output_buffer oc b;
@@ -275,8 +286,8 @@ let run_flow ~portfolio ~jobs ~options ~flow ~cost ~met =
     | Error msg -> Error msg
   end
 
-let synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec
-    lib reconfig =
+let synth_row ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+    ~scale ~table ~example spec lib reconfig =
   let options =
     {
       C.default_options with
@@ -285,6 +296,7 @@ let synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec
       prune;
       memo;
       incremental;
+      incremental_merge;
       trace = !trace_sink;
     }
   in
@@ -310,14 +322,14 @@ let synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec
       in
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
-        ~jobs ~cost:r.C.cost
+        ~jobs ~scale ~cost:r.C.cost
         ?audit:(timed_audit (fun () -> C.audit r))
         ?wall ?cpu ?portfolio r;
       (r.C.n_pes, r.C.n_links, r.C.cpu_seconds, r.C.cost, r.C.deadlines_met)
   | Error msg -> failwith msg
 
-let ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec lib
-    reconfig =
+let ft_row ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio ~scale
+    ~table ~example spec lib reconfig =
   let options =
     {
       C.default_options with
@@ -326,6 +338,7 @@ let ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec lib
       prune;
       memo;
       incremental;
+      incremental_merge;
       trace = !trace_sink;
     }
   in
@@ -351,7 +364,7 @@ let ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table ~example spec lib
       in
       record_run ~table ~example
         ~variant:(if reconfig then "reconfig" else "plain")
-        ~jobs ~cost:r.F.total_cost
+        ~jobs ~scale ~cost:r.F.total_cost
         ?audit:(timed_audit (fun () -> F.audit r))
         ?wall ?cpu ?portfolio core;
       ( r.F.n_pes_with_spares,
@@ -413,26 +426,32 @@ let comparison_table ~title ~paper ~scale ~only ~row_of =
        ~header rows);
   print_newline ()
 
-let table2 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only () =
+let table2 ~scale ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+    ~only () =
   comparison_table
     ~title:"Table 2: efficacy of CRUSADE (- without / + with dynamic reconfiguration)"
     ~paper:paper_table2 ~scale ~only
-    ~row_of:(synth_row ~jobs ~prune ~memo ~incremental ~portfolio ~table:"table2")
+    ~row_of:
+      (synth_row ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+         ~scale ~table:"table2")
 
-let table3 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only () =
+let table3 ~scale ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+    ~only () =
   comparison_table
     ~title:
       "Table 3: efficacy of CRUSADE-FT (- without / + with dynamic reconfiguration)"
     ~paper:paper_table3 ~scale ~only
-    ~row_of:(ft_row ~jobs ~prune ~memo ~incremental ~portfolio ~table:"table3")
+    ~row_of:
+      (ft_row ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+         ~scale ~table:"table3")
 
-let figures ~prune ~memo ~incremental () =
+let figures ~prune ~memo ~incremental ~incremental_merge () =
   print_endline "== Fig. 2 motivation example (small library) ==";
   let lib = Crusade_resource.Library.small () in
   let spec = Ex.figure2 lib in
   let fig_row =
-    synth_row ~jobs:1 ~prune ~memo ~incremental ~portfolio:1 ~table:"figures"
-      ~example:"figure2"
+    synth_row ~jobs:1 ~prune ~memo ~incremental ~incremental_merge ~portfolio:1
+      ~scale:1 ~table:"figures" ~example:"figure2"
   in
   let p0, l0, _, c0, _ = fig_row spec lib false in
   let p1, l1, _, c1, _ = fig_row spec lib true in
@@ -451,13 +470,14 @@ let figures ~prune ~memo ~incremental () =
       prune;
       memo;
       incremental;
+      incremental_merge;
       trace = !trace_sink;
     }
   in
   (match C.synthesize ~options spec4 lib with
   | Ok r ->
       record_run ~table:"figures" ~example:"figure4" ~variant:"reconfig" ~jobs:1
-        ~cost:r.C.cost
+        ~scale:1 ~cost:r.C.cost
         ?audit:(timed_audit (fun () -> C.audit r))
         r;
       Format.printf "%a@.@." C.pp_report r
@@ -642,6 +662,7 @@ let () =
   let prune = not (List.mem "--no-prune" args) in
   let memo = not (List.mem "--no-memo" args) in
   let incremental = not (List.mem "--no-incremental" args) in
+  let incremental_merge = not (List.mem "--no-incremental-merge" args) in
   let only =
     match string_flag "--only" "" with
     | "" -> []
@@ -675,12 +696,14 @@ let () =
                 ])
             args)
   in
-  if wants "figures" then figures ~prune ~memo ~incremental ();
+  if wants "figures" then figures ~prune ~memo ~incremental ~incremental_merge ();
   if wants "table1" then table1 ();
   if wants "table2" then
-    table2 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only ();
+    table2 ~scale ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+      ~only ();
   if wants "table3" then
-    table3 ~scale ~jobs ~prune ~memo ~incremental ~portfolio ~only ();
+    table3 ~scale ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
+      ~only ();
   if wants "ablation" then ablation ();
   if wants "bench" then bechamel_benches ();
   (* speedup re-runs the same synthesis at every jobs count, so it only
@@ -688,7 +711,7 @@ let () =
   if List.mem "speedup" args then
     speedup ~max_jobs:(int_flag "--jobs" 4) ();
   if !bench_records <> [] then
-    write_bench_json ~prune ~memo ~incremental bench_out;
+    write_bench_json ~prune ~memo ~incremental ~incremental_merge bench_out;
   match (trace_out, !trace_sink) with
   | Some path, Some t ->
       Crusade_util.Trace.write_file t path;

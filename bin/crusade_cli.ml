@@ -165,6 +165,15 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let no_incremental_merge_arg =
+  let doc =
+    "Disable the incremental merge phase (sequential merge trials as \
+     journaled in-place deltas on the live architecture instead of per-trial \
+     deep copies).  Results are bit-identical with it on or off; only the \
+     synthesis time moves.  Escape hatch and A/B lever."
+  in
+  Arg.(value & flag & info [ "no-incremental-merge" ] ~doc)
+
 let audit_arg =
   let doc =
     "After synthesis, re-derive every architecture and schedule invariant \
@@ -192,12 +201,14 @@ let audit_exit ~audit violations base_exit =
         3
   end
 
-let options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window ~trace =
+let options_with ~no_reconfig ~no_incremental ~no_incremental_merge ~copy_cap
+    ~eval_window ~trace =
   let opts =
     {
       C.default_options with
       dynamic_reconfiguration = not no_reconfig;
       incremental = not no_incremental;
+      incremental_merge = not no_incremental_merge;
     }
   in
   let opts =
@@ -221,8 +232,8 @@ let with_trace trace_file k =
       | _ -> ())
     (fun () -> k trace)
 
-let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
-    trace_file audit portfolio budget_ms quality =
+let synth_run name scale no_reconfig no_incremental no_incremental_merge
+    copy_cap eval_window seed trace_file audit portfolio budget_ms quality =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -230,8 +241,8 @@ let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
   | Ok (spec, lib) ->
       with_trace trace_file (fun trace ->
           let options =
-            options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window
-              ~trace
+            options_with ~no_reconfig ~no_incremental ~no_incremental_merge
+              ~copy_cap ~eval_window ~trace
           in
           let n = resolve_portfolio portfolio quality in
           if n = 1 && budget_ms = None then
@@ -271,8 +282,8 @@ let synth_run name scale no_reconfig no_incremental copy_cap eval_window seed
                 prerr_endline msg;
                 1)
 
-let ft_run name scale no_reconfig no_incremental copy_cap eval_window seed
-    trace_file audit portfolio budget_ms quality =
+let ft_run name scale no_reconfig no_incremental no_incremental_merge copy_cap
+    eval_window seed trace_file audit portfolio budget_ms quality =
   match spec_of_name ?seed name scale with
   | Error msg ->
       prerr_endline msg;
@@ -280,7 +291,8 @@ let ft_run name scale no_reconfig no_incremental copy_cap eval_window seed
   | Ok (spec, lib) ->
       with_trace trace_file (fun trace ->
       let options =
-        options_with ~no_reconfig ~no_incremental ~copy_cap ~eval_window ~trace
+        options_with ~no_reconfig ~no_incremental ~no_incremental_merge
+          ~copy_cap ~eval_window ~trace
       in
       let report (r : F.result) portfolio_outcome =
         Format.printf "%a@." C.pp_report r.F.core;
@@ -374,16 +386,16 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc)
     Term.(
       const synth_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
-      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg
-      $ portfolio_arg $ budget_ms_arg $ quality_arg)
+      $ no_incremental_merge_arg $ copy_cap_arg $ eval_window_arg $ seed_arg
+      $ trace_arg $ audit_arg $ portfolio_arg $ budget_ms_arg $ quality_arg)
 
 let ft_cmd =
   let doc = "co-synthesize a fault-tolerant architecture (CRUSADE-FT)" in
   Cmd.v (Cmd.info "ft" ~doc)
     Term.(
       const ft_run $ name_arg $ scale_arg $ reconfig_arg $ no_incremental_arg
-      $ copy_cap_arg $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg
-      $ portfolio_arg $ budget_ms_arg $ quality_arg)
+      $ no_incremental_merge_arg $ copy_cap_arg $ eval_window_arg $ seed_arg
+      $ trace_arg $ audit_arg $ portfolio_arg $ budget_ms_arg $ quality_arg)
 
 let delay_cmd =
   let doc = "run the ERUF/EPUF delay-management sweep for a Table 1 circuit" in

@@ -2,8 +2,9 @@
 
    Seeds drive [Comm_system.generate] parameters; every seed is
    synthesized under the full evaluator-configuration matrix
-   ({prune,memo} on/off x incremental rescheduling on/off x jobs 1/N x
-   dynamic reconfiguration on/off) and the harness asserts that
+   ({prune,memo} on/off x incremental rescheduling on/off x incremental
+   merge on/off x jobs 1/N x dynamic reconfiguration on/off) and the
+   harness asserts that
 
    (a) within each reconfiguration flavor, every evaluator configuration
        produces a bit-identical result (cost, counts, verdict and the
@@ -144,18 +145,20 @@ type config = {
   prune : bool;
   memo : bool;
   inc : bool;  (* incremental rescheduling *)
+  inc_merge : bool;  (* in-place journaled merge trials *)
   jobs : int;
 }
 
 let json_config c =
   Printf.sprintf
     "{\"reconfig\": %b, \"prune\": %b, \"memo\": %b, \"incremental\": %b, \
-     \"jobs\": %d}"
-    c.reconfig c.prune c.memo c.inc c.jobs
+     \"incremental_merge\": %b, \"jobs\": %d}"
+    c.reconfig c.prune c.memo c.inc c.inc_merge c.jobs
 
 let describe_config c =
-  Printf.sprintf "reconfig=%b prune=%b memo=%b incremental=%b jobs=%d" c.reconfig
-    c.prune c.memo c.inc c.jobs
+  Printf.sprintf
+    "reconfig=%b prune=%b memo=%b incremental=%b incremental_merge=%b jobs=%d"
+    c.reconfig c.prune c.memo c.inc c.inc_merge c.jobs
 
 (* One failure is enough: the repro is minimized by construction (a
    single seed, its generator parameters and the offending
@@ -201,12 +204,15 @@ let params_of_seed seed =
 
 let configs_of ~jobs_max reconfig =
   [
-    { reconfig; prune = true; memo = true; inc = true; jobs = 1 };
-    { reconfig; prune = false; memo = false; inc = true; jobs = 1 };
-    { reconfig; prune = true; memo = true; inc = false; jobs = 1 };
-    { reconfig; prune = false; memo = false; inc = false; jobs = 1 };
-    { reconfig; prune = true; memo = true; inc = true; jobs = jobs_max };
-    { reconfig; prune = false; memo = false; inc = false; jobs = jobs_max };
+    { reconfig; prune = true; memo = true; inc = true; inc_merge = true; jobs = 1 };
+    { reconfig; prune = false; memo = false; inc = true; inc_merge = true; jobs = 1 };
+    { reconfig; prune = true; memo = true; inc = false; inc_merge = true; jobs = 1 };
+    { reconfig; prune = false; memo = false; inc = false; inc_merge = true; jobs = 1 };
+    (* incremental-merge off: batch per-trial copies must reproduce the
+       in-place journaled merge loop bit for bit *)
+    { reconfig; prune = true; memo = true; inc = true; inc_merge = false; jobs = 1 };
+    { reconfig; prune = true; memo = true; inc = true; inc_merge = true; jobs = jobs_max };
+    { reconfig; prune = false; memo = false; inc = false; inc_merge = true; jobs = jobs_max };
   ]
 
 let options_of (c : config) =
@@ -216,6 +222,7 @@ let options_of (c : config) =
     prune = c.prune;
     memo = c.memo;
     incremental = c.inc;
+    incremental_merge = c.inc_merge;
     jobs = c.jobs;
   }
 
@@ -244,7 +251,9 @@ let violation_strings vs =
    the incumbent bound on or off — the differential oracle that a bound
    abort never killed a trajectory that would have won. *)
 let portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig =
-  let config jobs = { reconfig; prune = true; memo = true; inc = true; jobs } in
+  let config jobs =
+    { reconfig; prune = true; memo = true; inc = true; inc_merge = true; jobs }
+  in
   let flow o = Core.synthesize ~options:o spec lib in
   let cost (r : Core.result) = r.Core.cost in
   let met (r : Core.result) = r.Core.deadlines_met in
@@ -541,6 +550,71 @@ let replay_corruption (r : Core.result) =
         end
       end
 
+(* Merge-basis self-test: an in-place merge trial perturbs the
+   architecture under a journal checkpoint and rolls back on rejection;
+   the per-pass basis must then replay the full prefix bit-identically
+   against the restored architecture — unless the basis itself is
+   corrupted, which must surface as a diverging schedule.  Unlike
+   [replay_corruption] (final step), this corrupts a step in the middle
+   of the prefix, the region a warm merge basis actually adopts. *)
+let merge_basis_corruption (r : Core.result) =
+  let name = "merge-basis-corruption" in
+  let spec = r.Core.spec
+  and clustering = r.Core.clustering in
+  let arch = Arch.copy r.Core.arch in
+  match Schedule.Replay.record spec clustering arch with
+  | Error why -> (name, `Inapplicable ("record failed: " ^ why))
+  | Ok (fresh, recording) ->
+      (* Journaled merge-style perturbation round-trip: unplace every
+         cluster, then roll back, exactly as a rejected trial does. *)
+      let ck = Arch.checkpoint arch in
+      Array.iter
+        (fun (c : Clustering.cluster) ->
+          if Arch.site_of_cluster arch c.Clustering.cid <> None then
+            Arch.unplace_cluster arch clustering c)
+        clustering.Clustering.clusters;
+      Arch.rollback arch ck;
+      let steps = Schedule.Replay.steps recording in
+      if steps < 2 then (name, `Inapplicable "recording too short")
+      else if
+        not (Schedule.Replay.corrupt_for_selftest ~step:(steps / 2) recording)
+      then (name, `Inapplicable "corruption step out of range")
+      else begin
+        let prep = Schedule.Replay.prepare recording spec clustering arch in
+        if Schedule.Replay.cut prep < steps then
+          ( name,
+            `Missed
+              ( "full-prefix replay after rollback",
+                [
+                  {
+                    Audit.rule = "merge-basis-cut";
+                    detail =
+                      Printf.sprintf
+                        "rolled-back architecture replays only %d of %d steps"
+                        (Schedule.Replay.cut prep) steps;
+                  };
+                ] ) )
+        else begin
+          match Schedule.Replay.replay_run prep with
+          | Error _ -> (name, `Detected)
+          | Ok replayed ->
+              if schedule_fingerprint replayed <> schedule_fingerprint fresh
+              then (name, `Detected)
+              else
+                ( name,
+                  `Missed
+                    ( "merge-basis fingerprint divergence",
+                      [
+                        {
+                          Audit.rule = "merge-basis-fingerprint";
+                          detail =
+                            "corrupted merge basis replayed to the fresh \
+                             run's schedule";
+                        };
+                      ] ) )
+        end
+      end
+
 let selftest ~out =
   (* Two fixtures: a plain synthesis of a generated workload, and the
      core of its CRUSADE-FT synthesis (which guarantees exclusion pairs
@@ -606,7 +680,7 @@ let selftest ~out =
           Printf.printf "  %-26s MISSED (expected %s)\n" name expected
       | name, `Inapplicable why ->
           Printf.printf "  %-26s inapplicable (%s)\n" name why)
-    [ verdict_flip plain; replay_corruption plain ];
+    [ verdict_flip plain; replay_corruption plain; merge_basis_corruption plain ];
   (match !missed with
   | [] -> ()
   | (name, expected, vs) :: _ ->
@@ -631,7 +705,7 @@ let () =
   else begin
     let n = a.seed_hi - a.seed_lo + 1 in
     Printf.printf
-      "fuzzing seeds %d..%d (%d seeds x 12 configurations + portfolio \
+      "fuzzing seeds %d..%d (%d seeds x 14 configurations + portfolio \
        {1,4}x{bound on,off}, jobs_max=%d)\n%!"
       a.seed_lo a.seed_hi n a.jobs_max;
     for seed = a.seed_lo to a.seed_hi do

@@ -6,6 +6,7 @@ module Arch = Crusade_alloc.Arch
 module Options = Crusade_alloc.Options
 module Schedule = Crusade_sched.Schedule
 module Memo = Crusade_sched.Memo
+module Incremental = Crusade_sched.Incremental
 module Merge = Crusade_reconfig.Merge
 module Interface = Crusade_reconfig.Interface
 module Vec = Crusade_util.Vec
@@ -46,6 +47,11 @@ type traj = {
   t_bound : bound_state option;
   t_deadline : float option;  (* absolute wall clock *)
   t_fit_scale : float * float;  (* merge PFU/pin cap scale, each <= 1.0 *)
+  t_basis : Incremental.Store.t option;
+      (* shared recording store: perturbed trajectories (index >= 1)
+         publish and adopt replay bases across their physically distinct
+         clusterings; [None] for trajectory 0, which stays bit-identical
+         to a plain run down to its counters *)
 }
 
 type options = {
@@ -60,6 +66,7 @@ type options = {
   prune : bool;
   memo : bool;
   incremental : bool;
+  incremental_merge : bool;
   trace : Trace.t option;
   portfolio : traj option;
 }
@@ -77,6 +84,7 @@ let default_options =
     prune = true;
     memo = true;
     incremental = true;
+    incremental_merge = true;
     trace = None;
     portfolio = None;
   }
@@ -85,9 +93,14 @@ type eval_stats = {
   pruned : int;
   memo_hits : int;
   memo_misses : int;
+  memo_bypassed : int;
   rollbacks : int;
   replays : int;
   rebuilds : int;
+  merge_replays : int;
+  merge_rebuilds : int;
+  basis_adoptions : int;
+  basis_cuts : int;
   traj_launched : int;
   traj_completed : int;
   traj_aborted : int;
@@ -134,6 +147,10 @@ type ctx = {
   perturb : Rng.t option;
       (* the trajectory's perturbation stream; [None] for trajectory 0
          and plain runs, which therefore stay bit-identical *)
+  mutable merge_replays : int;
+  mutable merge_rebuilds : int;
+      (* the merge phase's slice of the replay/rebuild counters, sampled
+         around the [Merge.optimize] span in [run_flow] *)
 }
 
 let make_ctx (opts : options) =
@@ -151,15 +168,22 @@ let make_ctx (opts : options) =
     | Some t when t.t_index > 0 -> Some (Rng.create t.t_seed)
     | Some _ | None -> None
   in
+  let basis_store =
+    match opts.portfolio with
+    | Some { t_basis; _ } -> t_basis
+    | None -> None
+  in
   {
     memo =
       Memo.create ~enabled:opts.memo ~incremental:opts.incremental
-        ?trace:opts.trace ~metrics ();
+        ?basis_store ?trace:opts.trace ~metrics ();
     metrics;
     rollback_counter = Trace.Metrics.counter metrics "eval.rollbacks";
     trace = opts.trace;
     check_budget;
     perturb;
+    merge_replays = 0;
+    merge_rebuilds = 0;
   }
 
 let eval_stats_of ctx =
@@ -167,9 +191,14 @@ let eval_stats_of ctx =
     pruned = Memo.prunes ctx.memo;
     memo_hits = Memo.hits ctx.memo;
     memo_misses = Memo.misses ctx.memo;
+    memo_bypassed = Memo.bypasses ctx.memo;
     rollbacks = Trace.Counter.get ctx.rollback_counter;
     replays = Memo.replays ctx.memo;
     rebuilds = Memo.rebuilds ctx.memo;
+    merge_replays = ctx.merge_replays;
+    merge_rebuilds = ctx.merge_rebuilds;
+    basis_adoptions = Memo.adoptions ctx.memo;
+    basis_cuts = Memo.basis_cuts ctx.memo;
     traj_launched = 0;
     traj_completed = 0;
     traj_aborted = 0;
@@ -276,9 +305,12 @@ let sample_eval_counters ctx =
       ("pruned", Memo.prunes ctx.memo);
       ("memo_hits", Memo.hits ctx.memo);
       ("memo_misses", Memo.misses ctx.memo);
+      ("memo_bypassed", Memo.bypasses ctx.memo);
       ("rollbacks", Trace.Counter.get ctx.rollback_counter);
       ("replays", Memo.replays ctx.memo);
       ("rebuilds", Memo.rebuilds ctx.memo);
+      ("basis_adoptions", Memo.adoptions ctx.memo);
+      ("basis_cuts", Memo.basis_cuts ctx.memo);
     ]
 
 let n_modes arch =
@@ -815,13 +847,19 @@ let run_flow ~opts ~t0 ~w0 (spec : Spec.t) lib (clustering : Clustering.t) arch0
       in
       let merged =
         if opts.dynamic_reconfiguration then begin
-          match
+          let replays0 = Memo.replays ctx.memo
+          and rebuilds0 = Memo.rebuilds ctx.memo in
+          let outcome =
             Trace.span ctx.trace "merge" (fun () ->
                 Merge.optimize ~copy_cap:opts.copy_cap
                   ~max_trials_per_pass:opts.merge_trials_per_pass ~jobs:opts.jobs
-                  ~prune:opts.prune ~fit_scale ~on_pass ?trace:ctx.trace
+                  ~prune:opts.prune ~incremental_merge:opts.incremental_merge
+                  ~fit_scale ~on_pass ?trace:ctx.trace
                   ~memo:ctx.memo spec clustering !arch)
-          with
+          in
+          ctx.merge_replays <- Memo.replays ctx.memo - replays0;
+          ctx.merge_rebuilds <- Memo.rebuilds ctx.memo - rebuilds0;
+          match outcome with
           | Ok (better, sched, stats) -> Ok (better, sched, Some stats)
           | Error msg -> Error msg
         end
@@ -965,7 +1003,7 @@ module Portfolio = struct
      bit-identical to the plain flow and exempt from bound and budget
      aborts (it is the anytime fallback and the [baseline_cost]). *)
   let make_traj_options (base : options) ~seed ~index ~inner_jobs ~bound
-      ~deadline =
+      ~deadline ~basis =
     if index = 0 then { base with jobs = inner_jobs }
     else begin
       let kr = Rng.create ((seed * 1_000_003) + (index * 7919)) in
@@ -1000,13 +1038,14 @@ module Portfolio = struct
               t_bound = bound;
               t_deadline = deadline;
               t_fit_scale;
+              t_basis = basis;
             };
       }
     end
 
   let trajectory_options (base : options) ~seed ~index =
     make_traj_options base ~seed ~index ~inner_jobs:base.jobs ~bound:None
-      ~deadline:None
+      ~deadline:None ~basis:None
 
   let offer_incumbent bound ~cost ~index =
     match bound with
@@ -1086,6 +1125,14 @@ module Portfolio = struct
           Some { b_best = Atomic.make None; b_updates = Atomic.make 0 }
         else None
       in
+      (* One shared recording store for the perturbed trajectories: they
+         run content-identical (or near-identical) clusterings over the
+         same physical spec, so a basis recorded by one seeds the others
+         through cross-clustering adoption.  Results are unaffected —
+         adopted replays are bit-identical by construction and the
+         copy-cap check excludes cap-perturbed trajectories — only
+         wall-clock and the replay/adoption counters move. *)
+      let basis = Some (Incremental.Store.create ()) in
       let run_traj k =
         let expired =
           k > 0
@@ -1098,6 +1145,7 @@ module Portfolio = struct
             make_traj_options options ~seed ~index:k ~inner_jobs
               ~bound:(if k = 0 then None else bound)
               ~deadline:(if k = 0 then None else deadline)
+              ~basis
           in
           match flow opts_k with
           | Ok r ->

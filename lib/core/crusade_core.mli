@@ -63,6 +63,15 @@ type options = {
           of rebuilding every timeline from scratch.  Synthesis results
           are bit-identical with it on or off; [--no-incremental] in the
           CLI and benchmark drivers maps here. *)
+  incremental_merge : bool;
+      (** incremental merge phase (default true): sequential
+          ([jobs = 1]) merge trials mutate the live architecture under
+          the {!Crusade_alloc.Arch.checkpoint} journal and roll back on
+          rejection instead of deep-copying it per trial, so each trial
+          is a delta evaluated against a warm per-pass replay basis.
+          Results — accepted merges, schedules, merge stats — are
+          bit-identical with it on or off; [--no-incremental-merge] in
+          the CLI and benchmark drivers maps here. *)
   trace : Crusade_util.Trace.t option;
       (** when set, every synthesis phase (pre-processing, clustering,
           allocation per cluster and per candidate, repair, merge
@@ -88,12 +97,29 @@ type eval_stats = {
       (** candidates rejected by the stage-1 bound without a schedule *)
   memo_hits : int;  (** schedules served from the memo table *)
   memo_misses : int;  (** schedules actually computed *)
+  memo_bypassed : int;
+      (** verdict-only evaluations that skipped the memo table because
+          the incremental engine answered instead; explains the frozen
+          [memo_hits] whenever [options.incremental] is on *)
   rollbacks : int;  (** journaled trial mutations undone in place *)
   replays : int;
       (** candidate evaluations served by incremental prefix replay *)
   rebuilds : int;
       (** full scheduler runs through the incremental engine; 0 when
           [options.incremental] is off *)
+  merge_replays : int;
+      (** the merge phase's share of [replays] — how much of the PPE
+          merge/combine trial load the incremental basis absorbed *)
+  merge_rebuilds : int;  (** the merge phase's share of [rebuilds] *)
+  basis_adoptions : int;
+      (** replays served by a basis recorded under a different
+          clustering identity (cross-basis adoption; a subset of
+          [replays]).  Zero outside portfolio runs — a single
+          trajectory's bases always carry its own clustering *)
+  basis_cuts : int;
+      (** total recording steps the adopted bases could not cover (the
+          rescheduled remainders); small relative to adoptions means
+          bases transplant well across clusterings *)
   traj_launched : int;
       (** portfolio trajectories launched; 0 outside portfolio runs
           (the winning result is annotated via {!Portfolio.annotate}) *)

@@ -65,23 +65,26 @@ let modes_fit ~fit_scale (src : Arch.pe_inst) (dst : Arch.pe_inst) clustering =
            m.Arch.m_clusters)
     (occupied_modes src)
 
-(* Move every cluster of [src] into fresh modes of [dst] on a copy of the
-   architecture; returns the copy on success. *)
-let try_merge spec clustering arch ~src_id ~dst_id =
-  let trial = Arch.copy arch in
-  let src = Vec.get trial.Arch.pes src_id and dst = Vec.get trial.Arch.pes dst_id in
+(* Move every cluster of [src] into fresh modes of [dst], mutating
+   [arch] in place.  Every mutation below ([add_mode], [unplace_cluster],
+   [place_cluster], the [attach]/[add_link] inside [Connect.ensure],
+   [detach_unused]) journals its inverse, so callers either run this on
+   a throwaway copy ([try_merge]) or under an open {!Arch.checkpoint}
+   (the incremental trial path) and roll back on rejection. *)
+let apply_merge spec clustering arch ~src_id ~dst_id =
+  let src = Vec.get arch.Arch.pes src_id and dst = Vec.get arch.Arch.pes dst_id in
   let move_mode (m : Arch.mode) =
-    let fresh = Arch.add_mode trial dst in
+    let fresh = Arch.add_mode arch dst in
     List.fold_left
       (fun acc cid ->
         match acc with
         | Error _ as e -> e
         | Ok () ->
             let cluster = clustering.Clustering.clusters.(cid) in
-            Arch.unplace_cluster trial clustering cluster;
-            (match Arch.place_cluster trial spec clustering cluster ~pe:dst ~mode:fresh with
+            Arch.unplace_cluster arch clustering cluster;
+            (match Arch.place_cluster arch spec clustering cluster ~pe:dst ~mode:fresh with
             | Error _ as e -> e
-            | Ok () -> Connect.ensure trial spec clustering cluster |> Result.map (fun _ -> ())))
+            | Ok () -> Connect.ensure arch spec clustering cluster |> Result.map (fun _ -> ())))
       (Ok ()) m.Arch.m_clusters
   in
   let moved =
@@ -93,15 +96,22 @@ let try_merge spec clustering arch ~src_id ~dst_id =
   match moved with
   | Error _ as e -> e
   | Ok () ->
-      Arch.detach_unused trial;
-      Ok trial
+      Arch.detach_unused arch;
+      Ok ()
+
+(* Move every cluster of [src] into fresh modes of [dst] on a copy of the
+   architecture; returns the copy on success. *)
+let try_merge spec clustering arch ~src_id ~dst_id =
+  let trial = Arch.copy arch in
+  apply_merge spec clustering trial ~src_id ~dst_id
+  |> Result.map (fun () -> trial)
 
 (* Combine two occupied modes of the same device when the union respects
    the ERUF/EPUF caps (Section 4.2: "we try to combine C1, C2 and C3 in
-   the same FPGA mode if there exist sufficient resources"). *)
-let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
-  let trial = Arch.copy arch in
-  let pe = Vec.get trial.Arch.pes pe_id in
+   the same FPGA mode if there exist sufficient resources").  In-place,
+   journaled like [apply_merge]. *)
+let apply_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
+  let pe = Vec.get arch.Arch.pes pe_id in
   let target = Vec.get pe.Arch.modes mode_a in
   let source = Vec.get pe.Arch.modes mode_b in
   List.fold_left
@@ -110,17 +120,29 @@ let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
       | Error _ as e -> e
       | Ok () ->
           let cluster = clustering.Clustering.clusters.(cid) in
-          Arch.unplace_cluster trial clustering cluster;
-          Arch.place_cluster trial spec clustering cluster ~pe ~mode:target)
+          Arch.unplace_cluster arch clustering cluster;
+          Arch.place_cluster arch spec clustering cluster ~pe ~mode:target)
     (Ok ()) source.Arch.m_clusters
+
+let try_combine spec clustering arch ~pe_id ~mode_a ~mode_b =
+  let trial = Arch.copy arch in
+  apply_combine spec clustering trial ~pe_id ~mode_a ~mode_b
   |> Result.map (fun () -> trial)
 
 let feasible (v : Schedule.verdict) = v.Schedule.v_met
 
 let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400)
-    ?(jobs = 1) ?(prune = true) ?(fit_scale = (1.0, 1.0)) ?(on_pass = fun _ -> ())
+    ?(jobs = 1) ?(prune = true) ?(incremental_merge = true)
+    ?(fit_scale = (1.0, 1.0)) ?(on_pass = fun _ -> ())
     ?trace ~memo spec clustering arch =
   let jobs = max 1 jobs in
+  (* Sequential trials can skip the per-trial [Arch.copy] entirely:
+     mutate the live architecture under a journal checkpoint, evaluate
+     the delta (the incremental engine replays the untouched prefix
+     against its warm basis), and roll back unless accepted.  The
+     parallel path keeps copies — concurrent trials must not share a
+     mutable base. *)
+  let in_place = incremental_merge && jobs = 1 in
   let pool = Pool.global () in
   let run_schedule a = Memo.run memo ~copy_cap spec clustering a in
   (* Stage-1 rejection of a trial against the base it was built from:
@@ -200,6 +222,61 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
         let n_candidates = Array.length sorted in
         let trials = ref 0 in
         let pos = ref 0 in
+        if in_place then
+          (* Sequential journaled trials: same candidate walk, same
+             stale-pair skipping, same acceptance rule and counter
+             discipline as the batched path at [jobs = 1] — the only
+             difference is that the trial architecture is the live one
+             under an open checkpoint instead of a fresh copy. *)
+          while !pos < n_candidates && !trials < max_trials_per_pass do
+            let _, src_id, dst_id = sorted.(!pos) in
+            let pos_k = !pos in
+            incr pos;
+            let src = Vec.get !current.Arch.pes src_id
+            and dst = Vec.get !current.Arch.pes dst_id in
+            if
+              Arch.n_images src > 0 && Arch.n_images dst > 0
+              && modes_fit ~fit_scale src dst clustering
+            then begin
+              incr trials;
+              incr merges_tried;
+              let base_cost = Arch.cost !current in
+              let ck = Arch.checkpoint !current in
+              let verdict_ok =
+                Trace.span trace
+                  ~args:[ ("trial", Trace.Num pos_k) ]
+                  "merge.trial"
+                  (fun () ->
+                    match apply_merge spec clustering !current ~src_id ~dst_id with
+                    | Error _ -> false
+                    | Ok () ->
+                        if rejectable ~base_cost ~strict:true !current then begin
+                          Memo.note_prune memo;
+                          false
+                        end
+                        else begin
+                          match
+                            Memo.evaluate memo ~copy_cap spec clustering !current
+                          with
+                          | Error _ -> false
+                          | Ok v -> feasible v && Arch.cost !current < base_cost
+                        end)
+              in
+              if verdict_ok then begin
+                (* The verdict said feasible, so the materializing run
+                   cannot fail (same inputs, bit-identical result). *)
+                match run_schedule !current with
+                | Error _ -> Arch.rollback !current ck
+                | Ok sched ->
+                    Arch.commit !current ck;
+                    current_sched := sched;
+                    incr merges_accepted;
+                    improved := true
+              end
+              else Arch.rollback !current ck
+            end
+          done
+        else
         while !pos < n_candidates && !trials < max_trials_per_pass do
           let batch = ref [] and collected = ref 0 in
           let want = min jobs (max_trials_per_pass - !trials) in
@@ -265,57 +342,115 @@ let optimize ?(copy_cap = Schedule.default_copy_cap) ?(max_trials_per_pass = 400
             incr k
           done
         done;
-        (* Mode-combining pass on each multi-image device. *)
-        Vec.iter
-          (fun (pe : Arch.pe_inst) ->
-            let modes = occupied_modes pe in
-            match modes with
-            | (a : Arch.mode) :: rest when rest <> [] ->
-                List.iter
-                  (fun (b : Arch.mode) ->
-                    let pfus, pins = scaled_caps ~fit_scale pe.Arch.ptype in
-                    let fits =
-                      a.Arch.m_gates + b.Arch.m_gates <= pfus
-                      && a.Arch.m_pins + b.Arch.m_pins <= pins
-                    in
-                    if fits then
-                      Trace.span trace
-                        ~args:[ ("pe", Trace.Num pe.Arch.p_id) ]
-                        "merge.combine"
-                        (fun () ->
+        (* Mode-combining pass on each multi-image device.  The fit
+           precheck reads a pass-entry snapshot of each device's
+           occupied modes: on the copy path those are objects of the
+           pass-entry architecture, untouched by accepted combines (the
+           iteration walks the old PE vector while [current] moves to
+           fresh copies), so the in-place path snapshots the same
+           numbers explicitly and both paths attempt the identical
+           trial sequence. *)
+        let combine_plan =
+          let acc = ref [] in
+          Vec.iter
+            (fun (pe : Arch.pe_inst) ->
+              match occupied_modes pe with
+              | (a : Arch.mode) :: (_ :: _ as rest) ->
+                  acc :=
+                    ( pe.Arch.p_id,
+                      pe.Arch.ptype,
+                      (a.Arch.m_id, a.Arch.m_gates, a.Arch.m_pins),
+                      List.map
+                        (fun (b : Arch.mode) ->
+                          (b.Arch.m_id, b.Arch.m_gates, b.Arch.m_pins))
+                        rest )
+                    :: !acc
+              | _ -> ())
+            !current.Arch.pes;
+          List.rev !acc
+        in
+        List.iter
+          (fun (pe_id, ptype, (a_id, a_gates, a_pins), rest) ->
+            List.iter
+              (fun (b_id, b_gates, b_pins) ->
+                let pfus, pins = scaled_caps ~fit_scale ptype in
+                let fits =
+                  a_gates + b_gates <= pfus && a_pins + b_pins <= pins
+                in
+                if fits then
+                  Trace.span trace
+                    ~args:[ ("pe", Trace.Num pe_id) ]
+                    "merge.combine"
+                    (fun () ->
+                      if in_place then begin
+                        let base_cost = Arch.cost !current in
+                        let ck = Arch.checkpoint !current in
+                        let verdict_ok =
                           match
-                            try_combine spec clustering !current ~pe_id:pe.Arch.p_id
-                              ~mode_a:a.Arch.m_id ~mode_b:b.Arch.m_id
+                            apply_combine spec clustering !current ~pe_id
+                              ~mode_a:a_id ~mode_b:b_id
                           with
-                          | Error _ -> ()
-                          | Ok trial ->
-                              if
-                                rejectable ~base_cost:(Arch.cost !current)
-                                  ~strict:false trial
-                              then Memo.note_prune memo
+                          | Error _ -> false
+                          | Ok () ->
+                              if rejectable ~base_cost ~strict:false !current
+                              then begin
+                                Memo.note_prune memo;
+                                false
+                              end
                               else begin
                                 match
                                   Memo.evaluate memo ~copy_cap spec clustering
-                                    trial
+                                    !current
                                 with
-                                | Error _ -> ()
+                                | Error _ -> false
                                 | Ok v ->
-                                    if
-                                      feasible v
-                                      && Arch.cost trial <= Arch.cost !current
-                                    then begin
-                                      match run_schedule trial with
-                                      | Error _ -> ()
-                                      | Ok sched ->
-                                          current := trial;
-                                          current_sched := sched;
-                                          incr modes_combined;
-                                          improved := true
-                                    end
-                              end))
-                  rest
-            | _ -> ())
-          !current.Arch.pes
+                                    feasible v && Arch.cost !current <= base_cost
+                              end
+                        in
+                        if verdict_ok then begin
+                          match run_schedule !current with
+                          | Error _ -> Arch.rollback !current ck
+                          | Ok sched ->
+                              Arch.commit !current ck;
+                              current_sched := sched;
+                              incr modes_combined;
+                              improved := true
+                        end
+                        else Arch.rollback !current ck
+                      end
+                      else
+                        match
+                          try_combine spec clustering !current ~pe_id
+                            ~mode_a:a_id ~mode_b:b_id
+                        with
+                        | Error _ -> ()
+                        | Ok trial ->
+                            if
+                              rejectable ~base_cost:(Arch.cost !current)
+                                ~strict:false trial
+                            then Memo.note_prune memo
+                            else begin
+                              match
+                                Memo.evaluate memo ~copy_cap spec clustering
+                                  trial
+                              with
+                              | Error _ -> ()
+                              | Ok v ->
+                                  if
+                                    feasible v
+                                    && Arch.cost trial <= Arch.cost !current
+                                  then begin
+                                    match run_schedule trial with
+                                    | Error _ -> ()
+                                    | Ok sched ->
+                                        current := trial;
+                                        current_sched := sched;
+                                        incr modes_combined;
+                                        improved := true
+                                  end
+                            end))
+              rest)
+          combine_plan
       done;
       Ok
         ( !current,

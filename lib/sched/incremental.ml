@@ -16,33 +16,55 @@ module Trace = Crusade_util.Trace
    is exactly that key check — so a trajectory that restarts from a
    clustering it has seen before (portfolio rounds, rescheduling)
    replays against its previous basis instead of paying a cold rebuild.
-   The list is a single [Atomic]: recordings are immutable once
-   captured, so concurrent evaluation domains may read it safely, and a
-   lost race on publication merely keeps equally valid recordings. *)
+   When no exact key matches, a recording under a *different* clustering
+   of the same spec/copy_cap is adopted as a partial basis instead of
+   being discarded ([Schedule.Replay.adoptable]): the per-task diff
+   marks everything the clustering change perturbed, so the adopted
+   prefix still replays bit-identically and only the cut region is
+   rescheduled.  The list is a single [Atomic]: recordings are immutable
+   once captured, so concurrent evaluation domains may read it safely,
+   and a lost race on publication merely keeps equally valid
+   recordings. *)
+
+(* The slot store is separable from the engine so that several engines
+   may share one: portfolio trajectories run content-identical but
+   physically distinct clusterings over the same spec, so a basis
+   recorded by one trajectory warm-starts the others via adoption. *)
+module Store = struct
+  type t = Schedule.Replay.recording list Atomic.t
+
+  let create () : t = Atomic.make []
+end
+
 type t = {
-  slots : Schedule.Replay.recording list Atomic.t;
+  slots : Store.t;
   trace : Trace.t option;
   replay_counter : Trace.Counter.t;
   rebuild_counter : Trace.Counter.t;
+  adoption_counter : Trace.Counter.t;
+  basis_cut_counter : Trace.Counter.t;
 }
 
 (* How many distinct (spec, clustering, copy_cap) bases to keep.  A
-   synthesis run touches one clustering at a time; a portfolio
-   trajectory revisits at most a couple, so a short list suffices and
-   keeps lookup O(1)-ish. *)
-let slot_capacity = 4
+   synthesis run touches one clustering at a time, but a shared
+   portfolio store sees one key per trajectory plus revisits, so the
+   list is sized for a typical portfolio width while keeping lookup
+   O(1)-ish. *)
+let slot_capacity = 8
 
-let create ?trace ?metrics () =
+let create ?store ?trace ?metrics () =
   let counter name =
     match metrics with
     | Some m -> Trace.Metrics.counter m name
     | None -> Trace.Counter.make ()
   in
   {
-    slots = Atomic.make [];
+    slots = (match store with Some s -> s | None -> Store.create ());
     trace;
     replay_counter = counter "eval.replays";
     rebuild_counter = counter "eval.rebuilds";
+    adoption_counter = counter "eval.basis_adoptions";
+    basis_cut_counter = counter "eval.basis_cuts";
   }
 
 let rec take n = function
@@ -68,13 +90,33 @@ let publish t ~copy_cap spec clustering recording =
   in
   ignore (attempt () || attempt () || attempt () || attempt ())
 
+(* Exact key match first — its diff is the cheapest and its prefix the
+   longest — then fall back to adopting any same-spec/same-cap basis in
+   MRU order.  Within a single trajectory the fallback never fires
+   (every published basis carries the trajectory's own clustering
+   identity), so plain runs behave exactly as before; adoption is what
+   makes a *shared* store useful across clustering identities. *)
 let lookup t ~copy_cap spec clustering =
-  List.find_opt
-    (fun r -> Schedule.Replay.compatible r ~copy_cap spec clustering)
-    (Atomic.get t.slots)
+  let slots = Atomic.get t.slots in
+  match
+    List.find_opt
+      (fun r -> Schedule.Replay.compatible r ~copy_cap spec clustering)
+      slots
+  with
+  | Some r -> Some (`Exact r)
+  | None -> (
+      match
+        List.find_opt
+          (fun r -> Schedule.Replay.adoptable r ~copy_cap spec)
+          slots
+      with
+      | Some r -> Some (`Adopted r)
+      | None -> None)
 
 let replays t = Trace.Counter.get t.replay_counter
 let rebuilds t = Trace.Counter.get t.rebuild_counter
+let adoptions t = Trace.Counter.get t.adoption_counter
+let basis_cuts t = Trace.Counter.get t.basis_cut_counter
 
 let record t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
@@ -103,18 +145,29 @@ let refresh t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
 
 (* A recording never stops being a valid diff basis (it is immutable and
    the diff is computed against the candidate), so evaluation always
-   replays when a compatible recording exists — even a zero-length
-   prefix is a win, because the verdict-only run skips materialization,
-   activity tracking and recording overhead.  Freshness of the basis
-   only affects the prefix length; the synthesis loops refresh it with a
-   full [record] run at each commit point (every materializing
-   [Memo.run] goes through [record]). *)
+   replays when a compatible — or, failing that, adoptable — recording
+   exists: even a zero-length prefix is a win, because the verdict-only
+   run skips materialization, activity tracking and recording overhead.
+   Freshness of the basis only affects the prefix length; the synthesis
+   loops refresh it with a full [record] run at each commit point (every
+   materializing [Memo.run] goes through [record]). *)
 let evaluate t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
   match lookup t ~copy_cap spec clustering with
-  | Some r ->
+  | Some (`Exact r) ->
       let prep = Schedule.Replay.prepare r spec clustering arch in
       Trace.Counter.incr t.replay_counter;
       Trace.instant t.trace "eval.replay";
+      `Replayed (Schedule.Replay.replay_verdict prep)
+  | Some (`Adopted r) ->
+      let prep = Schedule.Replay.prepare r spec clustering arch in
+      Trace.Counter.incr t.replay_counter;
+      Trace.Counter.incr t.adoption_counter;
+      (* Account the rescheduled remainder: steps the adopted basis
+         could *not* cover.  A small total relative to adoptions means
+         the bases transplant well across clusterings. *)
+      Trace.Counter.add t.basis_cut_counter
+        (Schedule.Replay.steps r - Schedule.Replay.cut prep);
+      Trace.instant t.trace "eval.adopt";
       `Replayed (Schedule.Replay.replay_verdict prep)
   | None -> `Ran (record t ~copy_cap spec clustering arch)

@@ -67,9 +67,11 @@ type t = {
   hit_counter : Trace.Counter.t;
   miss_counter : Trace.Counter.t;
   prune_counter : Trace.Counter.t;
+  bypass_counter : Trace.Counter.t;
 }
 
-let create ?(enabled = true) ?(incremental = true) ?trace ?metrics () =
+let create ?(enabled = true) ?(incremental = true) ?basis_store ?trace
+    ?metrics () =
   let counter name =
     match metrics with
     | Some m -> Trace.Metrics.counter m name
@@ -77,7 +79,10 @@ let create ?(enabled = true) ?(incremental = true) ?trace ?metrics () =
   in
   {
     enabled;
-    engine = (if incremental then Some (Incremental.create ?trace ?metrics ()) else None);
+    engine =
+      (if incremental then
+         Some (Incremental.create ?store:basis_store ?trace ?metrics ())
+       else None);
     trace;
     tick = 0;
     store = Store.create capacity;
@@ -85,14 +90,22 @@ let create ?(enabled = true) ?(incremental = true) ?trace ?metrics () =
     hit_counter = counter "eval.memo_hits";
     miss_counter = counter "eval.memo_misses";
     prune_counter = counter "eval.pruned";
+    bypass_counter = counter "eval.memo_bypassed";
   }
 
 let hits t = Trace.Counter.get t.hit_counter
 let misses t = Trace.Counter.get t.miss_counter
 let prunes t = Trace.Counter.get t.prune_counter
+let bypasses t = Trace.Counter.get t.bypass_counter
 let note_prune t = Trace.Counter.incr t.prune_counter
 let replays t = match t.engine with Some e -> Incremental.replays e | None -> 0
 let rebuilds t = match t.engine with Some e -> Incremental.rebuilds e | None -> 0
+
+let adoptions t =
+  match t.engine with Some e -> Incremental.adoptions e | None -> 0
+
+let basis_cuts t =
+  match t.engine with Some e -> Incremental.basis_cuts e | None -> 0
 
 let fingerprint ~copy_cap (clustering : Clustering.t) (arch : Arch.t) =
   let k_pes =
@@ -230,6 +243,11 @@ let evaluate t ?(copy_cap = Schedule.default_copy_cap) (spec : Spec.t)
     (clustering : Clustering.t) (arch : Arch.t) =
   match t.engine with
   | Some eng -> (
+      (* Count the bypass so the LRU's hit/miss columns read honestly:
+         with an engine attached, evaluations never consult the table,
+         and a frozen [memo_hits] would otherwise look like a broken
+         cache rather than a deliberate detour. *)
+      Trace.Counter.incr t.bypass_counter;
       match Incremental.evaluate eng ~copy_cap spec clustering arch with
       | `Replayed v -> v
       | `Ran result -> verdict_result result)

@@ -26,6 +26,7 @@ type t
 val create :
   ?enabled:bool ->
   ?incremental:bool ->
+  ?basis_store:Incremental.Store.t ->
   ?trace:Crusade_util.Trace.t ->
   ?metrics:Crusade_util.Trace.Metrics.t ->
   unit ->
@@ -34,12 +35,16 @@ val create :
     table entirely (no lookup, no counter traffic) — the synthesis
     options use it to switch stage 2 off.  [~incremental:false] detaches
     the {!Incremental} engine, making {!evaluate} fall back to full
-    scheduler runs.  [?metrics] registers the counters as
-    ["eval.memo_hits"] / ["eval.memo_misses"] / ["eval.pruned"] (and,
-    with the engine attached, ["eval.replays"] / ["eval.rebuilds"]) in
-    the given per-run registry; [?trace] emits a span around every
-    underlying {!Schedule.run} / {!Schedule.estimate} and an instant
-    event per memo hit or prefix replay. *)
+    scheduler runs.  [?basis_store] hands the engine a shared recording
+    store ({!Incremental.Store.t}) so several evaluators — portfolio
+    trajectories — can seed each other's replay bases; ignored when the
+    engine is detached.  [?metrics] registers the counters as
+    ["eval.memo_hits"] / ["eval.memo_misses"] / ["eval.pruned"] /
+    ["eval.memo_bypassed"] (and, with the engine attached,
+    ["eval.replays"] / ["eval.rebuilds"] / ["eval.basis_adoptions"] /
+    ["eval.basis_cuts"]) in the given per-run registry; [?trace] emits a
+    span around every underlying {!Schedule.run} / {!Schedule.estimate}
+    and an instant event per memo hit or prefix replay. *)
 
 val run :
   t ->
@@ -103,6 +108,12 @@ val prunes : t -> int
 
 val note_prune : t -> unit
 
+val bypasses : t -> int
+(** {!evaluate} calls that skipped the memo table because the
+    incremental engine answered instead; 0 when the engine is detached.
+    Keeps the LRU hit/miss columns honest: with an engine attached,
+    [hits] only counts {!run}-path traffic. *)
+
 val replays : t -> int
 (** Candidate evaluations served by incremental prefix replay; 0 when
     the engine is detached. *)
@@ -110,6 +121,14 @@ val replays : t -> int
 val rebuilds : t -> int
 (** Full scheduler runs through the incremental engine (recording
     refreshes); 0 when the engine is detached. *)
+
+val adoptions : t -> int
+(** Replays served by a cross-clustering adopted basis (a subset of
+    {!replays}); 0 when the engine is detached. *)
+
+val basis_cuts : t -> int
+(** Total recording steps the adopted bases could not cover; 0 when the
+    engine is detached. *)
 
 val clear : t -> unit
 (** Empties the table, leaving the counters (tests; isolates benchmark

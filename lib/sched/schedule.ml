@@ -1227,6 +1227,20 @@ module Replay = struct
       (clustering : Clustering.t) =
     r.r_spec == spec && r.r_clustering == clustering && r.r_copy_cap = copy_cap
 
+  (* Cross-basis adoption: a recording taken under a *different*
+     clustering identity is still a sound diff basis as long as the
+     physical spec and copy cap match.  The scheduler consumes the
+     clustering only through the task-indexed site/priority arrays —
+     recomputed for the candidate by [prepare] — and the recording's
+     snapshot is entirely task- and resource-indexed (no cluster ids),
+     so [replay_cut]'s per-task diff already accounts for every
+     clustering-induced change: tasks whose placement, levels or
+     resource environment moved are marked dirty and rescheduled, the
+     rest replay verbatim.  Spec identity must still be physical
+     ([==]): the diff indexes the recording's arrays by task id. *)
+  let adoptable (r : recording) ?(copy_cap = default_copy_cap) (spec : Spec.t) =
+    r.r_spec == spec && r.r_copy_cap = copy_cap
+
   let record ?(copy_cap = default_copy_cap) (spec : Spec.t)
       (clustering : Clustering.t) (arch : Arch.t) =
     let site_pe, site_mode = site_arrays spec clustering arch in
@@ -1300,14 +1314,18 @@ module Replay = struct
     | Error _ as e -> e
     | Ok out -> Ok (Option.get out.x_sched)
 
-  (* Damage the recording so a subsequent full-prefix replay diverges
-     from a fresh run: proves the differential harness can detect a
-     broken replay.  Returns false when the recording has no steps to
-     corrupt. *)
-  let corrupt_for_selftest (r : recording) =
-    if r.r_steps = 0 then false
+  (* Damage the recording so a subsequent replay that includes the
+     corrupted step diverges from a fresh run: proves the differential
+     harness can detect a broken replay.  [step] selects which pop to
+     corrupt (default: the last, so a full-prefix replay is always
+     poisoned); callers replaying a partial prefix must pick a step
+     below their cut.  Returns false when the recording has no such
+     step. *)
+  let corrupt_for_selftest ?step (r : recording) =
+    let step = match step with Some s -> s | None -> r.r_steps - 1 in
+    if step < 0 || step >= r.r_steps then false
     else begin
-      r.r_pop_finish.(r.r_steps - 1) <- r.r_pop_finish.(r.r_steps - 1) + 1;
+      r.r_pop_finish.(step) <- r.r_pop_finish.(step) + 1;
       true
     end
 end

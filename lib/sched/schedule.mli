@@ -113,6 +113,16 @@ module Replay : sig
   (** A recording only applies to the same spec and clustering (by
       physical identity) and the same copy cap it was captured with. *)
 
+  val adoptable :
+    recording -> ?copy_cap:int -> Crusade_taskgraph.Spec.t -> bool
+  (** Weaker than {!compatible}: the recording may be used as a diff
+      basis under a {e different} clustering identity as long as the
+      physical spec and copy cap match.  Sound because the recording's
+      snapshot and {!prepare}'s diff are entirely task- and
+      resource-indexed — every clustering-induced change shows up as a
+      per-task placement/priority delta and lands in the rescheduled
+      cut; the adopted prefix replays bit-identically. *)
+
   val record :
     ?copy_cap:int ->
     Crusade_taskgraph.Spec.t ->
@@ -158,8 +168,9 @@ module Replay : sig
   (** Like {!replay_verdict} but materializes the full schedule;
       bit-identical to a fresh {!run}. *)
 
-  val corrupt_for_selftest : recording -> bool
-  (** Mutates the recording so that a full-prefix replay diverges from a
-      fresh run (testing only: proves differential checks can fail).
-      Returns [false] when the recording has no steps to corrupt. *)
+  val corrupt_for_selftest : ?step:int -> recording -> bool
+  (** Mutates the recording at [step] (default: the last step) so that
+      any replay whose prefix includes it diverges from a fresh run
+      (testing only: proves differential checks can fail).  Returns
+      [false] when the recording has no such step. *)
 end
