@@ -7,7 +7,18 @@
      dune exec bench/main.exe -- figures         Fig. 2 / Fig. 4 walkthroughs
      dune exec bench/main.exe -- bench           Bechamel micro-benchmarks
      dune exec bench/main.exe -- speedup         wall-clock scaling at jobs = 1, 2, 4, ...
+     dune exec bench/main.exe -- scenarios       warm re-synthesis under change vs from scratch
      dune exec bench/main.exe -- all [--scale N] everything except speedup (default)
+
+   scenarios runs the change matrix {graph-arrival, upgrade, pe-fail,
+   drift} x presets: deploy a base architecture, apply the change with
+   Crusade_core.Resynth (warm repair), synthesize the post-change
+   workload from scratch, and report resynth_seconds vs
+   full_synth_seconds, the cost delta, whether both reached the same
+   feasibility verdict, and the repaired architecture's audit.
+   --gate-warm exits 4 unless every warm case (drift excluded — its
+   recording is rebuilt, so it carries no replay advantage) beats the
+   from-scratch wall time with matching verdicts and a clean audit.
 
    --scale N divides the task counts of the eight big examples by N
    (default 8; use --scale 1 to reproduce the full paper sizes, which
@@ -192,6 +203,22 @@ let record_run ~table ~example ~variant ~jobs ~scale ~cost ?audit ?wall ?cpu
     }
     :: !bench_records
 
+(* --- scenario matrix (resynth vs from-scratch) --- *)
+
+type scenario_record = {
+  sr_example : string;
+  sr_scenario : string;  (* graph-arrival | upgrade | pe-fail | drift *)
+  sr_scale : int;
+  sr_resynth_seconds : float;
+  sr_full_synth_seconds : float;
+  sr_cost_delta : float option;  (* None when the repair is infeasible *)
+  sr_verdict : string;  (* images-only | needs-hardware | infeasible *)
+  sr_verdict_match : bool;  (* warm feasibility = from-scratch feasibility *)
+  sr_audit_violations : int;
+}
+
+let scenario_records : scenario_record list ref = ref []
+
 let write_bench_json ~prune ~memo ~incremental ~incremental_merge path =
   let entries = List.rev !bench_records in
   let oc = open_out path in
@@ -252,10 +279,33 @@ let write_bench_json ~prune ~memo ~incremental ~incremental_merge path =
            e.br_stats.C.basis_adoptions e.br_stats.C.basis_cuts audit_fields
            portfolio_fields))
     entries;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ]";
+  let scenarios = List.rev !scenario_records in
+  if scenarios <> [] then begin
+    Buffer.add_string b ",\n  \"scenarios\": [";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n    {\"example\": %S, \"scenario\": %S, \"scale\": %d, \
+              \"resynth_seconds\": %.6f, \"full_synth_seconds\": %.6f, \
+              \"cost_delta\": %s, \"verdict\": %S, \"verdict_match\": %b, \
+              \"audit_violations\": %d}"
+             s.sr_example s.sr_scenario s.sr_scale s.sr_resynth_seconds
+             s.sr_full_synth_seconds
+             (match s.sr_cost_delta with
+             | Some d -> Printf.sprintf "%.3f" d
+             | None -> "null")
+             s.sr_verdict s.sr_verdict_match s.sr_audit_violations))
+      scenarios;
+    Buffer.add_string b "\n  ]"
+  end;
+  Buffer.add_string b "\n}\n";
   Buffer.output_buffer oc b;
   close_out oc;
-  Printf.printf "wrote %s (%d entries)\n%!" path (List.length entries)
+  Printf.printf "wrote %s (%d entries, %d scenarios)\n%!" path
+    (List.length entries) (List.length scenarios)
 
 (* Run a flow either plainly (portfolio = 1: bit-identical to the
    pre-portfolio harness) or as an N-trajectory portfolio whose winner —
@@ -626,6 +676,143 @@ let speedup ~max_jobs () =
   Printf.printf "determinism across jobs: %s\n\n"
     (if deterministic then "identical results" else "MISMATCH (bug!)")
 
+(* The change matrix: deploy, repair warm with Resynth, synthesize the
+   post-change workload cold, and compare.  Drift is measured but not
+   gated — every execution time changes, so the deployed recording is
+   rebuilt and the warm path carries no replay advantage to assert on. *)
+let scenarios ~scale ~only ~gate_warm () =
+  let module R = C.Resynth in
+  Printf.printf
+    "== Scenario matrix: warm re-synthesis vs from scratch (1/%d scale) ==\n%!"
+    scale;
+  let lib = Crusade_resource.Library.stock () in
+  let names = match only with [] -> [ "A1TR"; "VDRTX" ] | picked -> picked in
+  let options = { C.default_options with trace = !trace_sink } in
+  let gate_failures = ref [] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let params = W.scaled (W.preset name) (float_of_int scale) in
+        let spec = W.generate lib params in
+        let last = Array.length spec.Crusade_taskgraph.Spec.graphs - 1 in
+        let cases =
+          [
+            ("graph-arrival", R.Graph_arrival [ last ]);
+            ("upgrade", R.Upgrade [ last ]);
+            ("pe-fail", R.Pe_failure 0);
+            ("drift", R.Exec_drift 20);
+          ]
+        in
+        List.map
+          (fun (kind, change) ->
+            let where = Printf.sprintf "%s/%s" name kind in
+            let deployed_include =
+              match change with
+              | R.Graph_arrival gs | R.Upgrade gs ->
+                  fun g -> not (List.mem g gs)
+              | R.Graph_departure _ | R.Pe_failure _ | R.Exec_drift _ ->
+                  fun _ -> true
+            in
+            let deployed =
+              match
+                C.synthesize ~options ~include_graph:deployed_include spec lib
+              with
+              | Ok r -> r
+              | Error msg ->
+                  failwith (where ^ ": deployed synthesis: " ^ msg)
+            in
+            let rep =
+              match R.apply ~options deployed change with
+              | Ok rep -> rep
+              | Error msg -> failwith (where ^ ": resynth: " ^ msg)
+            in
+            let scratch =
+              match change with
+              | R.Graph_arrival _ | R.Upgrade _ | R.Pe_failure _ ->
+                  C.synthesize ~options spec lib
+              | R.Graph_departure gs ->
+                  C.synthesize ~options
+                    ~include_graph:(fun g -> not (List.mem g gs))
+                    spec lib
+              | R.Exec_drift pct -> (
+                  match R.drift_spec spec pct with
+                  | Ok spec' -> C.synthesize ~options spec' lib
+                  | Error _ as e -> e)
+            in
+            let full_secs, scratch_met =
+              match scratch with
+              | Ok s -> (s.C.wall_seconds, s.C.deadlines_met)
+              | Error msg -> failwith (where ^ ": from scratch: " ^ msg)
+            in
+            let resynth_feasible = R.final_result rep <> None in
+            let verdict =
+              match rep.R.verdict with
+              | R.Images_only _ -> "images-only"
+              | R.Needs_hardware _ -> "needs-hardware"
+              | R.Infeasible -> "infeasible"
+            in
+            let verdict_match = resynth_feasible = scratch_met in
+            let violations = List.length (R.audit_report rep) in
+            scenario_records :=
+              {
+                sr_example = name;
+                sr_scenario = kind;
+                sr_scale = scale;
+                sr_resynth_seconds = rep.R.resynth_seconds;
+                sr_full_synth_seconds = full_secs;
+                sr_cost_delta = rep.R.cost_delta;
+                sr_verdict = verdict;
+                sr_verdict_match = verdict_match;
+                sr_audit_violations = violations;
+              }
+              :: !scenario_records;
+            if gate_warm && kind <> "drift" then begin
+              if not (rep.R.resynth_seconds < full_secs) then
+                gate_failures :=
+                  Printf.sprintf "%s: resynth %.3f s >= full %.3f s" where
+                    rep.R.resynth_seconds full_secs
+                  :: !gate_failures;
+              if not verdict_match then
+                gate_failures := (where ^ ": verdicts differ") :: !gate_failures;
+              if violations > 0 then
+                gate_failures :=
+                  Printf.sprintf "%s: %d audit violation(s)" where violations
+                  :: !gate_failures
+            end;
+            [
+              name;
+              kind;
+              verdict;
+              T.fmt_float ~decimals:3 rep.R.resynth_seconds;
+              T.fmt_float ~decimals:3 full_secs;
+              (match rep.R.cost_delta with
+              | Some d ->
+                  (if d < 0.0 then "-$" else "+$")
+                  ^ T.fmt_dollars (Float.abs d)
+              | None -> "n/a");
+              (if verdict_match then "match" else "DIFFER");
+              string_of_int violations;
+            ])
+          cases)
+      names
+  in
+  print_string
+    (T.render
+       ~align:[ Left; Left; Left; Right; Right; Right; Left; Right ]
+       ~header:
+         [
+           "example"; "scenario"; "verdict"; "resynth (s)"; "full (s)";
+           "cost delta"; "verdicts"; "violations";
+         ]
+       rows);
+  print_newline ();
+  if gate_warm then
+    match !gate_failures with
+    | [] -> print_endline "warm gate: every warm case beats from-scratch\n"
+    | fs ->
+        List.iter (fun f -> Printf.printf "warm gate FAILED: %s\n" f) fs;
+        exit 4
+
 let () =
   (* The synthesis inner loops allocate short-lived scratch (site maps,
      level arrays, timelines) at a rate that makes the default 256k-word
@@ -692,7 +879,7 @@ let () =
               List.mem a
                 [
                   "table1"; "table2"; "table3"; "figures"; "bench"; "ablation";
-                  "speedup";
+                  "speedup"; "scenarios";
                 ])
             args)
   in
@@ -705,12 +892,14 @@ let () =
     table3 ~scale ~jobs ~prune ~memo ~incremental ~incremental_merge ~portfolio
       ~only ();
   if wants "ablation" then ablation ();
+  if wants "scenarios" then
+    scenarios ~scale ~only ~gate_warm:(List.mem "--gate-warm" args) ();
   if wants "bench" then bechamel_benches ();
   (* speedup re-runs the same synthesis at every jobs count, so it only
      runs when asked for explicitly. *)
   if List.mem "speedup" args then
     speedup ~max_jobs:(int_flag "--jobs" 4) ();
-  if !bench_records <> [] then
+  if !bench_records <> [] || !scenario_records <> [] then
     write_bench_json ~prune ~memo ~incremental ~incremental_merge bench_out;
   match (trace_out, !trace_sink) with
   | Some path, Some t ->

@@ -432,25 +432,262 @@ let report_run name scale fmt_kind =
           | other -> Printf.eprintf "unknown format %s\n" other);
           0)
 
-let upgrade_run () =
+let upgrade_run audit =
   let lib = Crusade_resource.Library.small () in
   let spec, upgrade_graphs = Ex.upgrade_scenario lib in
   match Crusade.Upgrade.analyze spec lib ~upgrade_graphs with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok { Crusade.Upgrade.base; verdict } -> (
+  | Ok ({ Crusade.Upgrade.base; verdict; _ } as report) ->
       Format.printf "deployed: %a@." C.pp_report base;
-      match verdict with
-      | Crusade.Upgrade.Reprogramming_only { added_images; _ } ->
-          Format.printf "upgrade ships as %d configuration image(s)@." added_images;
-          0
-      | Crusade.Upgrade.Needs_hardware { added_pes; added_cost; _ } ->
-          Format.printf "upgrade needs %d new PE(s), +$%.0f@." added_pes added_cost;
-          0
-      | Crusade.Upgrade.Infeasible msg ->
-          Format.printf "upgrade infeasible: %s@." msg;
-          2)
+      let base_exit =
+        match verdict with
+        | Crusade.Upgrade.Reprogramming_only { added_images; _ } ->
+            Format.printf "upgrade ships as %d configuration image(s)@."
+              added_images;
+            0
+        | Crusade.Upgrade.Needs_hardware { added_pes; added_cost; _ } ->
+            Format.printf "upgrade needs %d new PE(s), +$%.0f@." added_pes
+              added_cost;
+            0
+        | Crusade.Upgrade.Infeasible msg ->
+            Format.printf "upgrade infeasible: %s@." msg;
+            2
+      in
+      audit_exit ~audit
+        (if audit then Crusade.Upgrade.audit report else [])
+        base_exit
+
+(* ---- resynth: warm re-synthesis under a change event ---- *)
+
+(* Minimal JSON reader for --change-json: objects, arrays of ints,
+   strings and integers — the full shape of a change event, e.g.
+   {"kind": "pe-fail", "pe": 0} or {"kind": "arrival", "graphs": [2,3]}. *)
+let parse_change_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "--change-json: %s at offset %d" msg !pos) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then begin incr pos; Ok () end
+    else Error (Printf.sprintf "--change-json: expected '%c' at offset %d" c !pos)
+  in
+  let parse_string () =
+    skip_ws ();
+    match expect '"' with
+    | Error _ as e -> e
+    | Ok () ->
+        let start = !pos in
+        while !pos < n && s.[!pos] <> '"' do incr pos done;
+        if !pos >= n then error "unterminated string"
+        else begin
+          let v = String.sub s start (!pos - start) in
+          incr pos;
+          Ok v
+        end
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < n && (s.[!pos] = '-' || s.[!pos] = '+') then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> Ok v
+    | None -> error "expected an integer"
+  in
+  let parse_int_list () =
+    match expect '[' with
+    | Error _ as e -> e
+    | Ok () ->
+        skip_ws ();
+        if !pos < n && s.[!pos] = ']' then begin incr pos; Ok [] end
+        else begin
+          let rec elems acc =
+            match parse_int () with
+            | Error _ as e -> e
+            | Ok v -> (
+                skip_ws ();
+                if !pos < n && s.[!pos] = ',' then begin incr pos; elems (v :: acc) end
+                else
+                  match expect ']' with
+                  | Ok () -> Ok (List.rev (v :: acc))
+                  | Error _ as e -> e)
+          in
+          elems []
+        end
+  in
+  let kind = ref None and graphs = ref None and pe = ref None and percent = ref None in
+  let rec members () =
+    match parse_string () with
+    | Error _ as e -> e
+    | Ok key -> (
+        match expect ':' with
+        | Error _ as e -> e
+        | Ok () -> (
+            let field =
+              match key with
+              | "kind" -> Result.map (fun v -> kind := Some v) (parse_string ())
+              | "graphs" -> Result.map (fun v -> graphs := Some v) (parse_int_list ())
+              | "pe" -> Result.map (fun v -> pe := Some v) (parse_int ())
+              | "percent" | "drift" -> Result.map (fun v -> percent := Some v) (parse_int ())
+              | other -> Error (Printf.sprintf "--change-json: unknown key %S" other)
+            in
+            match field with
+            | Error _ as e -> e
+            | Ok () -> (
+                skip_ws ();
+                if !pos < n && s.[!pos] = ',' then begin incr pos; members () end
+                else expect '}')))
+  in
+  match expect '{' with
+  | Error _ as e -> e
+  | Ok () -> (
+      match members () with
+      | Error _ as e -> e
+      | Ok () -> (
+          let need_graphs what k =
+            match !graphs with
+            | Some (_ :: _ as gs) -> Ok (k gs)
+            | Some [] | None ->
+                Error (Printf.sprintf "--change-json: %S needs \"graphs\"" what)
+          in
+          match !kind with
+          | Some ("arrival" | "graph-arrival") ->
+              need_graphs "arrival" (fun gs -> C.Resynth.Graph_arrival gs)
+          | Some ("departure" | "graph-departure") ->
+              need_graphs "departure" (fun gs -> C.Resynth.Graph_departure gs)
+          | Some "upgrade" -> need_graphs "upgrade" (fun gs -> C.Resynth.Upgrade gs)
+          | Some ("pe-fail" | "pe-failure") -> (
+              match !pe with
+              | Some p -> Ok (C.Resynth.Pe_failure p)
+              | None -> Error "--change-json: \"pe-fail\" needs \"pe\"")
+          | Some "drift" -> (
+              match !percent with
+              | Some p -> Ok (C.Resynth.Exec_drift p)
+              | None -> Error "--change-json: \"drift\" needs \"percent\"")
+          | Some other -> Error (Printf.sprintf "--change-json: unknown kind %S" other)
+          | None -> Error "--change-json: missing \"kind\""))
+
+let change_of_flags ~change_kind ~graphs ~pe ~drift_pct ~change_json =
+  match change_json with
+  | Some s -> parse_change_json s
+  | None -> (
+      let need_graphs what k =
+        match graphs with
+        | Some (_ :: _ as gs) -> Ok (k gs)
+        | Some [] | None ->
+            Error (Printf.sprintf "--change %s needs --graphs" what)
+      in
+      match change_kind with
+      | None -> Error "resynth needs --change (or --change-json)"
+      | Some `Arrival -> need_graphs "arrival" (fun gs -> C.Resynth.Graph_arrival gs)
+      | Some `Departure ->
+          need_graphs "departure" (fun gs -> C.Resynth.Graph_departure gs)
+      | Some `Upgrade -> need_graphs "upgrade" (fun gs -> C.Resynth.Upgrade gs)
+      | Some `Pe_fail -> (
+          match pe with
+          | Some p -> Ok (C.Resynth.Pe_failure p)
+          | None -> Error "--change pe-fail needs --pe")
+      | Some `Drift -> (
+          match drift_pct with
+          | Some p -> Ok (C.Resynth.Exec_drift p)
+          | None -> Error "--change drift needs --drift-pct"))
+
+(* The from-scratch synthesis the warm repair is measured against: the
+   same post-change workload, no deployed architecture. *)
+let scratch_of_change options spec lib change =
+  match change with
+  | C.Resynth.Graph_arrival _ | C.Resynth.Upgrade _ | C.Resynth.Pe_failure _ ->
+      C.synthesize ~options spec lib
+  | C.Resynth.Graph_departure gs ->
+      C.synthesize ~options ~include_graph:(fun g -> not (List.mem g gs)) spec lib
+  | C.Resynth.Exec_drift pct -> (
+      match C.Resynth.drift_spec spec pct with
+      | Ok spec' -> C.synthesize ~options spec' lib
+      | Error _ as e -> e)
+
+let resynth_run name scale change_kind graphs pe drift_pct change_json
+    no_reconfig no_incremental no_incremental_merge copy_cap eval_window seed
+    trace_file audit compare =
+  match change_of_flags ~change_kind ~graphs ~pe ~drift_pct ~change_json with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok change -> (
+      match spec_of_name ?seed name scale with
+      | Error msg ->
+          prerr_endline msg;
+          1
+      | Ok (spec, lib) ->
+          with_trace trace_file (fun trace ->
+              let options =
+                options_with ~no_reconfig ~no_incremental ~no_incremental_merge
+                  ~copy_cap ~eval_window ~trace
+              in
+              (* Arrivals/upgrades are deployed without the arriving
+                 graphs; every other change starts from the full system. *)
+              let deployed_include =
+                match change with
+                | C.Resynth.Graph_arrival gs | C.Resynth.Upgrade gs ->
+                    fun g -> not (List.mem g gs)
+                | C.Resynth.Graph_departure _ | C.Resynth.Pe_failure _
+                | C.Resynth.Exec_drift _ ->
+                    fun _ -> true
+              in
+              match
+                C.synthesize ~options ~include_graph:deployed_include spec lib
+              with
+              | Error msg ->
+                  prerr_endline ("deployed synthesis: " ^ msg);
+                  1
+              | Ok deployed -> (
+                  match C.Resynth.apply ~options deployed change with
+                  | Error msg ->
+                      prerr_endline msg;
+                      1
+                  | Ok rep ->
+                      Format.printf "deployed     : cost $%s, %d PEs@."
+                        (Crusade_util.Text_table.fmt_dollars deployed.C.cost)
+                        deployed.C.n_pes;
+                      Format.printf "%a@." C.Resynth.pp_report rep;
+                      if compare then begin
+                        match scratch_of_change options spec lib change with
+                        | Ok scratch ->
+                            let resynth_feasible =
+                              C.Resynth.final_result rep <> None
+                            in
+                            Format.printf
+                              "from scratch : %.2f s, cost $%s, deadlines %s \
+                               (warm resynth %.2f s, verdicts %s)@."
+                              scratch.C.wall_seconds
+                              (Crusade_util.Text_table.fmt_dollars
+                                 scratch.C.cost)
+                              (if scratch.C.deadlines_met then "met"
+                               else "missed")
+                              rep.C.Resynth.resynth_seconds
+                              (if
+                                 resynth_feasible = scratch.C.deadlines_met
+                               then "match"
+                               else "DIFFER")
+                        | Error msg ->
+                            Format.printf "from scratch : failed (%s)@." msg
+                      end;
+                      let base =
+                        match rep.C.Resynth.verdict with
+                        | C.Resynth.Images_only _ | C.Resynth.Needs_hardware _
+                          ->
+                            0
+                        | C.Resynth.Infeasible -> 2
+                      in
+                      audit_exit ~audit
+                        (if audit then C.Resynth.audit_report rep else [])
+                        base)))
 
 let report_cmd =
   let doc = "synthesize and export (dot | gantt | program | inventory)" in
@@ -462,7 +699,76 @@ let report_cmd =
 
 let upgrade_cmd =
   let doc = "run the field-upgrade analysis on the built-in scenario" in
-  Cmd.v (Cmd.info "upgrade" ~doc) Term.(const upgrade_run $ const ())
+  Cmd.v (Cmd.info "upgrade" ~doc) Term.(const upgrade_run $ audit_arg)
+
+let change_kind_arg =
+  let doc =
+    "Change event kind: $(b,arrival), $(b,departure), $(b,pe-fail), \
+     $(b,drift) or $(b,upgrade)."
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("arrival", `Arrival);
+                ("graph-arrival", `Arrival);
+                ("departure", `Departure);
+                ("graph-departure", `Departure);
+                ("pe-fail", `Pe_fail);
+                ("pe-failure", `Pe_fail);
+                ("drift", `Drift);
+                ("upgrade", `Upgrade);
+              ]))
+        None
+    & info [ "change" ] ~docv:"KIND" ~doc)
+
+let graphs_arg =
+  let doc = "Comma-separated graph ids for arrival/departure/upgrade changes." in
+  Arg.(value & opt (some (list int)) None & info [ "graphs" ] ~docv:"IDS" ~doc)
+
+let pe_arg =
+  let doc = "Failed PE instance id for $(b,--change pe-fail)." in
+  Arg.(
+    value
+    & opt (some (non_negative_int "--pe")) None
+    & info [ "pe" ] ~docv:"N" ~doc)
+
+let drift_pct_arg =
+  let doc =
+    "Execution-time drift percentage for $(b,--change drift) (e.g. 20 means \
+     every measured execution time grew 20%)."
+  in
+  Arg.(value & opt (some int) None & info [ "drift-pct" ] ~docv:"PCT" ~doc)
+
+let change_json_arg =
+  let doc =
+    "Change event as JSON, e.g. '{\"kind\": \"pe-fail\", \"pe\": 0}' or \
+     '{\"kind\": \"arrival\", \"graphs\": [2,3]}'.  Overrides the individual \
+     change flags."
+  in
+  Arg.(value & opt (some string) None & info [ "change-json" ] ~docv:"JSON" ~doc)
+
+let compare_arg =
+  let doc =
+    "Also run a cold from-scratch synthesis of the post-change workload and \
+     report whether the warm repair reached the same feasibility verdict, \
+     and how the wall times compare."
+  in
+  Arg.(value & flag & info [ "compare" ] ~doc)
+
+let resynth_cmd =
+  let doc =
+    "repair a deployed architecture under a change event instead of \
+     re-synthesizing from scratch"
+  in
+  Cmd.v (Cmd.info "resynth" ~doc)
+    Term.(
+      const resynth_run $ name_arg $ scale_arg $ change_kind_arg $ graphs_arg
+      $ pe_arg $ drift_pct_arg $ change_json_arg $ reconfig_arg
+      $ no_incremental_arg $ no_incremental_merge_arg $ copy_cap_arg
+      $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg $ compare_arg)
 
 let list_cmd =
   let doc = "list available workloads and circuits" in
@@ -471,6 +777,6 @@ let list_cmd =
 let main =
   let doc = "hardware/software co-synthesis of dynamically reconfigurable systems" in
   Cmd.group (Cmd.info "crusade" ~version:"1.0.0" ~doc)
-    [ synth_cmd; ft_cmd; delay_cmd; report_cmd; upgrade_cmd; list_cmd ]
+    [ synth_cmd; ft_cmd; delay_cmd; report_cmd; upgrade_cmd; resynth_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -325,6 +325,82 @@ let portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig =
       fail ~out ~kind:"portfolio-audit-violation" ~seed ~params ~config:pf_config
         (violation_strings vs)
 
+(* Resynth axis (reconfig flavor only, to bound the per-seed cost): take
+   the already-synthesized reference as the deployed system, apply a
+   change event with [Core.Resynth], and assert that (a) the repaired
+   architecture audits clean and (b) the warm repair reaches the same
+   feasibility verdict as synthesizing the post-change workload from
+   scratch.  Costs may legitimately differ — the repair is constrained
+   by the deployed placement — so the oracle is the verdict, not the
+   signature.  The change kind rotates with the seed so a seed range
+   covers the whole matrix. *)
+let resynth_checks ~out ~seed ~params ~spec ~options ~reference =
+  let module R = Core.Resynth in
+  let n_graphs = Array.length spec.Spec.graphs in
+  let last = n_graphs - 1 in
+  let kind, change =
+    match if n_graphs < 2 then 2 else seed mod 4 with
+    | 0 -> ("graph-arrival", R.Graph_arrival [ last ])
+    | 1 -> ("upgrade", R.Upgrade [ last ])
+    | 2 -> ("pe-fail", R.Pe_failure 0)
+    | _ -> ("drift", R.Exec_drift 20)
+  in
+  let deployed =
+    match change with
+    | R.Graph_arrival gs | R.Upgrade gs -> (
+        match
+          Core.synthesize ~options
+            ~include_graph:(fun g -> not (List.mem g gs))
+            spec lib
+        with
+        | Ok r -> r
+        | Error msg ->
+            fail ~out
+              ~kind:("resynth-" ^ kind ^ "-deploy-error")
+              ~seed ~params [ msg ])
+    | R.Graph_departure _ | R.Pe_failure _ | R.Exec_drift _ -> reference
+  in
+  let rep =
+    match R.apply ~options deployed change with
+    | Ok rep -> rep
+    | Error msg ->
+        fail ~out ~kind:("resynth-" ^ kind ^ "-error") ~seed ~params [ msg ]
+  in
+  (match R.audit_report rep with
+  | [] -> ()
+  | vs ->
+      fail ~out
+        ~kind:("resynth-" ^ kind ^ "-audit-violation")
+        ~seed ~params (violation_strings vs));
+  let scratch =
+    match change with
+    | R.Graph_arrival _ | R.Upgrade _ | R.Pe_failure _ ->
+        Core.synthesize ~options spec lib
+    | R.Graph_departure gs ->
+        Core.synthesize ~options
+          ~include_graph:(fun g -> not (List.mem g gs))
+          spec lib
+    | R.Exec_drift pct -> (
+        match R.drift_spec spec pct with
+        | Ok spec' -> Core.synthesize ~options spec' lib
+        | Error _ as e -> e)
+  in
+  match scratch with
+  | Error msg ->
+      fail ~out ~kind:("resynth-" ^ kind ^ "-scratch-error") ~seed ~params [ msg ]
+  | Ok s ->
+      let warm = R.final_result rep <> None in
+      if warm <> s.Core.deadlines_met then
+        fail ~out
+          ~kind:("resynth-" ^ kind ^ "-verdict-mismatch")
+          ~seed ~params
+          [
+            Printf.sprintf "warm repair:  %s"
+              (if warm then "feasible" else "infeasible");
+            Printf.sprintf "from scratch: %s"
+              (if s.Core.deadlines_met then "feasible" else "infeasible");
+          ]
+
 let run_seed ~out ~jobs_max ~with_ft seed =
   let params = params_of_seed seed in
   let spec = W.generate lib params in
@@ -360,8 +436,11 @@ let run_seed ~out ~jobs_max ~with_ft seed =
       | vs ->
           fail ~out ~kind:"audit-violation" ~seed ~params ~config:ref_config
             (violation_strings vs));
-      if reconfig then
-        portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig)
+      if reconfig then begin
+        portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig;
+        resynth_checks ~out ~seed ~params ~spec
+          ~options:(options_of ref_config) ~reference
+      end)
     [ true; false ];
   if with_ft then begin
     match Ft.synthesize ~options:Core.default_options spec lib with
@@ -706,7 +785,7 @@ let () =
     let n = a.seed_hi - a.seed_lo + 1 in
     Printf.printf
       "fuzzing seeds %d..%d (%d seeds x 14 configurations + portfolio \
-       {1,4}x{bound on,off}, jobs_max=%d)\n%!"
+       {1,4}x{bound on,off} + resynth differential, jobs_max=%d)\n%!"
       a.seed_lo a.seed_hi n a.jobs_max;
     for seed = a.seed_lo to a.seed_hi do
       let with_ft = (seed - a.seed_lo) mod a.ft_every = 0 in

@@ -27,7 +27,7 @@ let () =
   | Error msg ->
       Format.printf "analysis failed: %s@." msg;
       exit 1
-  | Ok { base; verdict } -> (
+  | Ok { base; verdict; _ } -> (
       Format.printf "--- deployed architecture ---@.%a@.@." C.pp_report base;
       match verdict with
       | U.Reprogramming_only { result; added_images } ->

@@ -18,6 +18,10 @@ type pe_inst = {
   modes : mode Vec.t;
   mutable used_memory : int;
   mutable boot_full_us : int;
+  mutable p_failed : bool;
+      (* A failed PE keeps its [p_id] (sites index into the vector) but
+         accepts no placements; re-synthesis vacates it, after which it
+         contributes nothing to cost or counts ([pe_in_use] is false). *)
 }
 
 type link_inst = {
@@ -151,6 +155,7 @@ let copy t =
       modes = Vec.map_copy copy_mode p.modes;
       used_memory = p.used_memory;
       boot_full_us = p.boot_full_us;
+      p_failed = p.p_failed;
     }
   in
   let copy_link l = { l_id = l.l_id; ltype = l.ltype; attached = l.attached } in
@@ -185,7 +190,16 @@ let add_pe t (ptype : Pe.t) =
   in
   let modes = Vec.create () in
   Vec.push modes (fresh_mode 0);
-  let pe = { p_id = Vec.length t.pes; ptype; modes; used_memory = 0; boot_full_us } in
+  let pe =
+    {
+      p_id = Vec.length t.pes;
+      ptype;
+      modes;
+      used_memory = 0;
+      boot_full_us;
+      p_failed = false;
+    }
+  in
   Vec.push t.pes pe;
   record t (fun () -> ignore (Vec.pop t.pes));
   (* A rolled-back PE frees its [p_id] for the next trial; link-memo
@@ -221,6 +235,15 @@ let attach t link pe =
     note_conn t;
     touch_links t;
     Ok ()
+  end
+
+let fail_pe t pe =
+  if not pe.p_failed then begin
+    pe.p_failed <- true;
+    record t (fun () -> pe.p_failed <- false);
+    (* Candidate enumeration and link routing must not see the PE. *)
+    note_conn t;
+    touch_levels t
   end
 
 let site_of_cluster t cid = Hashtbl.find_opt t.sites cid
@@ -273,6 +296,7 @@ let record_occupancy t (mode : mode) (pe : pe_inst) cid =
 let place_cluster t spec (clustering : Clustering.t) (cluster : Clustering.cluster) ~pe
     ~mode =
   if Hashtbl.mem t.sites cluster.cid then Error "cluster already placed"
+  else if pe.p_failed then Error "PE has failed"
   else if cluster.feasible_mask land (1 lsl pe.ptype.Pe.id) = 0 then
     Error "cluster cannot execute on this PE type"
   else if exclusion_conflict t spec clustering cluster pe then

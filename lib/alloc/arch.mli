@@ -23,6 +23,11 @@ type pe_inst = {
   mutable boot_full_us : int;
       (** time to reprogram the whole device with the current programming
           interface (PPE only; see {!Interface} in [crusade_reconfig]) *)
+  mutable p_failed : bool;
+      (** the PE has failed in the field: it keeps its [p_id] (sites
+          index into the PE vector) but {!place_cluster} and candidate
+          enumeration reject it; once re-synthesis vacates it, it
+          contributes nothing to {!cost} or {!n_pes} *)
 }
 
 type link_inst = {
@@ -117,6 +122,11 @@ val add_link : t -> Crusade_resource.Link.t -> link_inst
 
 val attach : t -> link_inst -> pe_inst -> (unit, string) result
 (** Connects a PE to a link, consuming one port.  Idempotent per pair. *)
+
+val fail_pe : t -> pe_inst -> unit
+(** Marks a PE as failed in the field (journaled; idempotent).  Existing
+    placements are untouched — re-synthesis is responsible for vacating
+    them — but new placements and candidate enumeration reject the PE. *)
 
 val place_cluster :
   t ->

@@ -106,6 +106,9 @@ let check_arch ?compat (spec : Spec.t) (clustering : Clustering.t) (arch : Arch.
         else begin
           let c = clustering.clusters.(cid) in
           let pt = pe.Arch.ptype.Pe.id in
+          if pe.Arch.p_failed then
+            add acc "placement" "cluster %d placed on failed PE %d" cid
+              pe.Arch.p_id;
           if c.Clustering.feasible_mask land (1 lsl pt) = 0 then
             add acc "placement" "cluster %d infeasible on PE type %s" cid
               pe.Arch.ptype.Pe.name;

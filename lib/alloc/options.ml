@@ -90,7 +90,10 @@ let enumerate arch spec clustering (cluster : Clustering.cluster) ~allow_new_mod
   in
   Vec.iter
     (fun (pe : Arch.pe_inst) ->
-      if cluster.feasible_mask land (1 lsl pe.Arch.ptype.Pe.id) <> 0 then begin
+      if
+        (not pe.Arch.p_failed)
+        && cluster.feasible_mask land (1 lsl pe.Arch.ptype.Pe.id) <> 0
+      then begin
         let affinity = affinity_of arch spec clustering cluster pe.Arch.p_id in
         let programmable = Pe.is_programmable pe.Arch.ptype in
         let own_mode = if programmable then mode_of_own_graph pe else None in

@@ -492,7 +492,15 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
              option seen. *)
           match !best_fallback with
           | Some (_, idx) -> reapply idx
-          | None -> assert false
+          | None ->
+              (* The window only closes once a fallback exists
+                 ([window_open]), so this branch is unreachable. *)
+              failwith
+                (Printf.sprintf
+                   "allocate_cluster: evaluation window closed with no \
+                    fallback for cluster %d (graph %d) after %d of %d \
+                    candidates"
+                   cluster.Clustering.cid cluster.Clustering.graph !tried n)
         end
       with
       | result -> result
@@ -571,7 +579,15 @@ let allocate_cluster ~opts ~ctx spec clustering arch cluster =
              option seen. *)
           match !best_fallback with
           | Some (_, trial) -> Ok trial
-          | None -> assert false
+          | None ->
+              (* The window only closes once a fallback exists
+                 ([window_open]), so this branch is unreachable. *)
+              failwith
+                (Printf.sprintf
+                   "allocate_cluster: evaluation window closed with no \
+                    fallback for cluster %d (graph %d) after %d of %d \
+                    candidates"
+                   cluster.Clustering.cid cluster.Clustering.graph !tried n)
         end
       with
       | result -> result
@@ -1316,7 +1332,7 @@ let discovered_compat (r : result) =
   fun a b ->
     if a = b then self_serialized a else m.(a).(b) || device_serialized a b
 
-let audit (r : result) =
+let audit ?(include_graph = fun _ -> true) (r : result) =
   let compat = discovered_compat r in
   let reported =
     {
@@ -1330,7 +1346,10 @@ let audit (r : result) =
   let coverage =
     Array.to_list r.clustering.Clustering.clusters
     |> List.filter_map (fun (c : Clustering.cluster) ->
-           if Arch.site_of_cluster r.arch c.Clustering.cid = None then
+           if
+             include_graph c.Clustering.graph
+             && Arch.site_of_cluster r.arch c.Clustering.cid = None
+           then
              Some
                {
                  Audit.rule = "coverage";
@@ -1404,3 +1423,403 @@ let pp_report fmt r =
         (if images > count then Printf.sprintf "(%d images)" images else ""))
     tally;
   Format.fprintf fmt "@]"
+
+(* ---------------- Warm re-synthesis under change ----------------
+
+   Repair a deployed architecture after a change event instead of
+   synthesizing from scratch: compute the invalidation closure of the
+   change (the clusters it rips up), seed the incremental engine's
+   recording store from the post-change architecture so untouched
+   schedule prefixes replay verbatim, and re-run the flow over only the
+   cut tail — placed clusters are treated as already allocated by
+   [run_flow], so allocation touches exactly the ripped/arriving set. *)
+
+module Resynth = struct
+  module Task = Crusade_taskgraph.Task
+  module Graph = Crusade_taskgraph.Graph
+
+  let pp_result = pp_report
+
+  type change =
+    | Graph_arrival of int list
+    | Graph_departure of int list
+    | Pe_failure of int
+    | Exec_drift of int
+    | Upgrade of int list
+
+  type attempt_outcome = Met | Tardy of int | Failed of string
+
+  type verdict =
+    | Images_only of { result : result; added_images : int }
+    | Needs_hardware of {
+        result : result;
+        added_pes : int;
+        added_cost : float;
+      }
+    | Infeasible
+
+  type report = {
+    deployed : result;
+    change : change;
+    verdict : verdict;
+    reprogram_attempt : attempt_outcome;
+    hardware_attempt : attempt_outcome option;
+    ripped_clusters : int list;
+    added_pes : int;
+    removed_pes : int;
+    cost_delta : float option;
+    resynth_seconds : float;
+  }
+
+  let describe_change = function
+    | Graph_arrival gs ->
+        Printf.sprintf "graph arrival [%s]"
+          (String.concat "," (List.map string_of_int gs))
+    | Graph_departure gs ->
+        Printf.sprintf "graph departure [%s]"
+          (String.concat "," (List.map string_of_int gs))
+    | Pe_failure pid -> Printf.sprintf "PE %d failure" pid
+    | Exec_drift pct -> Printf.sprintf "execution-time drift %+d%%" pct
+    | Upgrade gs ->
+        Printf.sprintf "field upgrade [%s]"
+          (String.concat "," (List.map string_of_int gs))
+
+  let final_result rep =
+    match rep.verdict with
+    | Images_only { result; _ } | Needs_hardware { result; _ } -> Some result
+    | Infeasible -> None
+
+  (* Carry a replay-basis store through the options without perturbing
+     anything else: a [t_index = 0] trajectory with no bound, no
+     deadline and neutral fit scales runs bit-identically to the plain
+     flow — its only effect is that [make_ctx] hands the store to the
+     incremental engine. *)
+  let with_basis_store (opts : options) store =
+    let traj =
+      match opts.portfolio with
+      | Some t -> { t with t_basis = Some store }
+      | None ->
+          {
+            t_index = 0;
+            t_seed = 0;
+            t_bound = None;
+            t_deadline = None;
+            t_fit_scale = (1.0, 1.0);
+            t_basis = Some store;
+          }
+    in
+    { opts with portfolio = Some traj }
+
+  (* Rebuild the specification with every feasible execution time scaled
+     by [pct] percent.  Ids, edges, compatibility vectors and the
+     boot-time requirement are preserved verbatim, so the deployed
+     clustering (pure task/cluster ids; its feasibility masks do not
+     depend on execution magnitudes) and placements stay valid. *)
+  let drift_spec (spec : Spec.t) pct =
+    if pct <= -100 then
+      Error (Printf.sprintf "drift of %d%% leaves no execution time" pct)
+    else
+    let scale e = if e <= 0 then e else max 1 (e * (100 + pct) / 100) in
+    let scale_task (t : Task.t) =
+      { t with Task.exec = Array.map scale t.Task.exec }
+    in
+    let graphs =
+      Array.to_list spec.Spec.graphs
+      |> List.map (fun (g : Graph.t) ->
+             { g with Graph.tasks = Array.map scale_task g.Graph.tasks })
+    in
+    Spec.build ~name:spec.Spec.name
+      ~boot_time_requirement:spec.Spec.boot_time_requirement graphs
+
+  (* In-use PE delta by instance id: the repaired architecture is always
+     grown from a copy of the deployed one, so instance ids align and
+     the diff is exact (a replacement part counts once on each side). *)
+  let pe_diff (deployed : result) (final : result) =
+    let used (a : Arch.t) pid =
+      pid < Vec.length a.Arch.pes
+      &&
+      let pe = Vec.get a.Arch.pes pid in
+      (not pe.Arch.p_failed) && Arch.pe_in_use pe
+    in
+    let n =
+      max (Vec.length deployed.arch.Arch.pes) (Vec.length final.arch.Arch.pes)
+    in
+    let added = ref 0 and removed = ref 0 in
+    for pid = 0 to n - 1 do
+      let before = used deployed.arch pid and after = used final.arch pid in
+      if after && not before then incr added;
+      if before && not after then incr removed
+    done;
+    (!added, !removed)
+
+  (* Which graphs the repaired result must cover: what was deployed,
+     plus arrivals, minus departures.  Drives the coverage rule of
+     {!audit} — a graph that was never synthesized (e.g. the upgrade
+     graphs of the deployed base) must not be flagged as unplaced. *)
+  let expected_graphs (deployed : result) change =
+    let n = Spec.n_graphs deployed.spec in
+    let placed = Array.make n true in
+    Array.iter
+      (fun (c : Clustering.cluster) ->
+        if Arch.site_of_cluster deployed.arch c.Clustering.cid = None then
+          placed.(c.Clustering.graph) <- false)
+      deployed.clustering.Clustering.clusters;
+    match change with
+    | Graph_arrival gs | Upgrade gs ->
+        fun g -> (g >= 0 && g < n && placed.(g)) || List.mem g gs
+    | Graph_departure gs ->
+        fun g -> g >= 0 && g < n && placed.(g) && not (List.mem g gs)
+    | Pe_failure _ | Exec_drift _ -> fun g -> g >= 0 && g < n && placed.(g)
+
+  let audit_report rep =
+    match final_result rep with
+    | None -> []
+    | Some r -> audit ~include_graph:(expected_graphs rep.deployed rep.change) r
+
+  let validate_change (deployed : result) change =
+    let n_graphs = Spec.n_graphs deployed.spec in
+    let check_graphs what gs =
+      match List.find_opt (fun g -> g < 0 || g >= n_graphs) gs with
+      | Some g -> Error (Printf.sprintf "%s: unknown graph %d" what g)
+      | None -> if gs = [] then Error (what ^ ": no graphs given") else Ok ()
+    in
+    match change with
+    | Graph_arrival gs -> check_graphs "graph arrival" gs
+    | Upgrade gs -> check_graphs "upgrade" gs
+    | Graph_departure gs -> check_graphs "graph departure" gs
+    | Pe_failure pid ->
+        if pid < 0 || pid >= Vec.length deployed.arch.Arch.pes then
+          Error (Printf.sprintf "PE failure: unknown PE %d" pid)
+        else Ok ()
+    | Exec_drift pct ->
+        if pct <= -100 then
+          Error (Printf.sprintf "drift of %d%% leaves no execution time" pct)
+        else Ok ()
+
+  let apply ?(options = default_options) (deployed : result) change =
+    let w0 = wall_now () in
+    let t0 = Sys.time () in
+    match validate_change deployed change with
+    | Error _ as e -> e
+    | Ok () -> (
+        let clustering = deployed.clustering in
+        let placed0 cid = Arch.site_of_cluster deployed.arch cid <> None in
+        let clusters_of gs =
+          Array.fold_left
+            (fun acc (c : Clustering.cluster) ->
+              if List.mem c.Clustering.graph gs && placed0 c.Clustering.cid
+              then c.Clustering.cid :: acc
+              else acc)
+            [] clustering.Clustering.clusters
+          |> List.rev
+        in
+        (* The invalidation closure: [spec'] (rebuilt only under drift),
+           the skip predicate for [run_flow], a thunk producing the
+           post-change architecture (each attempt mutates its own copy),
+           and the clusters the change rips out of their sites. *)
+        let prepared =
+          match change with
+          | Graph_arrival gs | Upgrade gs ->
+              let arriving (c : Clustering.cluster) =
+                List.mem c.Clustering.graph gs
+              in
+              Ok
+                ( deployed.spec,
+                  (fun (c : Clustering.cluster) ->
+                    not (placed0 c.Clustering.cid || arriving c)),
+                  (fun () -> Arch.copy deployed.arch),
+                  [] )
+          | Graph_departure gs ->
+              let departing (c : Clustering.cluster) =
+                List.mem c.Clustering.graph gs
+              in
+              Ok
+                ( deployed.spec,
+                  (fun (c : Clustering.cluster) ->
+                    departing c || not (placed0 c.Clustering.cid)),
+                  (fun () ->
+                    let a = Arch.copy deployed.arch in
+                    Array.iter
+                      (fun (c : Clustering.cluster) ->
+                        if departing c then Arch.unplace_cluster a clustering c)
+                      clustering.Clustering.clusters;
+                    Arch.detach_unused a;
+                    a),
+                  clusters_of gs )
+          | Pe_failure pid ->
+              let victims =
+                Array.fold_left
+                  (fun acc (c : Clustering.cluster) ->
+                    match Arch.site_of_cluster deployed.arch c.Clustering.cid with
+                    | Some site when site.Arch.s_pe = pid ->
+                        c.Clustering.cid :: acc
+                    | Some _ | None -> acc)
+                  [] clustering.Clustering.clusters
+                |> List.rev
+              in
+              Ok
+                ( deployed.spec,
+                  (fun (c : Clustering.cluster) -> not (placed0 c.Clustering.cid)),
+                  (fun () ->
+                    let a = Arch.copy deployed.arch in
+                    Arch.fail_pe a (Vec.get a.Arch.pes pid);
+                    List.iter
+                      (fun cid ->
+                        Arch.unplace_cluster a clustering
+                          clustering.Clustering.clusters.(cid))
+                      victims;
+                    Arch.detach_unused a;
+                    a),
+                  victims )
+          | Exec_drift pct -> (
+              match drift_spec deployed.spec pct with
+              | Error msg -> Error ("drift: " ^ msg)
+              | Ok spec' ->
+                  Ok
+                    ( spec',
+                      (fun (c : Clustering.cluster) ->
+                        not (placed0 c.Clustering.cid)),
+                      (fun () -> Arch.copy deployed.arch),
+                      [] ))
+        in
+        match prepared with
+        | Error _ as e -> e
+        | Ok (spec', skip, mk_arch, ripped) ->
+            (* Warm start: record one schedule of the post-change
+               architecture into a shared store; both attempts' engines
+               then replay every schedule prefix the change provably
+               left untouched.  (Under drift the recording is taken
+               against the rebuilt spec — every execution time changed,
+               so the deployed recording itself is useless, but the
+               still-placed architecture is rescheduled once and that
+               recording serves the repair trials.) *)
+            let store = Incremental.Store.create () in
+            if options.incremental then begin
+              let eng = Incremental.create ~store () in
+              Incremental.refresh eng ~copy_cap:options.copy_cap spec'
+                clustering (mk_arch ())
+            end;
+            let attempt ~allow_new_pes =
+              let opts = { options with allow_new_pes } in
+              let opts =
+                if opts.incremental then with_basis_store opts store else opts
+              in
+              let arch0 = mk_arch () in
+              arch0.Arch.interface_cost <- None;
+              Trace.span options.trace
+                ~args:[ ("new_pes", Trace.Str (string_of_bool allow_new_pes)) ]
+                "resynth.attempt"
+                (fun () ->
+                  run_flow ~opts ~t0 ~w0 spec' deployed.arch.Arch.lib
+                    clustering arch0 ~skip)
+            in
+            let outcome = function
+              | Ok (r : result) ->
+                  if r.deadlines_met then (Met, Some r)
+                  else (Tardy r.schedule.Schedule.total_tardiness, Some r)
+              | Error msg -> (Failed msg, None)
+            in
+            let reprogram_attempt, rep_res =
+              outcome (attempt ~allow_new_pes:false)
+            in
+            let verdict, hardware_attempt =
+              match (reprogram_attempt, rep_res) with
+              | Met, Some r ->
+                  (* The reprogramming attempt forbids buying PE types,
+                     but the architecture may carry instances a past
+                     rip-up vacated — they cost nothing and are not on
+                     the shipped board, so re-placing onto one is new
+                     hardware no matter which attempt did it.  Classify
+                     by the physical PE diff, not by the attempt. *)
+                  let added, _ = pe_diff deployed r in
+                  if added = 0 then
+                    ( Images_only
+                        {
+                          result = r;
+                          added_images = r.n_modes - deployed.n_modes;
+                        },
+                      None )
+                  else
+                    ( Needs_hardware
+                        {
+                          result = r;
+                          added_pes = added;
+                          added_cost = r.cost -. deployed.cost;
+                        },
+                      None )
+              | _ ->
+                  if not options.allow_new_pes then (Infeasible, None)
+                  else begin
+                    match outcome (attempt ~allow_new_pes:true) with
+                    | Met, Some r ->
+                        let added, _ = pe_diff deployed r in
+                        ( Needs_hardware
+                            {
+                              result = r;
+                              added_pes = added;
+                              added_cost = r.cost -. deployed.cost;
+                            },
+                          Some Met )
+                    | out, _ -> (Infeasible, Some out)
+                  end
+            in
+            let final =
+              match verdict with
+              | Images_only { result; _ } | Needs_hardware { result; _ } ->
+                  Some result
+              | Infeasible -> None
+            in
+            let added_pes, removed_pes =
+              match final with Some r -> pe_diff deployed r | None -> (0, 0)
+            in
+            Ok
+              {
+                deployed;
+                change;
+                verdict;
+                reprogram_attempt;
+                hardware_attempt;
+                ripped_clusters = ripped;
+                added_pes;
+                removed_pes;
+                cost_delta =
+                  Option.map (fun (r : result) -> r.cost -. deployed.cost) final;
+                resynth_seconds = wall_now () -. w0;
+              })
+
+  let pp_outcome fmt = function
+    | Met -> Format.fprintf fmt "deadlines met"
+    | Tardy t -> Format.fprintf fmt "deadlines missed by %d us" t
+    | Failed msg -> Format.fprintf fmt "failed (%s)" msg
+
+  let pp_report fmt rep =
+    Format.fprintf fmt "@[<v>";
+    Format.fprintf fmt "change       : %s@," (describe_change rep.change);
+    Format.fprintf fmt "ripped       : %d cluster(s)@,"
+      (List.length rep.ripped_clusters);
+    Format.fprintf fmt "reprogramming: %a@," pp_outcome rep.reprogram_attempt;
+    (match rep.hardware_attempt with
+    | Some out -> Format.fprintf fmt "new hardware : %a@," pp_outcome out
+    | None -> ());
+    (match rep.verdict with
+    | Images_only { added_images; _ } ->
+        Format.fprintf fmt "verdict      : images only (%+d image(s))@,"
+          added_images
+    | Needs_hardware { added_pes; added_cost; _ } ->
+        Format.fprintf fmt "verdict      : needs hardware (%d PE(s), $%s)@,"
+          added_pes
+          (Crusade_util.Text_table.fmt_dollars added_cost)
+    | Infeasible -> Format.fprintf fmt "verdict      : INFEASIBLE@,");
+    (match rep.cost_delta with
+    | Some d ->
+        Format.fprintf fmt "cost delta   : %s$%s (+%d/-%d PEs)@,"
+          (if d < 0.0 then "-" else "+")
+          (Crusade_util.Text_table.fmt_dollars (Float.abs d))
+          rep.added_pes rep.removed_pes
+    | None -> ());
+    Format.fprintf fmt "latency      : %.2f s@," rep.resynth_seconds;
+    (match final_result rep with
+    | Some r -> Format.fprintf fmt "%a" pp_result r
+    | None -> ());
+    Format.fprintf fmt "@]"
+end

@@ -270,9 +270,12 @@ module Portfolio : sig
       in practice exactly when the plain flow errors. *)
 end
 
-val audit : result -> Crusade_alloc.Audit.violation list
+val audit : ?include_graph:(int -> bool) -> result -> Crusade_alloc.Audit.violation list
 (** End-to-end first-principles audit of a synthesis result, empty when
-    sound.  Composes:
+    sound.  [include_graph] (default: all) restricts the coverage rule
+    to the graphs the result is supposed to place — partial syntheses
+    (an upgrade base, a post-departure repair) are otherwise flagged for
+    their intentionally unplaced clusters.  Composes:
     - the architecture-level rules of {!Crusade_alloc.Audit.check}
       (placement feasibility, occupancy/capacity/cost/count accounting,
       exclusion, connectivity, mode discipline), judged against the
@@ -292,3 +295,105 @@ val audit : result -> Crusade_alloc.Audit.violation list
 
 val pp_report : Format.formatter -> result -> unit
 (** Human-readable architecture/synthesis report. *)
+
+(** Warm re-synthesis under change (DESIGN.md "Re-synthesis under
+    change"): repair a deployed architecture after a change event
+    instead of synthesizing from scratch.
+
+    {!Resynth.apply} computes the invalidation closure of the change —
+    the clusters it rips out of their sites — seeds the incremental
+    engine's recording store from the post-change architecture so every
+    schedule prefix the change provably left untouched replays verbatim,
+    and re-runs the synthesis flow over only the cut tail (placed
+    clusters are treated as already allocated).  Two attempts mirror the
+    field-upgrade discipline: first with [allow_new_pes = false] (can
+    the deployed hardware absorb the change by reprogramming alone?),
+    then, if deadlines are still missed and the caller's options permit
+    new parts, with new hardware allowed.  Both attempts' outcomes are
+    reported, so an [Infeasible] verdict explains why each failed. *)
+module Resynth : sig
+  type change =
+    | Graph_arrival of int list
+        (** graphs (by id) previously excluded from synthesis start
+            running: allocate their clusters onto the deployed
+            architecture *)
+    | Graph_departure of int list
+        (** graphs stop running: vacate their clusters, then let repair
+            and the merge phase shrink the architecture *)
+    | Pe_failure of int
+        (** the PE instance fails in the field: its residents are ripped
+            up and restarted warm on the survivors (or, failing that, on
+            replacement hardware) *)
+    | Exec_drift of int
+        (** measured execution times drift by the given percentage
+            (e.g. [20] = 20% slower, [-10] = 10% faster); the
+            specification is rebuilt with scaled execution vectors while
+            clustering and placements are preserved *)
+    | Upgrade of int list
+        (** field upgrade: same mechanics as [Graph_arrival], reported
+            in {!Upgrade.analyze}'s vocabulary *)
+
+  type attempt_outcome = Met | Tardy of int  (** total tardiness, us *) | Failed of string
+
+  type verdict =
+    | Images_only of { result : result; added_images : int }
+        (** the deployed hardware absorbs the change by reprogramming
+            alone ([added_images] may be negative after a departure) *)
+    | Needs_hardware of {
+        result : result;
+        added_pes : int;
+        added_cost : float;
+      }
+    | Infeasible
+        (** both attempts failed; see the report's attempt outcomes *)
+
+  type report = {
+    deployed : result;
+    change : change;
+    verdict : verdict;
+    reprogram_attempt : attempt_outcome;
+    hardware_attempt : attempt_outcome option;
+        (** [None] when reprogramming sufficed or new parts were
+            forbidden by the caller's options *)
+    ripped_clusters : int list;
+        (** clusters the change vacated (empty for arrivals and drift,
+            where only new or repair-chosen clusters move) *)
+    added_pes : int;  (** in-use PE instances gained vs. deployed *)
+    removed_pes : int;  (** in-use PE instances vacated vs. deployed *)
+    cost_delta : float option;  (** final - deployed; [None] if infeasible *)
+    resynth_seconds : float;  (** wall-clock re-synthesis latency *)
+  }
+
+  val apply :
+    ?options:options -> result -> change -> (report, string) Stdlib.result
+  (** [apply deployed change] repairs the deployed result.  [Error] only
+      for invalid change targets (unknown graph/PE ids, drift <= -100%)
+      or structurally impossible re-synthesis; deadline misses are
+      reported through the verdict. *)
+
+  val final_result : report -> result option
+  (** The repaired result, [None] when the verdict is [Infeasible]. *)
+
+  val audit_report : report -> Crusade_alloc.Audit.violation list
+  (** {!audit} of the repaired result with the coverage rule restricted
+      to the graphs the change left deployed (deployed + arrivals -
+      departures); empty when infeasible or sound. *)
+
+  val expected_graphs : result -> change -> int -> bool
+  (** The coverage predicate {!audit_report} uses, exposed for callers
+      auditing with extra context. *)
+
+  val drift_spec :
+    Crusade_taskgraph.Spec.t ->
+    int ->
+    (Crusade_taskgraph.Spec.t, string) Stdlib.result
+  (** The rebuilt specification an [Exec_drift] change synthesizes
+      against: every feasible execution time scaled by the given
+      percentage, ids/edges/compatibility preserved.  Exposed so
+      differential harnesses can run the from-scratch comparison on
+      exactly the same drifted workload. *)
+
+  val describe_change : change -> string
+
+  val pp_report : Format.formatter -> report -> unit
+end

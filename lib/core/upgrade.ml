@@ -1,3 +1,5 @@
+module Resynth = Crusade_core.Resynth
+
 type verdict =
   | Reprogramming_only of { result : Crusade_core.result; added_images : int }
   | Needs_hardware of {
@@ -7,7 +9,18 @@ type verdict =
     }
   | Infeasible of string
 
-type report = { base : Crusade_core.result; verdict : verdict }
+type report = {
+  base : Crusade_core.result;
+  verdict : verdict;
+  reprogram_attempt : Resynth.attempt_outcome;
+  hardware_attempt : Resynth.attempt_outcome option;
+  resynth : Resynth.report;
+}
+
+let describe_outcome = function
+  | Resynth.Met -> "deadlines met"
+  | Resynth.Tardy t -> Printf.sprintf "deadlines missed by %d us" t
+  | Resynth.Failed msg -> msg
 
 let analyze ?(options = Crusade_core.default_options) spec lib ~upgrade_graphs =
   let is_upgrade g = List.mem g upgrade_graphs in
@@ -16,32 +29,44 @@ let analyze ?(options = Crusade_core.default_options) spec lib ~upgrade_graphs =
       lib
   with
   | Error msg -> Error msg
-  | Ok base ->
-      let reprogram_options = { options with Crusade_core.allow_new_pes = false } in
-      let verdict =
-        match Crusade_core.continue_allocation ~options:reprogram_options base with
-        | Ok upgraded when upgraded.Crusade_core.deadlines_met ->
-            Reprogramming_only
-              {
-                result = upgraded;
-                added_images =
-                  upgraded.Crusade_core.n_modes - base.Crusade_core.n_modes;
-              }
-        | Ok _ | Error _ -> (
-            (* The deployed hardware cannot absorb the upgrade: allow new
-               parts and price the difference. *)
-            match Crusade_core.continue_allocation ~options base with
-            | Ok upgraded when upgraded.Crusade_core.deadlines_met ->
-                Needs_hardware
-                  {
-                    result = upgraded;
-                    added_pes = upgraded.Crusade_core.n_pes - base.Crusade_core.n_pes;
-                    added_cost = upgraded.Crusade_core.cost -. base.Crusade_core.cost;
-                  }
-            | Ok r ->
+  | Ok base -> (
+      match Resynth.apply ~options base (Resynth.Upgrade upgrade_graphs) with
+      | Error msg -> Error msg
+      | Ok rep ->
+          let verdict =
+            match rep.Resynth.verdict with
+            | Resynth.Images_only { result; added_images } ->
+                Reprogramming_only { result; added_images }
+            | Resynth.Needs_hardware { result; added_pes; added_cost } ->
+                Needs_hardware { result; added_pes; added_cost }
+            | Resynth.Infeasible ->
+                (* Both attempts' outcomes, not just the last one: why
+                   reprogramming alone failed, and why (or whether) new
+                   hardware could not rescue it either. *)
                 Infeasible
-                  (Printf.sprintf "deadlines missed by %d us even with new hardware"
-                     r.Crusade_core.schedule.Crusade_sched.Schedule.total_tardiness)
-            | Error msg -> Infeasible msg)
-      in
-      Ok { base; verdict }
+                  (match rep.Resynth.hardware_attempt with
+                  | Some hw ->
+                      Printf.sprintf
+                        "reprogramming-only: %s; with new hardware: %s"
+                        (describe_outcome rep.Resynth.reprogram_attempt)
+                        (describe_outcome hw)
+                  | None ->
+                      Printf.sprintf "reprogramming-only: %s"
+                        (describe_outcome rep.Resynth.reprogram_attempt))
+          in
+          Ok
+            {
+              base;
+              verdict;
+              reprogram_attempt = rep.Resynth.reprogram_attempt;
+              hardware_attempt = rep.Resynth.hardware_attempt;
+              resynth = rep;
+            })
+
+let audit (r : report) =
+  let base_violations =
+    Crusade_core.audit
+      ~include_graph:(Resynth.expected_graphs r.base (Resynth.Upgrade []))
+      r.base
+  in
+  base_violations @ Resynth.audit_report r.resynth

@@ -24,7 +24,19 @@ type verdict =
     }
   | Infeasible of string
 
-type report = { base : Crusade_core.result; verdict : verdict }
+type report = {
+  base : Crusade_core.result;
+  verdict : verdict;
+  reprogram_attempt : Crusade_core.Resynth.attempt_outcome;
+      (** outcome of the reprogramming-only attempt, even when the
+          verdict fell through to new hardware — an [Infeasible] verdict
+          explains why each attempt failed *)
+  hardware_attempt : Crusade_core.Resynth.attempt_outcome option;
+      (** [None] when reprogramming sufficed (no second attempt ran) *)
+  resynth : Crusade_core.Resynth.report;
+      (** the underlying warm re-synthesis report (cost delta, PE diff,
+          latency) *)
+}
 
 val analyze :
   ?options:Crusade_core.options ->
@@ -33,4 +45,11 @@ val analyze :
   upgrade_graphs:int list ->
   (report, string) result
 (** [analyze spec lib ~upgrade_graphs] treats the listed graph ids as the
-    future feature release and the rest as the initial product. *)
+    future feature release and the rest as the initial product.
+    Implemented as {!Crusade_core.Resynth.apply} with an [Upgrade]
+    change event over the base synthesis. *)
+
+val audit : report -> Crusade_alloc.Audit.violation list
+(** First-principles audit of both the base and (when one exists) the
+    upgraded architecture, with the coverage rule restricted to the
+    graphs each is supposed to place.  Empty when sound. *)

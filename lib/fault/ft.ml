@@ -42,6 +42,51 @@ let synthesize ?options spec lib =
           n_pes_with_spares = core.Crusade.Crusade_core.n_pes + n_spares;
         }
 
+(* Warm restart after a field PE failure: repair the core architecture
+   with {!Crusade.Crusade_core.Resynth} (rip up only the failed PE's
+   residents, replay the untouched schedule prefix), then re-provision
+   the standby spares against the repaired architecture — a failure
+   changes the per-type PE pools, so yesterday's spare counts no longer
+   meet the availability budgets. *)
+let resynth_pe_failure ?options (r : result) ~pe =
+  let trace =
+    Option.bind options (fun (o : Crusade.Crusade_core.options) ->
+        o.Crusade.Crusade_core.trace)
+  in
+  match
+    Crusade.Crusade_core.Resynth.apply ?options r.core
+      (Crusade.Crusade_core.Resynth.Pe_failure pe)
+  with
+  | Error msg -> Error msg
+  | Ok rep ->
+      let repaired =
+        match Crusade.Crusade_core.Resynth.final_result rep with
+        | Some core -> (
+            let spec = core.Crusade.Crusade_core.spec in
+            let provisioning =
+              Trace.span trace "ft.reprovision" (fun () ->
+                  Dependability.provision spec
+                    core.Crusade.Crusade_core.clustering
+                    core.Crusade.Crusade_core.arch)
+            in
+            let n_spares =
+              List.fold_left (fun acc (_, count) -> acc + count) 0
+                provisioning.Dependability.spares
+            in
+            Some
+              {
+                core;
+                transform_stats = r.transform_stats;
+                provisioning;
+                total_cost =
+                  core.Crusade.Crusade_core.cost
+                  +. provisioning.Dependability.spare_cost;
+                n_pes_with_spares = core.Crusade.Crusade_core.n_pes + n_spares;
+              })
+        | None -> None
+      in
+      Ok (rep, repaired)
+
 let is_duplicate_task (task : Task.t) =
   String.length task.Task.name > 4
   && String.sub task.Task.name (String.length task.Task.name - 4) 4 = ".dup"

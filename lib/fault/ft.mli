@@ -22,6 +22,22 @@ val synthesize :
     without dynamic reconfiguration per [options]) and spare
     provisioning. *)
 
+val resynth_pe_failure :
+  ?options:Crusade.Crusade_core.options ->
+  result ->
+  pe:int ->
+  ( Crusade.Crusade_core.Resynth.report * result option,
+    string )
+  Stdlib.result
+(** Warm restart after PE instance [pe] fails in the field: the core
+    architecture is repaired with {!Crusade.Crusade_core.Resynth}
+    (reprogramming the survivors first, replacement hardware only if
+    deadlines demand it), and the standby spares are re-provisioned
+    against the repaired architecture — a failure changes the per-type
+    PE pools, so the deployed spare counts no longer meet the
+    availability budgets.  The returned [result option] is [None] when
+    the repair verdict is infeasible. *)
+
 val audit : result -> Crusade_alloc.Audit.violation list
 (** [Crusade.Crusade_core.audit] of the core result plus the CRUSADE-FT
     invariants, empty when sound:

@@ -835,7 +835,16 @@ let exec ~copy_cap ~materialize ~record ~(replay : (recording * int) option)
                       None links
                   in
                   let l, comm, _ =
-                    match best with Some x -> x | None -> assert false
+                    match best with
+                    | Some x -> x
+                    | None ->
+                        (* [links] is non-empty here, so the fold always
+                           produces a best candidate. *)
+                        failwith
+                          (Printf.sprintf
+                             "Schedule: no best link for edge %d (task %d, PE \
+                              %d -> PE %d) despite %d candidate links"
+                             e.Edge.id tid src_pe s_pe (List.length links))
                   in
                   let s, f =
                     Timeline.insert (link_timeline l.Arch.l_id) ~ready:src_fin

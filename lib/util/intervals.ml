@@ -55,6 +55,7 @@ let is_empty t = t = []
 
 let span = function
   | [] -> None
-  | first :: _ as t ->
-      let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> assert false in
-      Some (first.start, (last t).stop)
+  | first :: rest ->
+      (* Total: seeded with the head, so the empty case never arises. *)
+      let rec last prev = function [] -> prev | x :: xs -> last x xs in
+      Some (first.start, (last first rest).stop)

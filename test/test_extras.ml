@@ -232,7 +232,7 @@ let upgrade_reprogramming_only () =
   let spec, upgrade_graphs = Ex.upgrade_scenario lib in
   match U.analyze spec lib ~upgrade_graphs with
   | Error msg -> Alcotest.fail msg
-  | Ok { base; verdict } -> (
+  | Ok { base; verdict; _ } -> (
       check Alcotest.bool "base deadlines met" true base.C.deadlines_met;
       match verdict with
       | U.Reprogramming_only { result; added_images } ->

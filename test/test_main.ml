@@ -16,6 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("audit", Test_audit.suite);
       ("upgrade", Test_upgrade.suite);
+      ("resynth", Test_resynth.suite);
       ("presets", Test_presets.suite);
       ("evaluator", Test_evaluator.suite);
       ("incremental", Test_incremental.suite);

@@ -251,6 +251,21 @@ let intervals_overlaps_vs_naive =
       Intervals.overlaps (Intervals.of_list xs) (Intervals.of_list ys)
       = naive xs ys)
 
+(* span's inner [last] is total only because it is seeded with the head
+   interval; this pins that it never raises and agrees with the hull of
+   the normal form, on every input including the empty one. *)
+let intervals_span_total =
+  QCheck.Test.make ~name:"Intervals.span is total and hulls the normal form"
+    ~count:300 interval_pairs_arb
+    (fun pairs ->
+      let t = build_intervals pairs in
+      match (Intervals.span t, Intervals.to_list t) with
+      | None, [] -> true
+      | Some (lo, hi), ((first, _) :: _ as l) ->
+          let _, last_stop = List.nth l (List.length l - 1) in
+          lo = first && hi = last_stop
+      | None, _ :: _ | Some _, [] -> false)
+
 let intervals_union_add_invariant =
   QCheck.Test.make ~name:"union/add preserve the sorted-disjoint invariant"
     ~count:300
@@ -539,6 +554,7 @@ let suite =
     qcheck intervals_overlap_symmetric;
     qcheck intervals_normalize_idempotent;
     qcheck intervals_overlaps_vs_naive;
+    qcheck intervals_span_total;
     qcheck intervals_union_add_invariant;
     Alcotest.test_case "disjoint set basics" `Quick dsu_basic;
     qcheck dsu_transitive;
