@@ -367,6 +367,15 @@ let delay_run circuit =
         [ 0.70; 0.75; 0.80; 0.85; 0.90; 0.95; 1.00 ];
       0
 
+let spec_run name scale seed =
+  match spec_of_name ?seed name scale with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (spec, _) ->
+      print_string (Crusade_taskgraph.Dsl.print spec);
+      0
+
 let list_run () =
   print_endline "Generated examples (Table 2/3; use --scale to shrink):";
   List.iter
@@ -770,6 +779,14 @@ let resynth_cmd =
       $ no_incremental_arg $ no_incremental_merge_arg $ copy_cap_arg
       $ eval_window_arg $ seed_arg $ trace_arg $ audit_arg $ compare_arg)
 
+let spec_cmd =
+  let doc =
+    "print a workload's specification in the textual DSL (the format \
+     $(b,crusade-serve) jobs are submitted in)"
+  in
+  Cmd.v (Cmd.info "spec" ~doc)
+    Term.(const spec_run $ name_arg $ scale_arg $ seed_arg)
+
 let list_cmd =
   let doc = "list available workloads and circuits" in
   Cmd.v (Cmd.info "list" ~doc) Term.(const list_run $ const ())
@@ -777,6 +794,7 @@ let list_cmd =
 let main =
   let doc = "hardware/software co-synthesis of dynamically reconfigurable systems" in
   Cmd.group (Cmd.info "crusade" ~version:"1.0.0" ~doc)
-    [ synth_cmd; ft_cmd; delay_cmd; report_cmd; upgrade_cmd; resynth_cmd; list_cmd ]
+    [ synth_cmd; ft_cmd; delay_cmd; report_cmd; upgrade_cmd; resynth_cmd;
+      spec_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -18,6 +18,11 @@
        trajectory 0, and is identical with the shared incumbent bound
        on or off (so bound aborts provably never kill a would-be
        winner);
+   (b'') on the reconfiguration flavor, a serve axis: the spec pushed
+       through the in-process job server (DSL text in, JSON result out)
+       is byte-identical to [Core.result_json] of the direct flow, and
+       an identical re-submission is served from the result cache with
+       the same bytes;
    (c) on any failure, a minimized repro (seed + generator parameters +
        configuration + findings) is written as JSON and the exit status
        is nonzero.
@@ -401,6 +406,91 @@ let resynth_checks ~out ~seed ~params ~spec ~options ~reference =
               (if s.Core.deadlines_met then "feasible" else "infeasible");
           ]
 
+(* Serve axis (reconfig flavor only): the seed's spec DSL-printed and
+   pushed through an in-process job server must produce exactly
+   [Core.result_json] of the reference result — the whole
+   parse/canonicalize/queue/pool/trace pipeline adds nothing and loses
+   nothing — and an identical re-submission must be served from the
+   result cache byte for byte, without a second synthesis. *)
+module Serve = Crusade_serve.Server
+module SHttp = Crusade_serve.Http
+module SJson = Crusade_serve.Json
+
+let serve_checks ~out ~seed ~params ~spec ~reference =
+  let expected = Core.result_json reference in
+  let server =
+    Serve.create
+      { Serve.max_in_flight = 1; queue_cap = 4; default_jobs = 1; lib;
+        pre_run = None }
+  in
+  let call ?(body = "") meth path =
+    Serve.handle server { SHttp.meth; path; query = []; headers = []; body }
+  in
+  let body =
+    Printf.sprintf "{\"spec\":\"%s\"}"
+      (SJson.escape (Crusade_taskgraph.Dsl.print spec))
+  in
+  let submit () =
+    let resp = call ~body "POST" "/jobs" in
+    if resp.SHttp.status <> 201 then
+      fail ~out ~kind:"serve-submit-rejected" ~seed ~params [ resp.SHttp.body ];
+    let field name =
+      Option.bind
+        (Result.to_option (SJson.parse resp.SHttp.body))
+        (SJson.member name)
+    in
+    match field "id" with
+    | Some (SJson.Str id) -> (id, field "cache_hit" = Some (SJson.Bool true))
+    | _ -> fail ~out ~kind:"serve-no-id" ~seed ~params [ resp.SHttp.body ]
+  in
+  let wait_done id =
+    let deadline = Unix.gettimeofday () +. 300. in
+    let rec go () =
+      let st = call "GET" ("/jobs/" ^ id) in
+      let state =
+        Option.bind
+          (Option.bind
+             (Result.to_option (SJson.parse st.SHttp.body))
+             (SJson.member "state"))
+          SJson.str
+      in
+      match state with
+      | Some "done" -> ()
+      | Some ("failed" | "cancelled") ->
+          fail ~out ~kind:"serve-job-failed" ~seed ~params [ st.SHttp.body ]
+      | _ ->
+          if Unix.gettimeofday () > deadline then
+            fail ~out ~kind:"serve-timeout" ~seed ~params [ st.SHttp.body ];
+          Thread.yield ();
+          go ()
+    in
+    go ()
+  in
+  let result_of id = (call "GET" ("/jobs/" ^ id ^ "/result")).SHttp.body in
+  let id, hit = submit () in
+  if hit then
+    fail ~out ~kind:"serve-phantom-cache-hit" ~seed ~params
+      [ "first submission claimed a cache hit" ];
+  wait_done id;
+  let fresh = result_of id in
+  if fresh <> expected then
+    fail ~out ~kind:"serve-result-mismatch" ~seed ~params
+      [
+        Printf.sprintf "direct flow: %s" expected;
+        Printf.sprintf "via server:  %s" fresh;
+      ];
+  let id2, hit2 = submit () in
+  if not hit2 then
+    fail ~out ~kind:"serve-cache-miss" ~seed ~params
+      [ "identical re-submission was not served from the cache" ];
+  let cached = result_of id2 in
+  if cached <> fresh then
+    fail ~out ~kind:"serve-cache-divergence" ~seed ~params
+      [
+        Printf.sprintf "fresh run: %s" fresh;
+        Printf.sprintf "cached:    %s" cached;
+      ]
+
 let run_seed ~out ~jobs_max ~with_ft seed =
   let params = params_of_seed seed in
   let spec = W.generate lib params in
@@ -439,7 +529,8 @@ let run_seed ~out ~jobs_max ~with_ft seed =
       if reconfig then begin
         portfolio_checks ~out ~jobs_max ~seed ~params ~spec ~ref_sig reconfig;
         resynth_checks ~out ~seed ~params ~spec
-          ~options:(options_of ref_config) ~reference
+          ~options:(options_of ref_config) ~reference;
+        serve_checks ~out ~seed ~params ~spec ~reference
       end)
     [ true; false ];
   if with_ft then begin
@@ -785,7 +876,8 @@ let () =
     let n = a.seed_hi - a.seed_lo + 1 in
     Printf.printf
       "fuzzing seeds %d..%d (%d seeds x 14 configurations + portfolio \
-       {1,4}x{bound on,off} + resynth differential, jobs_max=%d)\n%!"
+       {1,4}x{bound on,off} + resynth differential + serve round-trip, \
+       jobs_max=%d)\n%!"
       a.seed_lo a.seed_hi n a.jobs_max;
     for seed = a.seed_lo to a.seed_hi do
       let with_ft = (seed - a.seed_lo) mod a.ft_every = 0 in

@@ -41,6 +41,8 @@ type abort_reason =
 
 exception Trajectory_abort of abort_reason
 
+exception Cancelled
+
 type traj = {
   t_index : int;
   t_seed : int;  (* perturbation stream seed; unused when t_index = 0 *)
@@ -69,6 +71,7 @@ type options = {
   incremental_merge : bool;
   trace : Trace.t option;
   portfolio : traj option;
+  cancel : (unit -> bool) option;
 }
 
 let default_options =
@@ -87,6 +90,7 @@ let default_options =
     incremental_merge = true;
     trace = None;
     portfolio = None;
+    cancel = None;
   }
 
 type eval_stats = {
@@ -155,13 +159,21 @@ type ctx = {
 
 let make_ctx (opts : options) =
   let metrics = Trace.Metrics.create () in
+  (* Cooperative cancellation shares the budget check's commit points:
+     a flow is cancellable exactly where it is budget-abortable. *)
+  let check_cancel =
+    match opts.cancel with
+    | Some cancelled -> fun () -> if cancelled () then raise Cancelled
+    | None -> fun () -> ()
+  in
   let check_budget =
     match opts.portfolio with
     | Some { t_deadline = Some d; _ } ->
         fun () ->
+          check_cancel ();
           if Unix.gettimeofday () > d then
             raise (Trajectory_abort Budget_abort)
-    | Some { t_deadline = None; _ } | None -> fun () -> ()
+    | Some { t_deadline = None; _ } | None -> check_cancel
   in
   let perturb =
     match opts.portfolio with
@@ -1423,6 +1435,66 @@ let pp_report fmt r =
         (if images > count then Printf.sprintf "(%d images)" images else ""))
     tally;
   Format.fprintf fmt "@]"
+
+(* ---------------- Deterministic result JSON ----------------
+
+   The machine-readable counterpart of [pp_report], built for the job
+   server's content-addressed result cache: two syntheses of the same
+   (spec, options) must produce byte-identical JSON, so every field is a
+   deterministic function of the synthesis result — no wall/cpu times,
+   no interleaving-dependent evaluator counters, and the PE tally is
+   emitted in sorted order. *)
+
+let schedule_fingerprint (s : Schedule.t) =
+  Array.fold_left
+    (fun h (i : Schedule.instance) ->
+      Hashtbl.hash
+        (h, i.Schedule.i_task, i.Schedule.i_copy, i.Schedule.start, i.Schedule.finish))
+    0 s.Schedule.instances
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let result_json (r : result) =
+  let pes = Hashtbl.create 8 in
+  Vec.iter
+    (fun (pe : Arch.pe_inst) ->
+      if Arch.pe_in_use pe then begin
+        let name = pe.Arch.ptype.Pe.name in
+        let count, images =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt pes name)
+        in
+        Hashtbl.replace pes name (count + 1, images + Arch.n_images pe)
+      end)
+    r.arch.Arch.pes;
+  let pe_rows =
+    Hashtbl.fold (fun name (count, images) acc -> (name, count, images) :: acc) pes []
+    |> List.sort compare
+    |> List.map (fun (name, count, images) ->
+           Printf.sprintf "{\"type\":\"%s\",\"count\":%d,\"images\":%d}"
+             (json_escape name) count images)
+  in
+  Printf.sprintf
+    "{\"schema\":\"crusade-result-1\",\"spec\":\"%s\",\"n_tasks\":%d,\
+     \"n_graphs\":%d,\"cost\":%.17g,\"n_pes\":%d,\"n_links\":%d,\
+     \"n_modes\":%d,\"deadlines_met\":%b,\"total_tardiness\":%d,\
+     \"schedule_fingerprint\":\"%08x\",\"pes\":[%s]}"
+    (json_escape r.spec.Spec.name)
+    (Spec.n_tasks r.spec) (Spec.n_graphs r.spec) r.cost r.n_pes r.n_links
+    r.n_modes r.deadlines_met r.schedule.Schedule.total_tardiness
+    (schedule_fingerprint r.schedule land 0xFFFFFFFF)
+    (String.concat "," pe_rows)
 
 (* ---------------- Warm re-synthesis under change ----------------
 

@@ -88,7 +88,19 @@ type options = {
           merge knobs from the trajectory's seeded stream, and checks
           the shared incumbent bound / wall-clock budget at commit
           points, aborting when it provably cannot win. *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation hook ([None], the default, costs
+          nothing): polled at the same commit points as the portfolio
+          budget check — after each cluster allocation, each repair
+          rip-up, each merge pass and before interface synthesis.  When
+          it returns [true] the flow raises {!Cancelled}, which escapes
+          {!synthesize} to the caller (a job server marks the job
+          cancelled; nothing partial is returned). *)
 }
+
+exception Cancelled
+(** Raised out of the synthesis flow when [options.cancel] reports the
+    run should stop.  Never raised when [cancel = None]. *)
 
 val default_options : options
 
@@ -295,6 +307,21 @@ val audit : ?include_graph:(int -> bool) -> result -> Crusade_alloc.Audit.violat
 
 val pp_report : Format.formatter -> result -> unit
 (** Human-readable architecture/synthesis report. *)
+
+val schedule_fingerprint : Crusade_sched.Schedule.t -> int
+(** Order-sensitive hash of every instance's (task, copy, start,
+    finish): two schedules with equal fingerprints are the same
+    timeline for differential purposes.  Deterministic within a build
+    (it composes [Hashtbl.hash]). *)
+
+val result_json : result -> string
+(** Deterministic machine-readable summary of a result: spec name and
+    sizes, cost, PE/link/image counts, deadline verdict, total
+    tardiness, {!schedule_fingerprint} and a sorted per-PE-type tally.
+    Two syntheses of the same (spec, options) — any [jobs] count, any
+    evaluator configuration — produce byte-identical strings, which is
+    what lets a result cache serve them interchangeably; wall/cpu times
+    and interleaving-dependent counters are deliberately excluded. *)
 
 (** Warm re-synthesis under change (DESIGN.md "Re-synthesis under
     change"): repair a deployed architecture after a change event

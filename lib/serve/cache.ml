@@ -1,0 +1,30 @@
+type t = {
+  lock : Mutex.t;
+  table : (string, string) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { lock = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let key ~spec_canonical ~options_canonical =
+  Digest.to_hex (Digest.string (spec_canonical ^ "\x00" ^ options_canonical))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some _ as hit ->
+          t.hits <- t.hits + 1;
+          hit
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t k payload = locked t (fun () -> Hashtbl.replace t.table k payload)
+
+let stats t = locked t (fun () -> (t.hits, t.misses, Hashtbl.length t.table))

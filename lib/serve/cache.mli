@@ -1,0 +1,25 @@
+(** Content-addressed result cache.
+
+    A key is the digest of the {e canonical} spec text ([Dsl.print] of
+    the parsed specification, so upload formatting is irrelevant)
+    together with the canonical option string; the value is the result
+    payload, stored verbatim.  Because {!Crusade.Crusade_core.result_json}
+    is deterministic for a (spec, options) pair, a cached payload is
+    byte-identical to what a fresh synthesis would produce — serving it
+    is indistinguishable from running the job, minus the latency. *)
+
+type t
+
+val create : unit -> t
+
+val key : spec_canonical:string -> options_canonical:string -> string
+(** Hex digest addressing one (spec, options) equivalence class. *)
+
+val find : t -> string -> string option
+(** Lookup; bumps the hit or miss counter. *)
+
+val add : t -> string -> string -> unit
+(** [add t key payload] stores the payload (last write wins). *)
+
+val stats : t -> int * int * int
+(** [(hits, misses, entries)]. *)

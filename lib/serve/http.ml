@@ -1,0 +1,251 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Eof
+  | Truncated
+  | Too_large of string
+  | Bad of string
+
+(* Buffered reader: [buf.[lo..hi)] holds bytes read but not yet
+   consumed; [fill] appends more.  A connection outlives many requests
+   (keep-alive), so leftover bytes of a pipelined next request persist
+   between [read_request] calls. *)
+type conn = {
+  read : bytes -> int -> int -> int;
+  mutable buf : Bytes.t;
+  mutable lo : int;
+  mutable hi : int;
+  mutable at_eof : bool;
+}
+
+let conn_of_read read =
+  { read; buf = Bytes.create 4096; lo = 0; hi = 0; at_eof = false }
+
+let conn_of_fd fd =
+  conn_of_read (fun b off len ->
+      try Unix.read fd b off len with
+      | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0)
+
+let conn_of_string s =
+  let pos = ref 0 in
+  conn_of_read (fun b off len ->
+      let n = min len (String.length s - !pos) in
+      Bytes.blit_string s !pos b off n;
+      pos := !pos + n;
+      n)
+
+let available c = c.hi - c.lo
+
+(* Pull more bytes in; returns false at end of stream. *)
+let refill c =
+  if c.at_eof then false
+  else begin
+    (* Compact, then grow if still full. *)
+    if c.lo > 0 then begin
+      Bytes.blit c.buf c.lo c.buf 0 (available c);
+      c.hi <- available c;
+      c.lo <- 0
+    end;
+    if c.hi = Bytes.length c.buf then begin
+      let bigger = Bytes.create (2 * Bytes.length c.buf) in
+      Bytes.blit c.buf 0 bigger 0 c.hi;
+      c.buf <- bigger
+    end;
+    let n = c.read c.buf c.hi (Bytes.length c.buf - c.hi) in
+    if n <= 0 then begin
+      c.at_eof <- true;
+      false
+    end
+    else begin
+      c.hi <- c.hi + n;
+      true
+    end
+  end
+
+let percent_decode s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+          match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some code ->
+              Buffer.add_char buf (Char.chr (code land 0xFF));
+              go (i + 3)
+          | None ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let split_query target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let pairs =
+        String.split_on_char '&' qs
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | None -> (percent_decode kv, "")
+               | Some j ->
+                   ( percent_decode (String.sub kv 0 j),
+                     percent_decode
+                       (String.sub kv (j + 1) (String.length kv - j - 1)) ))
+      in
+      (percent_decode path, pairs)
+
+(* Find "\r\n\r\n" (or "\n\n") in the buffered bytes; returns the offset
+   one past the terminator, relative to [c.lo]. *)
+let find_header_end c =
+  let b = c.buf in
+  let rec go i =
+    if i >= c.hi then None
+    else if Bytes.get b i = '\n' then
+      if i + 1 < c.hi && Bytes.get b (i + 1) = '\n' then Some (i + 2 - c.lo)
+      else if
+        i + 2 < c.hi && Bytes.get b (i + 1) = '\r' && Bytes.get b (i + 2) = '\n'
+      then Some (i + 3 - c.lo)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go c.lo
+
+let trim = String.trim
+
+let parse_header_block block =
+  let lines =
+    String.split_on_char '\n' block
+    |> List.map (fun l ->
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error (Bad "empty request")
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line |> List.filter (( <> ) "") with
+      | [ meth; target; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+          let headers =
+            List.fold_left
+              (fun acc line ->
+                match acc with
+                | Error _ -> acc
+                | Ok hs -> (
+                    match String.index_opt line ':' with
+                    | None -> Error (Bad ("malformed header: " ^ line))
+                    | Some i ->
+                        let name =
+                          String.lowercase_ascii (trim (String.sub line 0 i))
+                        in
+                        let value =
+                          trim
+                            (String.sub line (i + 1) (String.length line - i - 1))
+                        in
+                        Ok ((name, value) :: hs)))
+              (Ok []) header_lines
+          in
+          Result.map
+            (fun hs ->
+              let path, query = split_query target in
+              (meth, path, query, List.rev hs))
+            headers
+      | _ -> Error (Bad ("malformed request line: " ^ request_line)))
+
+let read_request ?(max_header = 16 * 1024) ?(max_body = 8 * 1024 * 1024) c =
+  (* Accumulate until the blank line, within the header limit. *)
+  let rec headers_loop () =
+    match find_header_end c with
+    | Some ofs -> Ok ofs
+    | None ->
+        if available c > max_header then Error (Too_large "header block")
+        else if refill c then headers_loop ()
+        else if available c = 0 then Error Eof
+        else Error Truncated
+  in
+  match headers_loop () with
+  | Error _ as e -> e
+  | Ok header_len -> (
+      let block = Bytes.sub_string c.buf c.lo header_len in
+      c.lo <- c.lo + header_len;
+      match parse_header_block block with
+      | Error _ as e -> e
+      | Ok (meth, path, query, headers) -> (
+          let content_length =
+            match List.assoc_opt "content-length" headers with
+            | None -> Ok 0
+            | Some v -> (
+                match int_of_string_opt (trim v) with
+                | Some n when n >= 0 -> Ok n
+                | Some _ | None -> Error (Bad ("bad content-length: " ^ v)))
+          in
+          match content_length with
+          | Error _ as e -> e
+          | Ok len ->
+              if len > max_body then Error (Too_large "body")
+              else begin
+                let rec body_loop () =
+                  if available c >= len then begin
+                    let body = Bytes.sub_string c.buf c.lo len in
+                    c.lo <- c.lo + len;
+                    Ok { meth; path; query; headers; body }
+                  end
+                  else if refill c then body_loop ()
+                  else Error Truncated
+                in
+                body_loop ()
+              end))
+
+let header r name =
+  List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let query_param r name = List.assoc_opt name r.query
+
+let wants_close r =
+  match header r "connection" with
+  | Some v -> String.lowercase_ascii (trim v) = "close"
+  | None -> false
+
+type response = { status : int; reason : string; content_type : string; body : string }
+
+let reason_of = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ?(content_type = "application/json") status body =
+  { status; reason = reason_of status; content_type; body }
+
+let to_bytes ?(close = false) r =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%s\r\n%s"
+    r.status r.reason r.content_type (String.length r.body)
+    (if close then "Connection: close\r\n" else "")
+    r.body

@@ -1,0 +1,61 @@
+(** Hand-rolled HTTP/1.1 subset over the stdlib [unix] library.
+
+    Parses exactly the request shapes the job server serves — a request
+    line, headers, an optional [Content-Length] body — with hard limits
+    on header and body size, and supports pipelined keep-alive: a
+    {!conn} is a buffered reader, so bytes of the next request that
+    arrived with the previous one are not lost.  No chunked encoding,
+    no HTTP/2, no TLS; parse errors map to 4xx responses.
+
+    The reader is abstracted over a [read] function so unit tests can
+    drive the parser from strings without sockets. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["GET"] *)
+  path : string;  (** decoded path without the query string *)
+  query : (string * string) list;  (** decoded [k=v] pairs, in order *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+type error =
+  | Eof  (** clean end of stream before any request byte *)
+  | Truncated  (** stream ended mid-request *)
+  | Too_large of string  (** header block or body over the limit *)
+  | Bad of string  (** malformed request line / header / length *)
+
+type conn
+
+val conn_of_fd : Unix.file_descr -> conn
+
+val conn_of_read : (bytes -> int -> int -> int) -> conn
+(** A connection over an arbitrary byte source ([read buf off len]
+    returning 0 at end of stream). *)
+
+val conn_of_string : string -> conn
+(** A connection that replays a fixed byte sequence — the unit-test
+    harness for truncation, limits and pipelining. *)
+
+val read_request :
+  ?max_header:int -> ?max_body:int -> conn -> (request, error) result
+(** Reads one request off the connection (default limits: 16 KiB of
+    headers, 8 MiB of body).  Bytes past the request stay buffered for
+    the next call, so pipelined requests parse back to back.  CRLF and
+    bare-LF line endings are both accepted. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val wants_close : request -> bool
+(** [Connection: close] requested (HTTP/1.1 defaults to keep-alive). *)
+
+type response = { status : int; reason : string; content_type : string; body : string }
+
+val response : ?content_type:string -> int -> string -> response
+(** [response status body] with the standard reason phrase. *)
+
+val to_bytes : ?close:bool -> response -> string
+(** Serialized response with [Content-Length] (and [Connection: close]
+    when requested). *)

@@ -1,0 +1,238 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' | '\\' | '/' ->
+                   Buffer.add_char buf s.[!pos];
+                   advance ()
+               | 'b' ->
+                   Buffer.add_char buf '\b';
+                   advance ()
+               | 'f' ->
+                   Buffer.add_char buf '\012';
+                   advance ()
+               | 'n' ->
+                   Buffer.add_char buf '\n';
+                   advance ()
+               | 'r' ->
+                   Buffer.add_char buf '\r';
+                   advance ()
+               | 't' ->
+                   Buffer.add_char buf '\t';
+                   advance ()
+               | 'u' ->
+                   if !pos + 4 >= n then fail "truncated \\u escape";
+                   (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                   | Some code ->
+                       (* Keep it simple: BMP code points as UTF-8. *)
+                       if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                       else if code < 0x800 then begin
+                         Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                         Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                       end
+                       else begin
+                         Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                         Buffer.add_char buf
+                           (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                         Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                       end
+                   | None -> fail "bad \\u escape");
+                   pos := !pos + 5
+               | c -> fail (Printf.sprintf "bad escape %C" c));
+            go ()
+        | c when Char.code c < 0x20 -> fail "raw control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" f)
+      else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          add b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          add b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None
+
+let int = function
+  | Num f when Float.is_integer f && Float.abs f <= 1e15 -> Some (int_of_float f)
+  | _ -> None
+
+let bool = function Bool b -> Some b | _ -> None

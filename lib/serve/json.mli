@@ -1,0 +1,37 @@
+(** Minimal JSON for the job server: a strict recursive-descent parser
+    for request bodies and a printer for responses.
+
+    The build deliberately has no JSON dependency; the server's needs
+    are small (flat objects, string/int/bool fields, one level of
+    nesting for options and change events) and a strict parser that
+    rejects malformed input early is exactly what an HTTP surface
+    wants. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON value; trailing garbage is an
+    error.  Errors carry a byte offset. *)
+
+val to_string : t -> string
+(** Compact (no-whitespace) rendering.  Object fields print in the
+    order given; integers render without a fractional part, so a value
+    that round-trips through [parse] of integer-only input prints
+    identically. *)
+
+val escape : string -> string
+(** The body of a JSON string literal for [s] (no surrounding quotes). *)
+
+val member : string -> t -> t option
+(** Field lookup on objects; [None] on other constructors. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+val bool : t -> bool option

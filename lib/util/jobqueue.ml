@@ -1,0 +1,111 @@
+(* A mutex/condition bounded FIFO.  The [Queue.t] from the stdlib has no
+   in-place removal, so the queue body is a deque of list cells rebuilt
+   only on [remove] — pushes and pops stay O(1) amortized via the
+   classic two-list funnel. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  non_empty : Condition.t;
+  cap : int;  (* <= 0 = unbounded *)
+  mutable front : 'a list;  (* head is next to pop *)
+  mutable back : 'a list;  (* newest first *)
+  mutable size : int;
+  mutable closed : bool;
+}
+
+let create ?(cap = 0) () =
+  {
+    lock = Mutex.create ();
+    non_empty = Condition.create ();
+    cap;
+    front = [];
+    back = [];
+    size = 0;
+    closed = false;
+  }
+
+let push t x =
+  Mutex.lock t.lock;
+  let ok = (not t.closed) && (t.cap <= 0 || t.size < t.cap) in
+  if ok then begin
+    t.back <- x :: t.back;
+    t.size <- t.size + 1;
+    Condition.signal t.non_empty
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+(* Callers hold the lock. *)
+let normalize t =
+  if t.front = [] then begin
+    t.front <- List.rev t.back;
+    t.back <- []
+  end
+
+let pop_locked t =
+  normalize t;
+  match t.front with
+  | x :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Some x
+  | [] -> None
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match pop_locked t with
+    | Some _ as r -> r
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.non_empty t.lock;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let r = pop_locked t in
+  Mutex.unlock t.lock;
+  r
+
+let remove t p =
+  Mutex.lock t.lock;
+  normalize t;
+  let rec split acc = function
+    | [] -> None
+    | x :: rest when p x -> Some (List.rev_append acc rest)
+    | x :: rest -> split (x :: acc) rest
+  in
+  let found =
+    match split [] t.front with
+    | Some front' ->
+        t.front <- front';
+        true
+    | None -> (
+        (* [back] is newest-first; scan it oldest-first. *)
+        match split [] (List.rev t.back) with
+        | Some back_oldest_first ->
+            t.back <- List.rev back_oldest_first;
+            true
+        | None -> false)
+  in
+  if found then t.size <- t.size - 1;
+  Mutex.unlock t.lock;
+  found
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.size in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.non_empty;
+  Mutex.unlock t.lock

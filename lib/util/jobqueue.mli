@@ -1,0 +1,41 @@
+(** Thread-safe bounded FIFO used as the synthesis job queue.
+
+    Fairness is strict arrival order: [pop] always returns the oldest
+    element still queued, whichever thread or domain pushed it, so no
+    submitter can starve another.  The queue is safe to share between
+    sys-threads and domains (plain mutex/condition discipline, no
+    busy-waiting).
+
+    Cancellation support: [remove] deletes a queued element in place
+    (the element is atomically either removed or handed to some popper,
+    never both), which is how a server cancels a job that has not yet
+    started running. *)
+
+type 'a t
+
+val create : ?cap:int -> unit -> 'a t
+(** A fresh queue holding at most [cap] elements (default: unbounded).
+    [cap <= 0] means unbounded. *)
+
+val push : 'a t -> 'a -> bool
+(** Appends at the tail.  Returns [false] — without blocking — when the
+    queue is full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Removes the head, blocking while the queue is empty and open.
+    Returns [None] once the queue is closed and drained. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking [pop]: [None] when currently empty (or closed). *)
+
+val remove : 'a t -> ('a -> bool) -> bool
+(** [remove t p] deletes the first queued element satisfying [p].
+    Returns [false] when no queued element matches (it may already have
+    been popped — the caller handles that race by checking the popped
+    element's own state). *)
+
+val length : 'a t -> int
+
+val close : 'a t -> unit
+(** Rejects further pushes and wakes every blocked popper; queued
+    elements still drain through [pop]. *)

@@ -10,12 +10,21 @@ type event = {
   ev_args : (string * arg) list;
 }
 
+type view = {
+  v_phase : string;  (* "B" | "E" | "i" | "C" *)
+  v_name : string;
+  v_ts : float;
+  v_tid : int;
+  v_args : (string * arg) list;
+}
+
 type t = {
   lock : Mutex.t;
   epoch : float;
   mutable events : event list;  (* newest first *)
   mutable n_events : int;
   mutable last_ts : float;
+  mutable hook : (view -> unit) option;
 }
 
 let create () =
@@ -25,7 +34,12 @@ let create () =
     events = [];
     n_events = 0;
     last_ts = 0.0;
+    hook = None;
   }
+
+let on_event t f = t.hook <- Some f
+
+let phase_string = function B -> "B" | E -> "E" | I -> "i" | C -> "C"
 
 let emit t ph name args =
   let tid = (Domain.self () :> int) in
@@ -39,6 +53,14 @@ let emit t ph name args =
     { ev_ph = ph; ev_name = name; ev_ts = ts; ev_tid = tid; ev_args = args }
     :: t.events;
   t.n_events <- t.n_events + 1;
+  (* The hook runs under the sink lock so subscribers observe events in
+     exactly the emission order (concurrent domains included); it must
+     not call back into the sink. *)
+  (match t.hook with
+  | Some f -> (
+      try f { v_phase = phase_string ph; v_name = name; v_ts = ts; v_tid = tid; v_args = args }
+      with _ -> ())
+  | None -> ());
   Mutex.unlock t.lock
 
 let span t ?(args = []) name f =

@@ -26,6 +26,25 @@ type t
 
 val create : unit -> t
 
+type view = {
+  v_phase : string;  (** ["B"] span begin, ["E"] span end, ["i"] instant, ["C"] counter *)
+  v_name : string;
+  v_ts : float;  (** microseconds since sink creation, clamped monotonic *)
+  v_tid : int;  (** emitting domain id *)
+  v_args : (string * arg) list;
+}
+(** A subscriber's read-only view of one emitted event. *)
+
+val on_event : t -> (view -> unit) -> unit
+(** [on_event t f] registers [f] as the sink's event hook: every
+    subsequently emitted event is passed to [f], in emission order,
+    while it is appended to the sink.  The hook runs under the sink's
+    lock — it must be fast and must not call back into the sink — and a
+    hook that raises is silently ignored.  At most one hook is active;
+    registering again replaces it.  This is how a per-run consumer
+    (e.g. a job server streaming phase progress) observes spans live
+    instead of waiting for {!to_json}. *)
+
 val span : t option -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
 (** [span t name f] emits a begin event, runs [f], and emits the
     matching end event on the same domain — also when [f] raises, so

@@ -23,4 +23,5 @@ let () =
       ("portfolio", Test_portfolio.suite);
       ("extras", Test_extras.suite);
       ("properties", Test_properties.suite);
+      ("serve", Test_serve.suite);
     ]

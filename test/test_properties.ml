@@ -84,6 +84,19 @@ let dsl_roundtrip_generated =
           && Spec.hyperperiod again = Spec.hyperperiod spec
       | Error _ -> false)
 
+(* The property the job server's result cache stands on: printing a
+   parsed spec is a fixpoint, so however a client formats its upload the
+   canonical text — and therefore the cache key — is the same. *)
+let dsl_print_parse_fixpoint =
+  QCheck.Test.make ~name:"Dsl print/parse/print is a fixpoint" ~long_factor:10
+    ~count:10 (seed_arbitrary 10_000)
+    (fun seed ->
+      let spec = W.generate stock (tiny_params seed) in
+      let printed = Crusade_taskgraph.Dsl.print spec in
+      match Crusade_taskgraph.Dsl.parse printed with
+      | Ok again -> Crusade_taskgraph.Dsl.print again = printed
+      | Error _ -> false)
+
 (* --- failure injection --- *)
 
 let cpu_less_library_rejects_software () =
@@ -144,6 +157,7 @@ let suite =
     qcheck synthesis_sound;
     qcheck ft_sound;
     qcheck dsl_roundtrip_generated;
+    qcheck dsl_print_parse_fixpoint;
     Alcotest.test_case "cpu-less library rejects software" `Quick
       cpu_less_library_rejects_software;
     Alcotest.test_case "overtight deadline degrades" `Quick
